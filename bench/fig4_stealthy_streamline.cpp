@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 4: the StealthyStreamline attack on a 4-way LRU set —
+ * the per-round access sequence and the cache-state evolution (line
+ * ages) for every victim symbol, demonstrating (c) the 2-bit decode
+ * and (d) that the sender/victim never misses.
+ */
+
+#include "bench_common.hpp"
+
+using namespace autocat;
+using namespace autocat::bench;
+
+namespace {
+
+std::string
+stateString(const Cache &cache)
+{
+    const CacheSet &set = cache.set(0);
+    const auto resident = set.residentAddrs();
+    const auto ages = set.policyState();
+    std::string out = "{";
+    bool first = true;
+    // residentAddrs is in way order; ages align with ways for LRU.
+    for (std::size_t w = 0; w < resident.size(); ++w) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += std::to_string(resident[w]);
+        out += "(age ";
+        out += std::to_string(ages[w]);
+        out += ")";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 4: StealthyStreamline on a 4-way LRU set");
+
+    constexpr unsigned ways = 4;
+    std::cout
+        << "Round structure per 2-bit symbol s (canonical state:\n"
+        << "lines 0..3 resident, 0 oldest):\n"
+        << "  1. sender accesses line s            (hit; no victim"
+           " miss)\n"
+        << "  2. receiver accesses evictor line    (miss; displaces"
+           " oldest non-promoted candidate)\n"
+        << "  3. receiver times lines 0..3         (hit position =="
+           " s)\n\n";
+
+    TextTable table("Figure 4d: cache state and probe pattern per symbol",
+                    {"victim symbol", "probe pattern (0..3)",
+                     "decoded", "victim misses", "state after round"});
+
+    for (unsigned symbol = 0; symbol < 4; ++symbol) {
+        CacheConfig cfg;
+        cfg.numSets = 1;
+        cfg.numWays = ways;
+        cfg.policy = ReplPolicy::Lru;
+        cfg.addressSpaceSize = 2 * ways;
+        Cache cache(cfg);
+
+        // Canonical prime.
+        for (unsigned a = 0; a < ways; ++a)
+            cache.access(a, Domain::Attacker);
+
+        // Round: sender encodes `symbol`.
+        const AccessResult sender = cache.access(symbol, Domain::Victim);
+        cache.access(ways, Domain::Attacker);  // evictor
+
+        std::string pattern;
+        int decoded = 3;  // the all-miss pattern is symbol 3's
+                          // signature on a 4-way set (its promoted
+                          // line is displaced by the probe refills)
+        for (unsigned c = 0; c < 4; ++c) {
+            const AccessResult probe = cache.access(c, Domain::Attacker);
+            pattern += probe.hit ? 'H' : 'M';
+            if (probe.hit)
+                decoded = static_cast<int>(c);
+        }
+        // Streamline overlap: nothing else to re-prime on 4-way
+        // (candidates are the whole set).
+
+        table.addRow({TextTable::fmt((long)symbol), pattern,
+                      TextTable::fmt((long)decoded),
+                      sender.hit ? "0" : "1", stateString(cache)});
+    }
+
+    table.print(std::cout);
+
+    // End-to-end check on the full covert channel.
+    CovertChannelConfig ch_cfg;
+    ch_cfg.protocol = CovertProtocol::StealthyStreamline;
+    ch_cfg.ways = 8;
+    ch_cfg.bitsPerSymbol = 2;
+    Rng rng(99);
+    CovertChannel channel(ch_cfg);
+    const CovertResult res = channel.transmit(randomBits(rng, 1024));
+    std::cout << "\n8-way end-to-end: " << res.bitsSent << " bits, "
+              << TextTable::fmt(res.errorRate * 100.0, 2)
+              << "% errors, " << res.victimMisses
+              << " victim misses (stealth), "
+              << TextTable::fmt(res.cyclesPerBit, 1)
+              << " cycles/bit.\n"
+              << "\nPaper (Fig. 4): the hit position among the timed"
+                 " candidates identifies the 2-bit secret and the"
+                 " victim's accesses are always hits.\n";
+    return 0;
+}

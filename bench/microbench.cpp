@@ -1,0 +1,169 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the core substrates: cache
+ * access, environment stepping, policy inference, PPO updates, the
+ * detector hot paths, and covert-channel rounds. These bound the
+ * training throughput reported in the table benches and serve as the
+ * observation-encoding ablation (window-only vs window+summary cost).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/autocat.hpp"
+
+namespace autocat {
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.numSets = static_cast<unsigned>(state.range(0));
+    cfg.numWays = 8;
+    cfg.policy = ReplPolicy::Lru;
+    cfg.addressSpaceSize = 4 * cfg.numBlocks();
+    Cache cache(cfg);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addr, Domain::Attacker));
+        addr = (addr * 2654435761u + 1) % cfg.addressSpaceSize;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(16)->Arg(256);
+
+void
+BM_TwoLevelAccess(benchmark::State &state)
+{
+    TwoLevelConfig cfg;
+    cfg.l1.numSets = 8;
+    cfg.l1.numWays = 2;
+    cfg.l1.addressSpaceSize = 128;
+    cfg.l2.numSets = 16;
+    cfg.l2.numWays = 4;
+    cfg.l2.addressSpaceSize = 128;
+    TwoLevelMemory mem(cfg);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(addr, Domain::Attacker));
+        addr = (addr * 2654435761u + 1) % 128;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoLevelAccess);
+
+void
+BM_EnvStep(benchmark::State &state)
+{
+    EnvConfig cfg;
+    cfg.cache.numSets = 1;
+    cfg.cache.numWays = 4;
+    cfg.cache.addressSpaceSize = 8;
+    cfg.attackAddrS = 0;
+    cfg.attackAddrE = 4;
+    cfg.victimAddrS = 0;
+    cfg.victimAddrE = 0;
+    cfg.victimNoAccessEnable = true;
+    cfg.windowSize = 16;
+    CacheGuessingGame env(cfg);
+    env.reset();
+    Rng rng(1);
+    for (auto _ : state) {
+        const std::size_t action = rng.uniformInt(env.numActions());
+        const StepResult sr = env.step(action);
+        if (sr.done)
+            env.reset();
+        benchmark::DoNotOptimize(sr.reward);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnvStep);
+
+void
+BM_PolicyForward(benchmark::State &state)
+{
+    Rng rng(2);
+    const std::size_t obs_dim = static_cast<std::size_t>(state.range(0));
+    ActorCritic net(obs_dim, 8, 128, 2, rng);
+    std::vector<float> obs(obs_dim, 0.1f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.forwardOne(obs));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyForward)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_PpoEpoch(benchmark::State &state)
+{
+    EnvConfig cfg;
+    cfg.cache.numSets = 1;
+    cfg.cache.numWays = 4;
+    cfg.cache.addressSpaceSize = 8;
+    cfg.attackAddrS = 0;
+    cfg.attackAddrE = 4;
+    cfg.victimAddrS = 0;
+    cfg.victimAddrE = 0;
+    cfg.victimNoAccessEnable = true;
+    cfg.windowSize = 16;
+    CacheGuessingGame env(cfg);
+    PpoConfig ppo;
+    ppo.stepsPerEpoch = 512;
+    ppo.minibatchSize = 128;
+    PpoTrainer trainer(env, ppo);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trainer.runEpoch().epoch);
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_PpoEpoch)->Unit(benchmark::kMillisecond);
+
+void
+BM_Autocorrelation(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<double> train(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto &x : train)
+        x = static_cast<double>(rng.uniformInt(2));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(maxAutocorrelation(train, 30));
+}
+BENCHMARK(BM_Autocorrelation)->Arg(64)->Arg(512);
+
+void
+BM_SvmPredict(benchmark::State &state)
+{
+    Rng rng(4);
+    SvmDataset data;
+    for (int i = 0; i < 100; ++i) {
+        data.add({rng.gaussian() + 2.0, rng.gaussian()}, +1);
+        data.add({rng.gaussian() - 2.0, rng.gaussian()}, -1);
+    }
+    LinearSvm svm;
+    svm.train(data, rng);
+    const std::vector<double> x{0.5, -0.2};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(svm.predict(x));
+}
+BENCHMARK(BM_SvmPredict);
+
+void
+BM_CovertChannelRound(benchmark::State &state)
+{
+    CovertChannelConfig cfg;
+    cfg.protocol = CovertProtocol::StealthyStreamline;
+    cfg.ways = static_cast<unsigned>(state.range(0));
+    cfg.bitsPerSymbol = 2;
+    CovertChannel channel(cfg);
+    Rng rng(5);
+    const BitString msg = randomBits(rng, 64);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(channel.transmit(msg).mbps);
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CovertChannelRound)->Arg(8)->Arg(12);
+
+} // namespace
+} // namespace autocat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Table IV: attacks found across diverse cache / attacker / victim
+ * configurations — direct-mapped, fully- and set-associative caches,
+ * prefetchers, flush on/off, shared and disjoint address ranges, and
+ * a two-level hierarchy. For each configuration the bench trains an
+ * agent, extracts the attack by greedy replay, and labels it with the
+ * automatic classifier.
+ *
+ * The default mode runs a representative subset; AUTOCAT_FULL=1 runs
+ * all 17 rows of the paper's table.
+ */
+
+#include <optional>
+
+#include "bench_common.hpp"
+
+using namespace autocat;
+using namespace autocat::bench;
+
+namespace {
+
+struct ConfigRow
+{
+    int no;
+    const char *type;
+    const char *expected;
+    EnvConfig env;
+    bool heavy = false;  ///< only run with AUTOCAT_FULL=1
+};
+
+EnvConfig
+make(unsigned sets, unsigned ways, std::uint64_t va_s, std::uint64_t va_e,
+     std::uint64_t aa_s, std::uint64_t aa_e, bool flush, bool no_access,
+     PrefetcherKind pf = PrefetcherKind::None)
+{
+    EnvConfig cfg;
+    cfg.cache.numSets = sets;
+    cfg.cache.numWays = ways;
+    cfg.cache.policy = ReplPolicy::Lru;
+    cfg.cache.prefetcher = pf;
+    cfg.cache.addressSpaceSize = std::max(va_e, aa_e) + 1;
+    cfg.attackAddrS = aa_s;
+    cfg.attackAddrE = aa_e;
+    cfg.victimAddrS = va_s;
+    cfg.victimAddrE = va_e;
+    cfg.flushEnable = flush;
+    cfg.victimNoAccessEnable = no_access;
+    cfg.seed = 7;
+    const unsigned blocks = sets * ways;
+    cfg.windowSize = std::min(40u, 4 * blocks + 12);
+    return cfg;
+}
+
+std::vector<ConfigRow>
+allRows()
+{
+    std::vector<ConfigRow> rows;
+    // 1: DM 4 sets, disjoint, no flush -> PP
+    rows.push_back({1, "DM 1x4", "PP",
+                    make(4, 1, 0, 3, 4, 7, false, false)});
+    // 2: DM + next-line prefetcher -> PP
+    rows.push_back({2, "DM+PFnextline", "PP",
+                    make(4, 1, 0, 3, 4, 7, false, false,
+                         PrefetcherKind::NextLine)});
+    // 3: DM, shared, flush -> FR
+    rows.push_back({3, "DM 1x4", "FR",
+                    make(4, 1, 0, 3, 0, 3, true, false)});
+    // 4: DM, attacker covers both -> ER and PP
+    rows.push_back({4, "DM 1x4", "ER,PP",
+                    make(4, 1, 0, 3, 0, 7, false, false)});
+    // 5: FA 4-way, 0/E, disjoint -> PP/LRU
+    rows.push_back({5, "FA 4", "PP,LRU",
+                    make(1, 4, 0, 0, 4, 7, false, true)});
+    // 6: FA 4-way, 0/E, shared + flush -> FR/LRU
+    rows.push_back({6, "FA 4", "FR,LRU",
+                    make(1, 4, 0, 0, 0, 3, true, true)});
+    // 7: FA 4-way, 0/E, attacker covers both -> ER/PP/LRU
+    rows.push_back({7, "FA 4", "ER,PP,LRU",
+                    make(1, 4, 0, 0, 0, 7, false, true)});
+    // 8: FA 4-way, victim 0-3 shared, flush -> FR/LRU
+    rows.push_back({8, "FA 4", "FR,LRU",
+                    make(1, 4, 0, 3, 0, 3, true, false)});
+    // 9: FA 4-way, victim 0-3, attacker 0-7, flush -> FR/LRU
+    rows.push_back({9, "FA 4", "FR,LRU",
+                    make(1, 4, 0, 3, 0, 7, true, false)});
+    // 10: DM 8 sets, victim 0-7, flush -> FR (heavy: 8 secrets)
+    rows.push_back({10, "DM 1x8", "FR",
+                    make(8, 1, 0, 7, 0, 7, true, false), true});
+    // 11: FA 8-way, 0/E, flush -> FR/LRU
+    rows.push_back({11, "FA 8", "FR,LRU",
+                    make(1, 8, 0, 0, 0, 7, true, true)});
+    // 12: FA 8-way, 0/E, attacker 0-15 -> ER/PP/LRU (heavy)
+    rows.push_back({12, "FA 8", "ER,PP,LRU",
+                    make(1, 8, 0, 0, 0, 15, false, true), true});
+    // 13: FA 8 + next-line prefetcher (heavy)
+    rows.push_back({13, "FA8+PFnextline", "ER",
+                    make(1, 8, 0, 0, 0, 15, false, true,
+                         PrefetcherKind::NextLine),
+                    true});
+    // 14: FA 8 + stream prefetcher (heavy)
+    rows.push_back({14, "FA8+PFstream", "ER",
+                    make(1, 8, 0, 0, 0, 15, false, true,
+                         PrefetcherKind::Stream),
+                    true});
+    // 15: SA 2-way x 4 sets, disjoint -> PP
+    rows.push_back({15, "SA 2x4", "PP",
+                    make(4, 2, 0, 3, 4, 11, false, false)});
+    // 16: two-level (private DM L1s + shared 2x4 L2) -> PP (heavy)
+    {
+        EnvConfig cfg = make(4, 2, 0, 3, 4, 11, false, false);
+        cfg.twoLevel = true;
+        cfg.twoLevelCfg.numCores = 2;
+        cfg.twoLevelCfg.l1.numSets = 4;
+        cfg.twoLevelCfg.l1.numWays = 1;
+        cfg.twoLevelCfg.l1.addressSpaceSize = 12;
+        cfg.twoLevelCfg.l2.numSets = 4;
+        cfg.twoLevelCfg.l2.numWays = 2;
+        cfg.twoLevelCfg.l2.addressSpaceSize = 12;
+        cfg.windowSize = 40;
+        rows.push_back({16, "2-level SA 2x4", "PP", cfg, true});
+    }
+    // 17: two-level, L2 2x8, victim 0-7, attacker 8-23 (heavy)
+    {
+        EnvConfig cfg = make(8, 2, 0, 7, 8, 23, false, false);
+        cfg.twoLevel = true;
+        cfg.twoLevelCfg.numCores = 2;
+        cfg.twoLevelCfg.l1.numSets = 8;
+        cfg.twoLevelCfg.l1.numWays = 1;
+        cfg.twoLevelCfg.l1.addressSpaceSize = 24;
+        cfg.twoLevelCfg.l2.numSets = 8;
+        cfg.twoLevelCfg.l2.numWays = 2;
+        cfg.twoLevelCfg.l2.addressSpaceSize = 24;
+        cfg.windowSize = 56;
+        rows.push_back({17, "2-level SA 2x8", "PP", cfg, true});
+    }
+    return rows;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table IV: attacks across cache/attacker configurations");
+
+    const bool run_heavy = benchMode() == BenchMode::Full;
+    const int max_epochs = byMode(10, 100, 260);
+
+    TextTable table("Table IV (reproduction)",
+                    {"No.", "Type", "Expected", "Found", "Acc",
+                     "Attack found by AutoCAT"});
+
+    for (const ConfigRow &row : allRows()) {
+        if (row.heavy && !run_heavy) {
+            table.addRow({TextTable::fmt((long)row.no), row.type,
+                          row.expected, "(skipped)", "-",
+                          "run with AUTOCAT_FULL=1"});
+            continue;
+        }
+        ExplorationConfig cfg;
+        cfg.env = row.env;
+        cfg.ppo.seed = 19 + row.no;
+        cfg.maxEpochs = max_epochs;
+        const ExplorationResult r = explore(cfg);
+        table.addRow(
+            {TextTable::fmt((long)row.no), row.type, row.expected,
+             r.converged ? categoryLabel(r.category) : "(timeout)",
+             TextTable::fmt(r.finalAccuracy, 2),
+             r.sequence.toString(false) + " -> " + r.finalGuess});
+    }
+
+    table.print(std::cout);
+    std::cout << "\nPaper (Table IV): the agent finds a working attack"
+                 " of the expected category for every configuration;"
+                 " sequences are often shorter than the textbook"
+                 " versions.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+#include "attacks/classifier.hpp"
+
+#include <set>
+
+namespace autocat {
+
+const char *
+categoryLabel(AttackCategory c)
+{
+    switch (c) {
+      case AttackCategory::PrimeProbe: return "PP";
+      case AttackCategory::FlushReload: return "FR";
+      case AttackCategory::EvictReload: return "ER";
+      case AttackCategory::EvictReloadAndPrimeProbe: return "ER+PP";
+      case AttackCategory::LruState: return "LRU";
+      case AttackCategory::Unknown: return "?";
+    }
+    return "?";
+}
+
+AttackCategory
+classifyAttack(const AttackSequence &seq, const EnvConfig &config)
+{
+    const auto shared = [&](std::uint64_t a) {
+        return a >= config.victimAddrS && a <= config.victimAddrE;
+    };
+
+    bool found_trigger = false;
+    bool used_flush = false;
+    bool reload_shared_after_trigger = false;
+    bool probe_disjoint_after_trigger = false;
+    std::set<std::uint64_t> pre_trigger_fills;
+
+    for (const auto &s : seq.steps()) {
+        switch (s.kind) {
+          case ActionKind::TriggerVictim:
+            found_trigger = true;
+            break;
+          case ActionKind::Flush:
+            used_flush = true;
+            break;
+          case ActionKind::Access:
+            if (!found_trigger) {
+                pre_trigger_fills.insert(s.addr);
+            } else {
+                if (shared(s.addr))
+                    reload_shared_after_trigger = true;
+                else
+                    probe_disjoint_after_trigger = true;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    if (!found_trigger)
+        return AttackCategory::Unknown;
+
+    if (used_flush && reload_shared_after_trigger)
+        return AttackCategory::FlushReload;
+
+    const bool filled_cache =
+        pre_trigger_fills.size() >= config.numBlocks();
+
+    if (reload_shared_after_trigger && probe_disjoint_after_trigger &&
+        filled_cache) {
+        return AttackCategory::EvictReloadAndPrimeProbe;
+    }
+    if (reload_shared_after_trigger)
+        return filled_cache ? AttackCategory::EvictReload
+                            : AttackCategory::LruState;
+    if (probe_disjoint_after_trigger || !pre_trigger_fills.empty()) {
+        // Distinguishing without ever filling the cache means the leak
+        // is through replacement state, not through raw occupancy.
+        return filled_cache ? AttackCategory::PrimeProbe
+                            : AttackCategory::LruState;
+    }
+    return AttackCategory::Unknown;
+}
+
+} // namespace autocat

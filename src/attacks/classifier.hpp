@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Rule-based attack-category classifier.
+ *
+ * The paper classifies RL-discovered sequences by manual inspection
+ * (Section IV-D); this module automates the common cases so the
+ * Table III/IV benches can label what the agent found:
+ *
+ *   FR  flush+reload       — uses clflush, reloads shared lines
+ *   ER  evict+reload       — evicts with non-shared fills, reloads
+ *                            shared lines after the trigger
+ *   PP  prime+probe        — disjoint address ranges, primes enough
+ *                            lines to fill the attacked cache, probes
+ *                            after the trigger
+ *   LRU replacement-state  — distinguishes secrets without ever
+ *                            filling the cache (leaks through
+ *                            replacement metadata, incl. PLRU/RRIP
+ *                            variants; the paper's "LRU*")
+ *
+ * Combination sequences (e.g. Table IV config 4) report both labels.
+ */
+
+#ifndef AUTOCAT_ATTACKS_CLASSIFIER_HPP
+#define AUTOCAT_ATTACKS_CLASSIFIER_HPP
+
+#include <string>
+
+#include "attacks/sequence.hpp"
+#include "env/env_config.hpp"
+
+namespace autocat {
+
+/** Attack categories (Table I / Table IV "Attack Category" column). */
+enum class AttackCategory {
+    PrimeProbe,
+    FlushReload,
+    EvictReload,
+    EvictReloadAndPrimeProbe,
+    LruState,
+    Unknown,
+};
+
+/** Short label used in the paper's tables ("PP", "FR", ...). */
+const char *categoryLabel(AttackCategory c);
+
+/**
+ * Classify @p seq (primitive actions of one episode, guess excluded)
+ * under @p config.
+ */
+AttackCategory classifyAttack(const AttackSequence &seq,
+                              const EnvConfig &config);
+
+} // namespace autocat
+
+#endif // AUTOCAT_ATTACKS_CLASSIFIER_HPP

@@ -1,0 +1,119 @@
+#include "attacks/replay.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace autocat {
+
+SequenceReplayer::SequenceReplayer(CacheGuessingGame &env) : env_(env)
+{
+}
+
+std::vector<int>
+SequenceReplayer::replayOnce(std::optional<std::uint64_t> secret,
+                             bool force_secret)
+{
+    env_.reset();
+    if (force_secret)
+        env_.forceSecret(secret);
+
+    // Only post-trigger access latencies carry secret information;
+    // pre-trigger latencies depend on the (possibly random) initial
+    // cache state and would add decode noise. When the sequence has
+    // no trigger, fall back to every access.
+    bool has_trigger = false;
+    for (std::size_t idx : indices_) {
+        if (env_.actionSpace().decode(idx).kind ==
+            ActionKind::TriggerVictim) {
+            has_trigger = true;
+            break;
+        }
+    }
+
+    std::vector<int> pattern;
+    bool triggered = !has_trigger;
+    for (std::size_t i = 0; i < indices_.size(); ++i) {
+        const StepResult sr = env_.step(indices_[i]);
+        const Action a = env_.actionSpace().decode(indices_[i]);
+        if (a.kind == ActionKind::TriggerVictim)
+            triggered = true;
+        if (a.kind == ActionKind::Access && triggered)
+            pattern.push_back(sr.info.observedLatency);
+        if (sr.done)
+            break;  // length limit hit; pattern stays partial
+    }
+    last_pattern_ = pattern;
+    return pattern;
+}
+
+bool
+SequenceReplayer::calibrate(const AttackSequence &seq, int reps)
+{
+    seq_ = seq;
+    indices_ = seq.toIndices(env_.actionSpace());
+    secrets_ = env_.secretSpace();
+    patterns_.clear();
+
+    for (const auto &secret : secrets_) {
+        // Majority vote per pattern position over the repetitions to
+        // suppress random-init noise.
+        std::map<std::vector<int>, int> votes;
+        for (int r = 0; r < reps; ++r)
+            ++votes[replayOnce(secret, /*force_secret=*/true)];
+        auto best = std::max_element(
+            votes.begin(), votes.end(),
+            [](const auto &a, const auto &b) {
+                return a.second < b.second;
+            });
+        patterns_.push_back(best->first);
+    }
+
+    for (std::size_t i = 0; i < patterns_.size(); ++i) {
+        for (std::size_t j = i + 1; j < patterns_.size(); ++j) {
+            if (patterns_[i] == patterns_[j])
+                return false;
+        }
+    }
+    return true;
+}
+
+std::optional<std::uint64_t>
+SequenceReplayer::decode(const std::vector<int> &pattern) const
+{
+    std::size_t best = 0;
+    long best_dist = -1;
+    for (std::size_t s = 0; s < patterns_.size(); ++s) {
+        long dist = std::labs(static_cast<long>(patterns_[s].size()) -
+                              static_cast<long>(pattern.size()));
+        const std::size_t n =
+            std::min(patterns_[s].size(), pattern.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (patterns_[s][i] != pattern[i])
+                ++dist;
+        }
+        if (best_dist < 0 || dist < best_dist) {
+            best_dist = dist;
+            best = s;
+        }
+    }
+    return secrets_[best];
+}
+
+double
+SequenceReplayer::evaluateAccuracy(int trials)
+{
+    int correct = 0;
+    for (int t = 0; t < trials; ++t) {
+        // reset() samples a fresh secret; replayOnce keeps it.
+        const std::vector<int> pattern =
+            replayOnce(std::nullopt, /*force_secret=*/false);
+        if (decode(pattern) == env_.secret())
+            ++correct;
+    }
+    return trials ? static_cast<double>(correct) /
+                        static_cast<double>(trials)
+                  : 0.0;
+}
+
+} // namespace autocat

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Attack-sequence replay and decoding.
+ *
+ * A fixed attack sequence becomes a working attack once a decision
+ * rule maps the observed latency pattern to a guessed secret. The
+ * replayer calibrates that rule by replaying the sequence under every
+ * secret (what a real attacker does during the calibration phase) and
+ * then measures end-to-end guess accuracy against random secrets —
+ * the "Accuracy" column of Table III.
+ */
+
+#ifndef AUTOCAT_ATTACKS_REPLAY_HPP
+#define AUTOCAT_ATTACKS_REPLAY_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "attacks/sequence.hpp"
+#include "env/guessing_game.hpp"
+
+namespace autocat {
+
+/** Calibrated decoder for one attack sequence on one environment. */
+class SequenceReplayer
+{
+  public:
+    /**
+     * @param env environment to replay against (its secret is forced
+     *            during calibration; the caller keeps ownership)
+     */
+    explicit SequenceReplayer(CacheGuessingGame &env);
+
+    /**
+     * Replay @p seq @p reps times per secret and record the majority
+     * latency pattern of each secret.
+     *
+     * @return true when every secret produced a distinct majority
+     *         pattern (the sequence is a usable attack)
+     */
+    bool calibrate(const AttackSequence &seq, int reps = 16);
+
+    /**
+     * Run @p trials episodes with random secrets, decode each via the
+     * calibrated table (nearest pattern by Hamming distance), and
+     * return the fraction guessed correctly.
+     */
+    double evaluateAccuracy(int trials = 200);
+
+    /** Pattern observed in the most recent replay (tests). */
+    const std::vector<int> &lastPattern() const { return last_pattern_; }
+
+  private:
+    std::vector<int> replayOnce(std::optional<std::uint64_t> secret,
+                                bool force_secret);
+    std::optional<std::uint64_t>
+    decode(const std::vector<int> &pattern) const;
+
+    CacheGuessingGame &env_;
+    AttackSequence seq_;
+    std::vector<std::size_t> indices_;
+    /// majority latency pattern per secret (index into secretSpace()).
+    std::vector<std::vector<int>> patterns_;
+    std::vector<std::optional<std::uint64_t>> secrets_;
+    std::vector<int> last_pattern_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_ATTACKS_REPLAY_HPP

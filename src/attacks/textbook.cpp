@@ -1,0 +1,108 @@
+#include "attacks/textbook.hpp"
+
+#include <algorithm>
+
+namespace autocat {
+
+namespace {
+
+/** Number of attacker lines needed to cover the attacked cache. */
+std::size_t
+coverCount(const EnvConfig &config)
+{
+    return std::min<std::size_t>(
+        static_cast<std::size_t>(config.numAttackAddrs()),
+        config.numBlocks());
+}
+
+} // namespace
+
+AttackSequence
+textbookPrimeProbe(const EnvConfig &config)
+{
+    AttackSequence seq;
+    const std::size_t n = coverCount(config);
+    for (std::size_t i = 0; i < n; ++i)
+        seq.push(AttackStep::access(config.attackAddrS + i));
+    seq.push(AttackStep::trigger());
+    for (std::size_t i = 0; i < n; ++i)
+        seq.push(AttackStep::access(config.attackAddrS + i));
+    return seq;
+}
+
+AttackSequence
+textbookFlushReload(const EnvConfig &config)
+{
+    AttackSequence seq;
+    for (std::uint64_t a = config.victimAddrS; a <= config.victimAddrE;
+         ++a) {
+        seq.push(AttackStep::flush(a));
+    }
+    seq.push(AttackStep::trigger());
+    for (std::uint64_t a = config.victimAddrS; a <= config.victimAddrE;
+         ++a) {
+        seq.push(AttackStep::access(a));
+    }
+    return seq;
+}
+
+AttackSequence
+textbookEvictReload(const EnvConfig &config)
+{
+    AttackSequence seq;
+    // Evict the victim lines by filling the cache with the attacker
+    // addresses that are not shared with the victim.
+    std::size_t filled = 0;
+    for (std::uint64_t a = config.attackAddrS;
+         a <= config.attackAddrE && filled < config.numBlocks(); ++a) {
+        if (a >= config.victimAddrS && a <= config.victimAddrE)
+            continue;  // do not touch shared lines while evicting
+        seq.push(AttackStep::access(a));
+        ++filled;
+    }
+    seq.push(AttackStep::trigger());
+    for (std::uint64_t a = config.victimAddrS; a <= config.victimAddrE;
+         ++a) {
+        seq.push(AttackStep::access(a));
+    }
+    return seq;
+}
+
+AttackSequence
+textbookLruSetBased(const EnvConfig &config)
+{
+    AttackSequence seq;
+    const std::size_t ways = config.numBlocks();
+    // Occupy ways-1 lines, leaving exactly one way of slack.
+    for (std::size_t i = 0; i + 1 < ways; ++i)
+        seq.push(AttackStep::access(config.attackAddrS + i));
+    seq.push(AttackStep::trigger());
+    // A further fill needs the slack way only if the victim consumed
+    // it; the timed reload of the first line reveals which happened.
+    seq.push(AttackStep::access(config.attackAddrS + ways - 1));
+    seq.push(AttackStep::access(config.attackAddrS));
+    return seq;
+}
+
+AttackSequence
+textbookLruAddrBased(const EnvConfig &config, std::uint64_t candidate)
+{
+    AttackSequence seq;
+    const std::size_t ways = config.numBlocks();
+    // Establish a known LRU order over the shared lines with the
+    // candidate line oldest.
+    seq.push(AttackStep::access(candidate));
+    for (std::size_t i = 0; i < ways; ++i) {
+        const std::uint64_t a = config.attackAddrS + i;
+        if (a != candidate)
+            seq.push(AttackStep::access(a));
+    }
+    seq.push(AttackStep::trigger());
+    // A fresh fill evicts the LRU line: the candidate, unless the
+    // victim's access promoted it.
+    seq.push(AttackStep::access(config.attackAddrS + ways));
+    seq.push(AttackStep::access(candidate));
+    return seq;
+}
+
+} // namespace autocat

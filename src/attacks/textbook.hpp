@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Textbook attack-sequence generators (the baselines of Table I and the
+ * "expected attacks" column of Table IV).
+ *
+ * Each generator produces the canonical for-loop sequence from the
+ * literature, parameterized by the environment configuration. They are
+ * used as comparison baselines and as the malicious traces the Cyclone
+ * SVM trains against.
+ */
+
+#ifndef AUTOCAT_ATTACKS_TEXTBOOK_HPP
+#define AUTOCAT_ATTACKS_TEXTBOOK_HPP
+
+#include "attacks/sequence.hpp"
+#include "env/env_config.hpp"
+
+namespace autocat {
+
+/**
+ * Prime+probe (Liu et al., S&P'15): prime every attacker line that can
+ * conflict with the victim, run the victim, probe the same lines.
+ * Requires no shared addresses.
+ */
+AttackSequence textbookPrimeProbe(const EnvConfig &config);
+
+/**
+ * Flush+reload (Yarom & Falkner, USENIX Sec'14): flush the shared
+ * victim lines, run the victim, reload and time them. Requires shared
+ * addresses and clflush.
+ */
+AttackSequence textbookFlushReload(const EnvConfig &config);
+
+/**
+ * Evict+reload (Osvik et al., CT-RSA'06 style): evict the shared
+ * victim lines via cache-filling accesses, run the victim, reload the
+ * shared lines. Requires shared addresses, no clflush.
+ */
+AttackSequence textbookEvictReload(const EnvConfig &config);
+
+/**
+ * LRU set-based attack (Xiong & Szefer, HPCA'20): keep the set full,
+ * trigger the victim, then check with a single eviction probe whether
+ * the victim's access changed the replacement state of the set.
+ * Shorter than prime+probe; works without shared addresses.
+ */
+AttackSequence textbookLruSetBased(const EnvConfig &config);
+
+/**
+ * LRU address-based attack (Xiong & Szefer, HPCA'20): with shared
+ * lines resident, the victim's hit on a shared line updates the LRU
+ * state; one attacker fill plus a timed reload of the candidate line
+ * reveals whether it was the victim's target.
+ */
+AttackSequence textbookLruAddrBased(const EnvConfig &config,
+                                    std::uint64_t candidate);
+
+} // namespace autocat
+
+#endif // AUTOCAT_ATTACKS_TEXTBOOK_HPP

@@ -1,0 +1,161 @@
+#include "cache/cache.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace autocat {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    if (config_.numSets == 0 || config_.numWays == 0)
+        throw std::invalid_argument("cache: sets and ways must be > 0");
+
+    sets_.reserve(config_.numSets);
+    for (unsigned s = 0; s < config_.numSets; ++s)
+        sets_.emplace_back(config_.numWays, config_.policy, &rng_);
+
+    if (config_.randomSetMapping) {
+        // Balanced random permutation: every set index appears the same
+        // number of times over the address space (up to rounding), so no
+        // set is starved.
+        const std::uint64_t space = config_.addressSpaceSize;
+        setMap_.resize(space);
+        for (std::uint64_t a = 0; a < space; ++a)
+            setMap_[a] = a % config_.numSets;
+        Rng map_rng(config_.seed ^ 0xa0c47u);
+        map_rng.shuffle(setMap_);
+    }
+
+    prefetcher_ = makePrefetcher(config_.prefetcher,
+                                 config_.addressSpaceSize);
+}
+
+std::uint64_t
+Cache::setIndexOf(std::uint64_t addr) const
+{
+    if (!setMap_.empty())
+        return setMap_[addr % setMap_.size()];
+    return addr % config_.numSets;
+}
+
+const CacheSet &
+Cache::set(std::uint64_t index) const
+{
+    assert(index < sets_.size());
+    return sets_[index];
+}
+
+void
+Cache::emit(const CacheEvent &ev)
+{
+    if (listener_)
+        listener_(ev);
+}
+
+AccessResult
+Cache::accessInternal(std::uint64_t addr, Domain domain, CacheOp op)
+{
+    const std::uint64_t idx = setIndexOf(addr);
+    const AccessResult res = sets_[idx].access(addr, domain);
+
+    CacheEvent ev;
+    ev.op = op;
+    ev.domain = domain;
+    ev.addr = addr;
+    ev.setIndex = idx;
+    ev.hit = res.hit;
+    ev.evicted = res.evicted;
+    ev.evictedAddr = res.evictedAddr;
+    ev.evictedOwner = res.evictedOwner;
+    ev.servedUncached = res.servedUncached;
+    emit(ev);
+
+    return res;
+}
+
+AccessResult
+Cache::access(std::uint64_t addr, Domain domain)
+{
+    const AccessResult res =
+        accessInternal(addr, domain, CacheOp::DemandAccess);
+
+    if (prefetcher_) {
+        for (std::uint64_t pf : prefetcher_->onDemandAccess(addr, res.hit)) {
+            if (pf != addr)
+                accessInternal(pf, domain, CacheOp::Prefetch);
+        }
+    }
+    return res;
+}
+
+bool
+Cache::flush(std::uint64_t addr, Domain domain)
+{
+    const std::uint64_t idx = setIndexOf(addr);
+    const bool dropped = sets_[idx].invalidate(addr);
+
+    CacheEvent ev;
+    ev.op = CacheOp::Flush;
+    ev.domain = domain;
+    ev.addr = addr;
+    ev.setIndex = idx;
+    ev.hit = dropped;
+    emit(ev);
+
+    return dropped;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    return sets_[setIndexOf(addr)].contains(addr);
+}
+
+bool
+Cache::lockLine(std::uint64_t addr, Domain domain)
+{
+    return sets_[setIndexOf(addr)].lockLine(addr, domain);
+}
+
+bool
+Cache::unlockLine(std::uint64_t addr)
+{
+    return sets_[setIndexOf(addr)].unlockLine(addr);
+}
+
+bool
+Cache::isLocked(std::uint64_t addr) const
+{
+    return sets_[setIndexOf(addr)].isLocked(addr);
+}
+
+bool
+Cache::backInvalidate(std::uint64_t addr)
+{
+    return sets_[setIndexOf(addr)].invalidate(addr);
+}
+
+void
+Cache::reset()
+{
+    for (auto &set : sets_)
+        set.reset();
+    if (prefetcher_)
+        prefetcher_->reset();
+}
+
+void
+Cache::setEventListener(CacheEventListener listener)
+{
+    listener_ = std::move(listener);
+}
+
+void
+Cache::reseed(std::uint64_t seed)
+{
+    rng_.reseed(seed);
+}
+
+} // namespace autocat

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Single-level set-associative cache model.
+ *
+ * Addresses are cache-line granular integers (the paper's convention);
+ * the full address is kept as the tag. Supports flush (clflush), PL-cache
+ * line locking, hardware prefetching, and a fixed random address-to-set
+ * permutation. All observable activity is reported to an optional event
+ * listener for the detector subsystems.
+ */
+
+#ifndef AUTOCAT_CACHE_CACHE_HPP
+#define AUTOCAT_CACHE_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "cache/cache_set.hpp"
+#include "cache/events.hpp"
+#include "cache/prefetcher.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** A single cache level. */
+class Cache
+{
+  public:
+    /** Build a cache from @p config. */
+    explicit Cache(const CacheConfig &config);
+
+    /** The configuration this cache was built with. */
+    const CacheConfig &config() const { return config_; }
+
+    /** Total number of blocks. */
+    unsigned numBlocks() const { return config_.numBlocks(); }
+
+    /**
+     * Demand access from @p domain; may trigger prefetches.
+     * Prefetch installs are reported to the listener but their results
+     * are not folded into the returned AccessResult (the accessor only
+     * observes its own latency).
+     */
+    AccessResult access(std::uint64_t addr, Domain domain);
+
+    /** clflush: invalidate @p addr everywhere; true if it was cached. */
+    bool flush(std::uint64_t addr, Domain domain);
+
+    /** True when @p addr is resident. */
+    bool contains(std::uint64_t addr) const;
+
+    /** PL cache: install (if needed) and lock @p addr. */
+    bool lockLine(std::uint64_t addr, Domain domain);
+
+    /** PL cache: unlock @p addr. */
+    bool unlockLine(std::uint64_t addr);
+
+    /** True when @p addr is resident and locked. */
+    bool isLocked(std::uint64_t addr) const;
+
+    /** Invalidate @p addr without emitting a Flush event (back-inval). */
+    bool backInvalidate(std::uint64_t addr);
+
+    /** Set index @p addr maps to. */
+    std::uint64_t setIndexOf(std::uint64_t addr) const;
+
+    /** Access to a set for inspection (tests / Fig. 4 visualization). */
+    const CacheSet &set(std::uint64_t index) const;
+
+    /** Drop all contents and metadata; keeps the random mapping fixed. */
+    void reset();
+
+    /** Register the (single) event listener; pass nullptr to clear. */
+    void setEventListener(CacheEventListener listener);
+
+    /** Reseed the internal RNG (random replacement determinism). */
+    void reseed(std::uint64_t seed);
+
+  private:
+    AccessResult accessInternal(std::uint64_t addr, Domain domain,
+                                CacheOp op);
+    void emit(const CacheEvent &ev);
+
+    CacheConfig config_;
+    Rng rng_;
+    std::vector<CacheSet> sets_;
+    std::vector<std::uint64_t> setMap_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    CacheEventListener listener_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_CACHE_CACHE_HPP

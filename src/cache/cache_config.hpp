@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Configuration records for the cache simulator.
+ *
+ * Mirrors the "Cache configs in cache simulator" block of Table II in the
+ * paper: total blocks, associativity, replacement policy, plus the
+ * prefetcher and address-mapping options exercised by Table IV.
+ */
+
+#ifndef AUTOCAT_CACHE_CACHE_CONFIG_HPP
+#define AUTOCAT_CACHE_CACHE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "cache/replacement.hpp"
+
+namespace autocat {
+
+/** Hardware prefetcher attached to a cache (Table IV configs 2/13/14). */
+enum class PrefetcherKind : std::uint8_t {
+    None,      ///< no prefetching
+    NextLine,  ///< on every demand access to X, prefetch X+1
+    Stream,    ///< detect constant-stride streams, prefetch ahead
+};
+
+/** Parse "none" / "nextline" / "stream". */
+PrefetcherKind prefetcherFromString(const std::string &name);
+
+/** Canonical name of a prefetcher kind. */
+const char *prefetcherName(PrefetcherKind k);
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    /** Number of sets; 1 makes the cache fully associative. */
+    unsigned numSets = 1;
+
+    /** Associativity; 1 makes the cache direct mapped. */
+    unsigned numWays = 4;
+
+    /** Replacement policy for every set. */
+    ReplPolicy policy = ReplPolicy::Lru;
+
+    /** Hardware prefetcher. */
+    PrefetcherKind prefetcher = PrefetcherKind::None;
+
+    /**
+     * When true, addresses map to sets through a fixed random permutation
+     * instead of addr % numSets (Section V-B "fixed random address-to-set
+     * mapping").
+     */
+    bool randomSetMapping = false;
+
+    /**
+     * Size of the flat address space the programs use; needed for the
+     * next-line prefetcher wraparound and the random set mapping table.
+     */
+    std::uint64_t addressSpaceSize = 64;
+
+    /** Seed for the random policy / random mapping. */
+    std::uint64_t seed = 1;
+
+    /** Total number of blocks (paper's num_blocks). */
+    unsigned numBlocks() const { return numSets * numWays; }
+};
+
+/** Configuration of a two-level hierarchy (Table IV configs 16/17). */
+struct TwoLevelConfig
+{
+    /** Number of cores, each with a private L1. */
+    unsigned numCores = 2;
+
+    /** Private L1 configuration (replicated per core). */
+    CacheConfig l1;
+
+    /** Shared inclusive L2 configuration. */
+    CacheConfig l2;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_CACHE_CACHE_CONFIG_HPP

@@ -1,0 +1,157 @@
+#include "cache/cache_set.hpp"
+
+#include <cassert>
+
+namespace autocat {
+
+CacheSet::CacheSet(unsigned ways, ReplPolicy policy, Rng *rng)
+    : ways_(ways),
+      tags_(ways, 0),
+      valid_(ways, false),
+      locked_(ways, false),
+      owner_(ways, Domain::Attacker),
+      policy_(makeReplacementPolicy(policy, ways, rng))
+{
+}
+
+int
+CacheSet::findWay(std::uint64_t addr) const
+{
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (valid_[w] && tags_[w] == addr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+CacheSet::findInvalidWay() const
+{
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!valid_[w])
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+AccessResult
+CacheSet::access(std::uint64_t addr, Domain domain)
+{
+    AccessResult result;
+
+    const int hit_way = findWay(addr);
+    if (hit_way >= 0) {
+        result.hit = true;
+        result.hitLevel = 1;
+        owner_[hit_way] = domain;
+        policy_->onHit(static_cast<unsigned>(hit_way));
+        return result;
+    }
+
+    int way = findInvalidWay();
+    if (way < 0) {
+        way = policy_->victimWay(valid_, locked_);
+        if (way < 0) {
+            // Every valid way is locked: PL cache serves the access
+            // without caching it and without perturbing any state.
+            result.servedUncached = true;
+            return result;
+        }
+        result.evicted = true;
+        result.evictedAddr = tags_[way];
+        result.evictedOwner = owner_[way];
+    }
+
+    tags_[way] = addr;
+    valid_[way] = true;
+    locked_[way] = false;
+    owner_[way] = domain;
+    policy_->onFill(static_cast<unsigned>(way));
+    return result;
+}
+
+bool
+CacheSet::invalidate(std::uint64_t addr)
+{
+    const int way = findWay(addr);
+    if (way < 0)
+        return false;
+    valid_[way] = false;
+    locked_[way] = false;
+    policy_->onInvalidate(static_cast<unsigned>(way));
+    return true;
+}
+
+bool
+CacheSet::contains(std::uint64_t addr) const
+{
+    return findWay(addr) >= 0;
+}
+
+bool
+CacheSet::lockLine(std::uint64_t addr, Domain domain)
+{
+    int way = findWay(addr);
+    if (way < 0) {
+        const AccessResult res = access(addr, domain);
+        if (res.servedUncached)
+            return false;
+        way = findWay(addr);
+        assert(way >= 0);
+    }
+    locked_[way] = true;
+    return true;
+}
+
+bool
+CacheSet::unlockLine(std::uint64_t addr)
+{
+    const int way = findWay(addr);
+    if (way < 0)
+        return false;
+    locked_[way] = false;
+    return true;
+}
+
+bool
+CacheSet::isLocked(std::uint64_t addr) const
+{
+    const int way = findWay(addr);
+    return way >= 0 && locked_[way];
+}
+
+void
+CacheSet::reset()
+{
+    valid_.assign(ways_, false);
+    locked_.assign(ways_, false);
+    owner_.assign(ways_, Domain::Attacker);
+    policy_->reset();
+}
+
+std::vector<std::uint64_t>
+CacheSet::residentAddrs() const
+{
+    std::vector<std::uint64_t> out;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (valid_[w])
+            out.push_back(tags_[w]);
+    }
+    return out;
+}
+
+Domain
+CacheSet::ownerOf(std::uint64_t addr) const
+{
+    const int way = findWay(addr);
+    assert(way >= 0);
+    return owner_[way];
+}
+
+std::vector<unsigned>
+CacheSet::policyState() const
+{
+    return policy_->stateSnapshot();
+}
+
+} // namespace autocat

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * One set of a set-associative cache: tags, valid bits, PL-cache lock
+ * bits, per-line owner domains, and the attached replacement policy.
+ */
+
+#ifndef AUTOCAT_CACHE_CACHE_SET_HPP
+#define AUTOCAT_CACHE_CACHE_SET_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/events.hpp"
+#include "cache/replacement.hpp"
+
+namespace autocat {
+
+/** A single cache set with lockable lines. */
+class CacheSet
+{
+  public:
+    /**
+     * @param ways   associativity
+     * @param policy which replacement algorithm
+     * @param rng    PRNG for the random policy (may be null otherwise)
+     */
+    CacheSet(unsigned ways, ReplPolicy policy, Rng *rng);
+
+    /** Associativity. */
+    unsigned numWays() const { return ways_; }
+
+    /**
+     * Look up and (on miss) install @p addr.
+     *
+     * Replacement metadata is updated on both hits and fills — including
+     * accesses to locked lines, which is exactly the leak the PL-cache
+     * attack in Section V-D exploits.
+     */
+    AccessResult access(std::uint64_t addr, Domain domain);
+
+    /** Invalidate @p addr if present; true when a line was dropped. */
+    bool invalidate(std::uint64_t addr);
+
+    /** True when @p addr is currently cached in this set. */
+    bool contains(std::uint64_t addr) const;
+
+    /**
+     * PL cache: lock @p addr, installing it first if absent.
+     * @return false when installation failed (all other ways locked).
+     */
+    bool lockLine(std::uint64_t addr, Domain domain);
+
+    /** PL cache: clear the lock bit of @p addr; true if it was present. */
+    bool unlockLine(std::uint64_t addr);
+
+    /** True when @p addr is present and locked. */
+    bool isLocked(std::uint64_t addr) const;
+
+    /** Drop all lines, locks, and replacement metadata. */
+    void reset();
+
+    /** Valid-line addresses in way order (invalid ways skipped). */
+    std::vector<std::uint64_t> residentAddrs() const;
+
+    /** Owner domain of @p addr; only meaningful when contains(addr). */
+    Domain ownerOf(std::uint64_t addr) const;
+
+    /** Replacement-policy metadata snapshot (see policy docs). */
+    std::vector<unsigned> policyState() const;
+
+  private:
+    int findWay(std::uint64_t addr) const;
+    int findInvalidWay() const;
+
+    unsigned ways_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<bool> valid_;
+    std::vector<bool> locked_;
+    std::vector<Domain> owner_;
+    std::unique_ptr<SetReplacementPolicy> policy_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_CACHE_CACHE_SET_HPP

@@ -1,0 +1,11 @@
+#include "cache/events.hpp"
+
+namespace autocat {
+
+const char *
+domainName(Domain d)
+{
+    return d == Domain::Attacker ? "attacker" : "victim";
+}
+
+} // namespace autocat

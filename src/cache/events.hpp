@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Event and result types shared across the cache simulator.
+ *
+ * Detectors (CC-Hunter, Cyclone, miss-count) observe the cache purely
+ * through CacheEvent records, mirroring how hardware detectors tap
+ * microarchitectural event signals rather than inspecting cache internals.
+ */
+
+#ifndef AUTOCAT_CACHE_EVENTS_HPP
+#define AUTOCAT_CACHE_EVENTS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace autocat {
+
+/** Security domain issuing a memory operation. */
+enum class Domain : std::uint8_t { Attacker = 0, Victim = 1 };
+
+/** Human-readable domain name. */
+const char *domainName(Domain d);
+
+/** Kind of cache operation an event describes. */
+enum class CacheOp : std::uint8_t {
+    DemandAccess,  ///< load issued by a program
+    Prefetch,      ///< access injected by a hardware prefetcher
+    Flush,         ///< clflush-style invalidation
+};
+
+/** Result of a single cache access as seen by the accessor. */
+struct AccessResult
+{
+    bool hit = false;           ///< line was present
+    int hitLevel = 0;           ///< 1-based cache level of the hit; 0 = memory
+    bool evicted = false;       ///< a valid line was displaced
+    std::uint64_t evictedAddr = 0;  ///< address of the displaced line
+    Domain evictedOwner = Domain::Attacker;  ///< last toucher of that line
+    bool servedUncached = false;  ///< PL cache: all candidate ways locked
+};
+
+/** One observable cache event, delivered to registered listeners. */
+struct CacheEvent
+{
+    CacheOp op = CacheOp::DemandAccess;
+    Domain domain = Domain::Attacker;  ///< who issued the operation
+    std::uint64_t addr = 0;
+    std::uint64_t setIndex = 0;
+    bool hit = false;
+    bool evicted = false;
+    std::uint64_t evictedAddr = 0;
+    Domain evictedOwner = Domain::Attacker;
+    bool servedUncached = false;
+};
+
+/** Callback type for cache event observation. */
+using CacheEventListener = std::function<void(const CacheEvent &)>;
+
+} // namespace autocat
+
+#endif // AUTOCAT_CACHE_EVENTS_HPP

@@ -1,0 +1,169 @@
+#include "cache/memory_system.hpp"
+
+#include <cassert>
+
+namespace autocat {
+
+bool
+MemorySystem::lockLine(std::uint64_t addr, Domain domain)
+{
+    (void)addr;
+    (void)domain;
+    return false;
+}
+
+bool
+MemorySystem::unlockLine(std::uint64_t addr)
+{
+    (void)addr;
+    return false;
+}
+
+// -------------------------------------------------- SingleLevelMemory --
+
+SingleLevelMemory::SingleLevelMemory(const CacheConfig &config)
+    : cache_(config)
+{
+}
+
+MemoryAccessResult
+SingleLevelMemory::access(std::uint64_t addr, Domain domain)
+{
+    const AccessResult res = cache_.access(addr, domain);
+    MemoryAccessResult out;
+    out.hit = res.hit;
+    out.hitLevel = res.hit ? 1 : 0;
+    out.victimMissed = domain == Domain::Victim && !res.hit &&
+                       !res.servedUncached;
+    return out;
+}
+
+void
+SingleLevelMemory::flush(std::uint64_t addr, Domain domain)
+{
+    cache_.flush(addr, domain);
+}
+
+bool
+SingleLevelMemory::contains(std::uint64_t addr) const
+{
+    return cache_.contains(addr);
+}
+
+void
+SingleLevelMemory::reset()
+{
+    cache_.reset();
+}
+
+void
+SingleLevelMemory::setEventListener(CacheEventListener listener)
+{
+    cache_.setEventListener(std::move(listener));
+}
+
+bool
+SingleLevelMemory::lockLine(std::uint64_t addr, Domain domain)
+{
+    return cache_.lockLine(addr, domain);
+}
+
+bool
+SingleLevelMemory::unlockLine(std::uint64_t addr)
+{
+    return cache_.unlockLine(addr);
+}
+
+unsigned
+SingleLevelMemory::numBlocks() const
+{
+    return cache_.numBlocks();
+}
+
+// ----------------------------------------------------- TwoLevelMemory --
+
+TwoLevelMemory::TwoLevelMemory(const TwoLevelConfig &config)
+    : config_(config), l2_(config.l2)
+{
+    assert(config.numCores >= 2);
+    l1s_.reserve(config.numCores);
+    for (unsigned c = 0; c < config.numCores; ++c) {
+        CacheConfig l1cfg = config.l1;
+        l1cfg.seed = config.l1.seed + c + 1;
+        l1s_.emplace_back(l1cfg);
+    }
+}
+
+unsigned
+TwoLevelMemory::coreOf(Domain domain)
+{
+    return domain == Domain::Attacker ? 0 : 1;
+}
+
+MemoryAccessResult
+TwoLevelMemory::access(std::uint64_t addr, Domain domain)
+{
+    const unsigned core = coreOf(domain);
+    MemoryAccessResult out;
+
+    const AccessResult l1res = l1s_[core].access(addr, domain);
+    if (l1res.hit) {
+        out.hit = true;
+        out.hitLevel = 1;
+        return out;
+    }
+
+    // L1 fill already happened inside Cache::access (it installs on
+    // miss); the L1 eviction it may have caused is private and harmless
+    // for inclusion. Now consult the shared L2.
+    const AccessResult l2res = l2_.access(addr, domain);
+    if (l2res.evicted) {
+        // Inclusive hierarchy: an L2 eviction removes the line from
+        // every private L1.
+        for (auto &l1 : l1s_)
+            l1.backInvalidate(l2res.evictedAddr);
+    }
+
+    out.hit = l2res.hit;
+    out.hitLevel = l2res.hit ? 2 : 0;
+    out.victimMissed = domain == Domain::Victim && !l2res.hit;
+    return out;
+}
+
+void
+TwoLevelMemory::flush(std::uint64_t addr, Domain domain)
+{
+    for (auto &l1 : l1s_)
+        l1.backInvalidate(addr);
+    l2_.flush(addr, domain);
+}
+
+bool
+TwoLevelMemory::contains(std::uint64_t addr) const
+{
+    return l2_.contains(addr);
+}
+
+void
+TwoLevelMemory::reset()
+{
+    for (auto &l1 : l1s_)
+        l1.reset();
+    l2_.reset();
+}
+
+void
+TwoLevelMemory::setEventListener(CacheEventListener listener)
+{
+    // Detectors watch the shared level, where cross-domain contention
+    // happens.
+    l2_.setEventListener(std::move(listener));
+}
+
+unsigned
+TwoLevelMemory::numBlocks() const
+{
+    return l2_.numBlocks();
+}
+
+} // namespace autocat

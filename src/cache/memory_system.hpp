@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Abstract memory-system interface consumed by the guessing-game
+ * environment.
+ *
+ * The RL engine is deliberately agnostic to the cache implementation
+ * behind this interface (Section III-A): a single-level simulator, a
+ * two-level hierarchy, or the simulated "real hardware" target in
+ * src/hw all plug in here unchanged.
+ */
+
+#ifndef AUTOCAT_CACHE_MEMORY_SYSTEM_HPP
+#define AUTOCAT_CACHE_MEMORY_SYSTEM_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cache/cache_config.hpp"
+#include "cache/events.hpp"
+
+namespace autocat {
+
+/** What a program observes for one memory operation. */
+struct MemoryAccessResult
+{
+    bool hit = false;          ///< any-level cache hit
+    int hitLevel = 0;          ///< 1 = L1, 2 = L2, 0 = served from memory
+    bool victimMissed = false; ///< bookkeeping for miss-based detection
+};
+
+/** Memory-system abstraction used by environments and attack replays. */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /** Demand access issued by @p domain. */
+    virtual MemoryAccessResult access(std::uint64_t addr, Domain domain) = 0;
+
+    /** clflush of @p addr by @p domain. */
+    virtual void flush(std::uint64_t addr, Domain domain) = 0;
+
+    /** True when @p addr is resident at any level. */
+    virtual bool contains(std::uint64_t addr) const = 0;
+
+    /** Drop all cache contents and metadata. */
+    virtual void reset() = 0;
+
+    /** Register a single cache-event listener (nullptr clears). */
+    virtual void setEventListener(CacheEventListener listener) = 0;
+
+    /** PL cache: install and lock (default: unsupported, returns false). */
+    virtual bool lockLine(std::uint64_t addr, Domain domain);
+
+    /** PL cache: unlock (default: unsupported, returns false). */
+    virtual bool unlockLine(std::uint64_t addr);
+
+    /** Total cache blocks visible to the attack (window-size heuristic). */
+    virtual unsigned numBlocks() const = 0;
+};
+
+/** MemorySystem backed by one Cache. */
+class SingleLevelMemory : public MemorySystem
+{
+  public:
+    explicit SingleLevelMemory(const CacheConfig &config);
+
+    MemoryAccessResult access(std::uint64_t addr, Domain domain) override;
+    void flush(std::uint64_t addr, Domain domain) override;
+    bool contains(std::uint64_t addr) const override;
+    void reset() override;
+    void setEventListener(CacheEventListener listener) override;
+    bool lockLine(std::uint64_t addr, Domain domain) override;
+    bool unlockLine(std::uint64_t addr) override;
+    unsigned numBlocks() const override;
+
+    /** Underlying cache (tests and Fig. 4 state dumps). */
+    Cache &cache() { return cache_; }
+    const Cache &cache() const { return cache_; }
+
+  private:
+    Cache cache_;
+};
+
+/**
+ * Two-level hierarchy: per-core private L1 caches and a shared,
+ * inclusive L2. Evicting a line from L2 back-invalidates it from every
+ * L1 (inclusion), which is what makes cross-core prime+probe through the
+ * shared L2 possible (Table IV configs 16/17).
+ *
+ * Domain-to-core mapping: the attacker runs on core 0, the victim on
+ * core 1 (paper: "the victim program and the attack program each run on
+ * one core").
+ */
+class TwoLevelMemory : public MemorySystem
+{
+  public:
+    explicit TwoLevelMemory(const TwoLevelConfig &config);
+
+    MemoryAccessResult access(std::uint64_t addr, Domain domain) override;
+    void flush(std::uint64_t addr, Domain domain) override;
+    bool contains(std::uint64_t addr) const override;
+    void reset() override;
+    void setEventListener(CacheEventListener listener) override;
+    unsigned numBlocks() const override;
+
+    /** Core index a domain runs on. */
+    static unsigned coreOf(Domain domain);
+
+    /** The shared L2 (tests). */
+    const Cache &l2() const { return l2_; }
+
+    /** Private L1 of @p core (tests). */
+    const Cache &l1(unsigned core) const { return l1s_[core]; }
+
+  private:
+    TwoLevelConfig config_;
+    std::vector<Cache> l1s_;
+    Cache l2_;
+    CacheEventListener listener_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_CACHE_MEMORY_SYSTEM_HPP

@@ -1,0 +1,103 @@
+#include "cache/prefetcher.hpp"
+
+#include <stdexcept>
+
+namespace autocat {
+
+PrefetcherKind
+prefetcherFromString(const std::string &name)
+{
+    if (name == "none")
+        return PrefetcherKind::None;
+    if (name == "nextline")
+        return PrefetcherKind::NextLine;
+    if (name == "stream")
+        return PrefetcherKind::Stream;
+    throw std::invalid_argument("unknown prefetcher: " + name);
+}
+
+const char *
+prefetcherName(PrefetcherKind k)
+{
+    switch (k) {
+      case PrefetcherKind::None: return "none";
+      case PrefetcherKind::NextLine: return "nextline";
+      case PrefetcherKind::Stream: return "stream";
+    }
+    return "?";
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind, std::uint64_t addressSpaceSize)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return nullptr;
+      case PrefetcherKind::NextLine:
+        return std::make_unique<NextLinePrefetcher>(addressSpaceSize);
+      case PrefetcherKind::Stream:
+        return std::make_unique<StreamPrefetcher>(addressSpaceSize);
+    }
+    return nullptr;
+}
+
+NextLinePrefetcher::NextLinePrefetcher(std::uint64_t addressSpaceSize)
+    : space_(addressSpaceSize)
+{
+    if (space_ == 0)
+        throw std::invalid_argument("address space must be > 0");
+}
+
+std::vector<std::uint64_t>
+NextLinePrefetcher::onDemandAccess(std::uint64_t addr, bool hit)
+{
+    (void)hit;
+    return {(addr + 1) % space_};
+}
+
+void
+NextLinePrefetcher::reset()
+{
+}
+
+StreamPrefetcher::StreamPrefetcher(std::uint64_t addressSpaceSize)
+    : space_(addressSpaceSize)
+{
+    if (space_ == 0)
+        throw std::invalid_argument("address space must be > 0");
+}
+
+std::vector<std::uint64_t>
+StreamPrefetcher::onDemandAccess(std::uint64_t addr, bool hit)
+{
+    (void)hit;
+    std::vector<std::uint64_t> out;
+    if (have_prev_) {
+        const auto s = static_cast<std::int64_t>(addr) -
+                       static_cast<std::int64_t>(prev_);
+        if (have_stride_ && s == stride_ && s != 0) {
+            // Stream confirmed: prefetch one line ahead.
+            const auto next = static_cast<std::int64_t>(addr) + s;
+            const auto wrapped = ((next % static_cast<std::int64_t>(space_)) +
+                                  static_cast<std::int64_t>(space_)) %
+                                 static_cast<std::int64_t>(space_);
+            out.push_back(static_cast<std::uint64_t>(wrapped));
+        }
+        stride_ = s;
+        have_stride_ = true;
+    }
+    prev_ = addr;
+    have_prev_ = true;
+    return out;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    have_prev_ = false;
+    have_stride_ = false;
+    prev_ = 0;
+    stride_ = 0;
+}
+
+} // namespace autocat

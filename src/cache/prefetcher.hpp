@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hardware prefetchers (Table IV configs 2, 13, 14).
+ *
+ * Prefetchers observe demand accesses and emit prefetch addresses that
+ * the owning cache installs. In the paper's notation an access "6 (p7)"
+ * means the demand access to 6 triggered a prefetch of 7.
+ */
+
+#ifndef AUTOCAT_CACHE_PREFETCHER_HPP
+#define AUTOCAT_CACHE_PREFETCHER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+
+namespace autocat {
+
+/** Interface of a hardware prefetcher. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe a demand access and return addresses to prefetch.
+     *
+     * @param addr demand address
+     * @param hit  whether the demand access hit
+     */
+    virtual std::vector<std::uint64_t>
+    onDemandAccess(std::uint64_t addr, bool hit) = 0;
+
+    /** Clear any stream-detection state. */
+    virtual void reset() = 0;
+};
+
+/** Build a prefetcher; returns nullptr for PrefetcherKind::None. */
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind, std::uint64_t addressSpaceSize);
+
+/**
+ * Next-line prefetcher: every demand access to X prefetches
+ * (X + 1) mod addressSpaceSize (Smith, 1982).
+ */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(std::uint64_t addressSpaceSize);
+
+    std::vector<std::uint64_t>
+    onDemandAccess(std::uint64_t addr, bool hit) override;
+
+    void reset() override;
+
+  private:
+    std::uint64_t space_;
+};
+
+/**
+ * Stream prefetcher: after observing two consecutive accesses with the
+ * same non-zero stride (a, a+s, a+2s), prefetches a+3s (Jouppi, 1990
+ * style stream buffer, simplified to one stream).
+ */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamPrefetcher(std::uint64_t addressSpaceSize);
+
+    std::vector<std::uint64_t>
+    onDemandAccess(std::uint64_t addr, bool hit) override;
+
+    void reset() override;
+
+  private:
+    std::uint64_t space_;
+    bool have_prev_ = false;
+    bool have_stride_ = false;
+    std::uint64_t prev_ = 0;
+    std::int64_t stride_ = 0;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_CACHE_PREFETCHER_HPP

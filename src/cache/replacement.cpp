@@ -1,0 +1,351 @@
+#include "cache/replacement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace autocat {
+
+ReplPolicy
+replPolicyFromString(const std::string &name)
+{
+    if (name == "lru")
+        return ReplPolicy::Lru;
+    if (name == "plru")
+        return ReplPolicy::TreePlru;
+    if (name == "rrip")
+        return ReplPolicy::Rrip;
+    if (name == "random")
+        return ReplPolicy::Random;
+    throw std::invalid_argument("unknown replacement policy: " + name);
+}
+
+const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru: return "lru";
+      case ReplPolicy::TreePlru: return "plru";
+      case ReplPolicy::Rrip: return "rrip";
+      case ReplPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+std::unique_ptr<SetReplacementPolicy>
+makeReplacementPolicy(ReplPolicy policy, unsigned ways, Rng *rng)
+{
+    switch (policy) {
+      case ReplPolicy::Lru:
+        return std::make_unique<LruReplacement>(ways);
+      case ReplPolicy::TreePlru:
+        return std::make_unique<TreePlruReplacement>(ways);
+      case ReplPolicy::Rrip:
+        return std::make_unique<RripReplacement>(ways);
+      case ReplPolicy::Random:
+        if (!rng)
+            throw std::invalid_argument("random policy requires an Rng");
+        return std::make_unique<RandomReplacement>(ways, rng);
+    }
+    throw std::invalid_argument("unknown replacement policy enum");
+}
+
+// ---------------------------------------------------------------- LRU --
+
+LruReplacement::LruReplacement(unsigned ways) : ways_(ways)
+{
+    if (ways == 0)
+        throw std::invalid_argument("LRU: ways must be > 0");
+    reset();
+}
+
+void
+LruReplacement::touch(unsigned way)
+{
+    assert(way < ways_);
+    const unsigned old = age_[way];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (age_[w] < old)
+            ++age_[w];
+    }
+    age_[way] = 0;
+}
+
+void
+LruReplacement::onHit(unsigned way)
+{
+    touch(way);
+}
+
+void
+LruReplacement::onFill(unsigned way)
+{
+    touch(way);
+}
+
+void
+LruReplacement::onInvalidate(unsigned way)
+{
+    // Age the invalidated way to maximum so it is reused first.
+    const unsigned old = age_[way];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (age_[w] > old)
+            --age_[w];
+    }
+    age_[way] = ways_ - 1;
+}
+
+int
+LruReplacement::victimWay(const std::vector<bool> &valid,
+                          const std::vector<bool> &locked)
+{
+    int best = -1;
+    unsigned best_age = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!valid[w] || locked[w])
+            continue;
+        if (best < 0 || age_[w] > best_age) {
+            best = static_cast<int>(w);
+            best_age = age_[w];
+        }
+    }
+    return best;
+}
+
+void
+LruReplacement::reset()
+{
+    age_.assign(ways_, 0);
+    for (unsigned w = 0; w < ways_; ++w)
+        age_[w] = ways_ - 1 - w;
+}
+
+std::vector<unsigned>
+LruReplacement::stateSnapshot() const
+{
+    return age_;
+}
+
+// --------------------------------------------------------------- PLRU --
+
+namespace {
+
+bool
+isPowerOfTwo(unsigned x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+TreePlruReplacement::TreePlruReplacement(unsigned ways) : ways_(ways)
+{
+    if (!isPowerOfTwo(ways))
+        throw std::invalid_argument("PLRU: ways must be a power of two");
+    levels_ = 0;
+    for (unsigned w = ways; w > 1; w >>= 1)
+        ++levels_;
+    reset();
+}
+
+void
+TreePlruReplacement::touch(unsigned way)
+{
+    assert(way < ways_);
+    // Walk from the root; at each node record the direction *away* from
+    // the accessed way (bit = 1 means "victim search goes right").
+    unsigned node = 1;
+    for (unsigned level = 0; level < levels_; ++level) {
+        const unsigned shift = levels_ - 1 - level;
+        const bool went_right = ((way >> shift) & 1u) != 0;
+        bits_[node] = !went_right;
+        node = node * 2 + (went_right ? 1 : 0);
+    }
+}
+
+void
+TreePlruReplacement::onHit(unsigned way)
+{
+    touch(way);
+}
+
+void
+TreePlruReplacement::onFill(unsigned way)
+{
+    touch(way);
+}
+
+void
+TreePlruReplacement::onInvalidate(unsigned way)
+{
+    // Point the tree toward the invalidated way so it is refilled first.
+    unsigned node = 1;
+    for (unsigned level = 0; level < levels_; ++level) {
+        const unsigned shift = levels_ - 1 - level;
+        const bool went_right = ((way >> shift) & 1u) != 0;
+        bits_[node] = went_right;
+        node = node * 2 + (went_right ? 1 : 0);
+    }
+}
+
+int
+TreePlruReplacement::victimWay(const std::vector<bool> &valid,
+                               const std::vector<bool> &locked)
+{
+    // Follow the tree bits to the PLRU victim.
+    unsigned node = 1;
+    unsigned way = 0;
+    for (unsigned level = 0; level < levels_; ++level) {
+        const bool go_right = bits_[node];
+        way = (way << 1) | (go_right ? 1u : 0u);
+        node = node * 2 + (go_right ? 1 : 0);
+    }
+    if (valid[way] && !locked[way])
+        return static_cast<int>(way);
+
+    // The tree-designated victim is locked (PL cache): fall back to the
+    // first unlocked valid way; hardware PLRU implementations use similar
+    // priority muxes when lock bits mask the tree choice.
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (valid[w] && !locked[w])
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+TreePlruReplacement::reset()
+{
+    bits_.assign(2 * ways_, false);
+}
+
+std::vector<unsigned>
+TreePlruReplacement::stateSnapshot() const
+{
+    std::vector<unsigned> out;
+    for (unsigned i = 1; i < ways_; ++i)
+        out.push_back(bits_[i] ? 1 : 0);
+    return out;
+}
+
+// --------------------------------------------------------------- RRIP --
+
+RripReplacement::RripReplacement(unsigned ways) : ways_(ways)
+{
+    if (ways == 0)
+        throw std::invalid_argument("RRIP: ways must be > 0");
+    reset();
+}
+
+void
+RripReplacement::onHit(unsigned way)
+{
+    rrpv_[way] = 0;
+}
+
+void
+RripReplacement::onFill(unsigned way)
+{
+    rrpv_[way] = insertRrpv;
+}
+
+void
+RripReplacement::onInvalidate(unsigned way)
+{
+    rrpv_[way] = maxRrpv;
+}
+
+int
+RripReplacement::victimWay(const std::vector<bool> &valid,
+                           const std::vector<bool> &locked)
+{
+    bool any_candidate = false;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (valid[w] && !locked[w])
+            any_candidate = true;
+    }
+    if (!any_candidate)
+        return -1;
+
+    // Age until some unlocked way reaches the maximum RRPV. Bounded by
+    // maxRrpv iterations since each pass increments candidates.
+    for (;;) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (valid[w] && !locked[w] && rrpv_[w] >= maxRrpv)
+                return static_cast<int>(w);
+        }
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (valid[w] && !locked[w] && rrpv_[w] < maxRrpv)
+                ++rrpv_[w];
+        }
+    }
+}
+
+void
+RripReplacement::reset()
+{
+    rrpv_.assign(ways_, maxRrpv);
+}
+
+std::vector<unsigned>
+RripReplacement::stateSnapshot() const
+{
+    return rrpv_;
+}
+
+// ------------------------------------------------------------- Random --
+
+RandomReplacement::RandomReplacement(unsigned ways, Rng *rng)
+    : ways_(ways), rng_(rng)
+{
+    if (ways == 0)
+        throw std::invalid_argument("random: ways must be > 0");
+    assert(rng != nullptr);
+}
+
+void
+RandomReplacement::onHit(unsigned way)
+{
+    (void)way;
+}
+
+void
+RandomReplacement::onFill(unsigned way)
+{
+    (void)way;
+}
+
+void
+RandomReplacement::onInvalidate(unsigned way)
+{
+    (void)way;
+}
+
+int
+RandomReplacement::victimWay(const std::vector<bool> &valid,
+                             const std::vector<bool> &locked)
+{
+    std::vector<unsigned> candidates;
+    candidates.reserve(ways_);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (valid[w] && !locked[w])
+            candidates.push_back(w);
+    }
+    if (candidates.empty())
+        return -1;
+    return static_cast<int>(
+        candidates[rng_->uniformInt(candidates.size())]);
+}
+
+void
+RandomReplacement::reset()
+{
+}
+
+std::vector<unsigned>
+RandomReplacement::stateSnapshot() const
+{
+    return {};
+}
+
+} // namespace autocat

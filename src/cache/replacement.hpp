@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Per-set cache replacement policies.
+ *
+ * The paper explores four policies (Section V-C): true LRU, tree-based
+ * pseudo-LRU, SRRIP (2-bit re-reference interval prediction), and random.
+ * Each policy tracks metadata for one cache set; the Cache owns one policy
+ * instance per set. Lock bits (PL cache) constrain victim selection: a
+ * locked way is never chosen for eviction.
+ */
+
+#ifndef AUTOCAT_CACHE_REPLACEMENT_HPP
+#define AUTOCAT_CACHE_REPLACEMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Replacement policy selector used in cache configuration. */
+enum class ReplPolicy : std::uint8_t { Lru, TreePlru, Rrip, Random };
+
+/** Parse "lru" / "plru" / "rrip" / "random" (throws on unknown). */
+ReplPolicy replPolicyFromString(const std::string &name);
+
+/** Canonical lowercase name of a policy. */
+const char *replPolicyName(ReplPolicy p);
+
+/**
+ * Replacement metadata for one cache set.
+ *
+ * The owning set reports hits, fills, and invalidations; the policy
+ * answers victim-way queries. Implementations must respect @p locked in
+ * victimWay(): a locked way must never be returned. When every valid way
+ * is locked, victimWay() returns -1 and the access is served uncached
+ * (PL-cache semantics from Wang & Lee, ISCA'07).
+ */
+class SetReplacementPolicy
+{
+  public:
+    virtual ~SetReplacementPolicy() = default;
+
+    /** Number of ways this policy instance manages. */
+    virtual unsigned numWays() const = 0;
+
+    /** A cached line at @p way was re-referenced. */
+    virtual void onHit(unsigned way) = 0;
+
+    /** A new line was installed at @p way. */
+    virtual void onFill(unsigned way) = 0;
+
+    /** The line at @p way was invalidated (flush or back-invalidation). */
+    virtual void onInvalidate(unsigned way) = 0;
+
+    /**
+     * Choose the way to evict.
+     *
+     * @param valid  per-way validity (invalid ways are filled before any
+     *               eviction happens, so all entries are normally true)
+     * @param locked per-way PL-cache lock bits
+     * @return way index, or -1 when no unlocked valid way exists
+     */
+    virtual int victimWay(const std::vector<bool> &valid,
+                          const std::vector<bool> &locked) = 0;
+
+    /** Reset all metadata to the power-on state. */
+    virtual void reset() = 0;
+
+    /**
+     * Opaque snapshot of the metadata (for tests and the Fig. 4 cache
+     * state visualization); semantics are policy specific.
+     */
+    virtual std::vector<unsigned> stateSnapshot() const = 0;
+};
+
+/**
+ * Create a policy instance.
+ *
+ * @param policy  which algorithm
+ * @param ways    associativity of the set
+ * @param rng     PRNG used by the random policy (ignored by others);
+ *                must outlive the returned object
+ */
+std::unique_ptr<SetReplacementPolicy>
+makeReplacementPolicy(ReplPolicy policy, unsigned ways, Rng *rng);
+
+/** True LRU: exact age ordering, evicts the oldest way. */
+class LruReplacement : public SetReplacementPolicy
+{
+  public:
+    explicit LruReplacement(unsigned ways);
+
+    unsigned numWays() const override { return ways_; }
+    void onHit(unsigned way) override;
+    void onFill(unsigned way) override;
+    void onInvalidate(unsigned way) override;
+    int victimWay(const std::vector<bool> &valid,
+                  const std::vector<bool> &locked) override;
+    void reset() override;
+    std::vector<unsigned> stateSnapshot() const override;
+
+  private:
+    void touch(unsigned way);
+
+    unsigned ways_;
+    std::vector<unsigned> age_;  ///< 0 = most recently used
+};
+
+/**
+ * Tree-based pseudo-LRU.
+ *
+ * Maintains ways-1 direction bits arranged as a complete binary tree;
+ * an access flips the bits on its root-to-leaf path to point away from
+ * the accessed way, and the victim is found by following the bits.
+ * Associativity must be a power of two.
+ */
+class TreePlruReplacement : public SetReplacementPolicy
+{
+  public:
+    explicit TreePlruReplacement(unsigned ways);
+
+    unsigned numWays() const override { return ways_; }
+    void onHit(unsigned way) override;
+    void onFill(unsigned way) override;
+    void onInvalidate(unsigned way) override;
+    int victimWay(const std::vector<bool> &valid,
+                  const std::vector<bool> &locked) override;
+    void reset() override;
+    std::vector<unsigned> stateSnapshot() const override;
+
+  private:
+    void touch(unsigned way);
+
+    unsigned ways_;
+    unsigned levels_;
+    std::vector<bool> bits_;  ///< heap-ordered tree, bits_[0] unused
+};
+
+/**
+ * SRRIP with 2-bit re-reference prediction values.
+ *
+ * Fills install at RRPV = 2 (long re-reference), hits promote to RRPV = 0,
+ * and the victim is a way with RRPV = 3, aging all ways until one exists
+ * (Jaleel et al., ISCA'10; matches the paper's Section V-C description).
+ */
+class RripReplacement : public SetReplacementPolicy
+{
+  public:
+    explicit RripReplacement(unsigned ways);
+
+    unsigned numWays() const override { return ways_; }
+    void onHit(unsigned way) override;
+    void onFill(unsigned way) override;
+    void onInvalidate(unsigned way) override;
+    int victimWay(const std::vector<bool> &valid,
+                  const std::vector<bool> &locked) override;
+    void reset() override;
+    std::vector<unsigned> stateSnapshot() const override;
+
+    /** RRPV assigned on fill. */
+    static constexpr unsigned insertRrpv = 2;
+
+    /** Maximum RRPV (2-bit). */
+    static constexpr unsigned maxRrpv = 3;
+
+  private:
+    unsigned ways_;
+    std::vector<unsigned> rrpv_;
+};
+
+/** Uniform-random victim selection among unlocked valid ways. */
+class RandomReplacement : public SetReplacementPolicy
+{
+  public:
+    RandomReplacement(unsigned ways, Rng *rng);
+
+    unsigned numWays() const override { return ways_; }
+    void onHit(unsigned way) override;
+    void onFill(unsigned way) override;
+    void onInvalidate(unsigned way) override;
+    int victimWay(const std::vector<bool> &valid,
+                  const std::vector<bool> &locked) override;
+    void reset() override;
+    std::vector<unsigned> stateSnapshot() const override;
+
+  private:
+    unsigned ways_;
+    Rng *rng_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_CACHE_REPLACEMENT_HPP

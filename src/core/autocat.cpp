@@ -1,0 +1,11 @@
+#include "core/autocat.hpp"
+
+namespace autocat {
+
+const char *
+versionString()
+{
+    return "autocat-cpp 1.0.0 (HPCA'23 reproduction)";
+}
+
+} // namespace autocat

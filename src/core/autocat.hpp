@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Umbrella header and version information for the AutoCAT library.
+ *
+ * Including this header pulls in the full public API: the cache
+ * simulator, the guessing-game environment, the PPO engine, detectors,
+ * known attacks, simulated hardware targets, and the exploration
+ * pipeline.
+ */
+
+#ifndef AUTOCAT_CORE_AUTOCAT_HPP
+#define AUTOCAT_CORE_AUTOCAT_HPP
+
+#include "attacks/agents.hpp"
+#include "attacks/classifier.hpp"
+#include "attacks/replay.hpp"
+#include "attacks/sequence.hpp"
+#include "attacks/textbook.hpp"
+#include "cache/cache.hpp"
+#include "cache/memory_system.hpp"
+#include "core/bench_mode.hpp"
+#include "core/explore.hpp"
+#include "detect/autocorr_detector.hpp"
+#include "detect/benign_traces.hpp"
+#include "detect/cyclone.hpp"
+#include "detect/miss_detector.hpp"
+#include "detect/svm.hpp"
+#include "env/guessing_game.hpp"
+#include "env/sequence_oracle.hpp"
+#include "hw/covert_channel.hpp"
+#include "hw/machines.hpp"
+#include "hw/target.hpp"
+#include "rl/ppo.hpp"
+#include "rl/search.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace autocat {
+
+/** Library version string. */
+const char *versionString();
+
+} // namespace autocat
+
+#endif // AUTOCAT_CORE_AUTOCAT_HPP

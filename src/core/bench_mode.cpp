@@ -1,0 +1,31 @@
+#include "core/bench_mode.hpp"
+
+#include <cstdlib>
+
+namespace autocat {
+
+BenchMode
+benchMode()
+{
+    if (const char *v = std::getenv("AUTOCAT_FULL");
+        v && v[0] && v[0] != '0') {
+        return BenchMode::Full;
+    }
+    if (const char *v = std::getenv("AUTOCAT_FAST");
+        v && v[0] && v[0] != '0') {
+        return BenchMode::Fast;
+    }
+    return BenchMode::Default;
+}
+
+const char *
+benchModeName(BenchMode mode)
+{
+    switch (mode) {
+      case BenchMode::Fast: return "fast";
+      case BenchMode::Full: return "full";
+      default: return "default";
+    }
+}
+
+} // namespace autocat

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Bench scaling control.
+ *
+ * Every bench binary reproduces a paper table with a reduced default
+ * budget so the full suite runs in minutes. Environment variables
+ * scale the budgets:
+ *
+ *   AUTOCAT_FULL=1  paper-scale budgets (3 runs per cell, all rows,
+ *                   generous epoch caps)
+ *   AUTOCAT_FAST=1  smoke budgets (minimal rows, few epochs) for CI
+ */
+
+#ifndef AUTOCAT_CORE_BENCH_MODE_HPP
+#define AUTOCAT_CORE_BENCH_MODE_HPP
+
+namespace autocat {
+
+/** Bench effort level. */
+enum class BenchMode { Fast, Default, Full };
+
+/** Resolve the mode from the environment variables. */
+BenchMode benchMode();
+
+/** Human-readable mode name. */
+const char *benchModeName(BenchMode mode);
+
+/** Pick a value by mode. */
+template <typename T>
+T
+byMode(T fast, T dflt, T full)
+{
+    switch (benchMode()) {
+      case BenchMode::Fast: return fast;
+      case BenchMode::Full: return full;
+      default: return dflt;
+    }
+}
+
+} // namespace autocat
+
+#endif // AUTOCAT_CORE_BENCH_MODE_HPP

@@ -1,0 +1,264 @@
+#include "core/config_parser.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace autocat {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+bool
+parseBool(const std::string &v, const std::string &key)
+{
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    throw std::invalid_argument("config: bad boolean for " + key + ": " +
+                                v);
+}
+
+} // namespace
+
+ExplorationConfig
+parseExplorationConfig(std::istream &in)
+{
+    ExplorationConfig cfg;
+
+    using Setter = std::function<void(const std::string &)>;
+    const std::map<std::string, Setter> setters = {
+        // ----- cache configuration (Table II)
+        {"num_sets",
+         [&](const std::string &v) { cfg.env.cache.numSets = std::stoul(v); }},
+        {"num_ways",
+         [&](const std::string &v) { cfg.env.cache.numWays = std::stoul(v); }},
+        {"rep_policy",
+         [&](const std::string &v) {
+             cfg.env.cache.policy = replPolicyFromString(v);
+         }},
+        {"prefetcher",
+         [&](const std::string &v) {
+             cfg.env.cache.prefetcher = prefetcherFromString(v);
+         }},
+        {"random_set_mapping",
+         [&](const std::string &v) {
+             cfg.env.cache.randomSetMapping =
+                 parseBool(v, "random_set_mapping");
+         }},
+        {"address_space",
+         [&](const std::string &v) {
+             cfg.env.cache.addressSpaceSize = std::stoull(v);
+         }},
+        // ----- attack & victim configuration (Table II)
+        {"attack_addr_s",
+         [&](const std::string &v) { cfg.env.attackAddrS = std::stoull(v); }},
+        {"attack_addr_e",
+         [&](const std::string &v) { cfg.env.attackAddrE = std::stoull(v); }},
+        {"victim_addr_s",
+         [&](const std::string &v) { cfg.env.victimAddrS = std::stoull(v); }},
+        {"victim_addr_e",
+         [&](const std::string &v) { cfg.env.victimAddrE = std::stoull(v); }},
+        {"flush_enable",
+         [&](const std::string &v) {
+             cfg.env.flushEnable = parseBool(v, "flush_enable");
+         }},
+        {"victim_no_access_enable",
+         [&](const std::string &v) {
+             cfg.env.victimNoAccessEnable =
+                 parseBool(v, "victim_no_access_enable");
+         }},
+        {"detection_enable",
+         [&](const std::string &v) {
+             cfg.env.detectionEnable = parseBool(v, "detection_enable");
+         }},
+        {"pl_cache_lock_victim",
+         [&](const std::string &v) {
+             cfg.env.plCacheLockVictim =
+                 parseBool(v, "pl_cache_lock_victim");
+         }},
+        // ----- episode / RL configuration (Table II)
+        {"window_size",
+         [&](const std::string &v) { cfg.env.windowSize = std::stoul(v); }},
+        {"episode_length_limit",
+         [&](const std::string &v) {
+             cfg.env.episodeLengthLimit = std::stoul(v);
+         }},
+        {"multi_secret",
+         [&](const std::string &v) {
+             cfg.env.multiSecret = parseBool(v, "multi_secret");
+         }},
+        {"multi_secret_episode_steps",
+         [&](const std::string &v) {
+             cfg.env.multiSecretEpisodeSteps = std::stoul(v);
+         }},
+        {"reveal_on_guess",
+         [&](const std::string &v) {
+             cfg.env.revealOnGuess = parseBool(v, "reveal_on_guess");
+         }},
+        {"random_init",
+         [&](const std::string &v) {
+             cfg.env.randomInit = parseBool(v, "random_init");
+         }},
+        {"init_accesses",
+         [&](const std::string &v) {
+             cfg.env.initAccesses = std::stoul(v);
+         }},
+        {"correct_guess_reward",
+         [&](const std::string &v) {
+             cfg.env.correctGuessReward = std::stod(v);
+         }},
+        {"wrong_guess_reward",
+         [&](const std::string &v) {
+             cfg.env.wrongGuessReward = std::stod(v);
+         }},
+        {"step_reward",
+         [&](const std::string &v) { cfg.env.stepReward = std::stod(v); }},
+        {"length_violation_reward",
+         [&](const std::string &v) {
+             cfg.env.lengthViolationReward = std::stod(v);
+         }},
+        {"detection_reward",
+         [&](const std::string &v) {
+             cfg.env.detectionReward = std::stod(v);
+         }},
+        {"seed",
+         [&](const std::string &v) { cfg.env.seed = std::stoull(v); }},
+        // ----- PPO hyper-parameters
+        {"ppo_seed",
+         [&](const std::string &v) { cfg.ppo.seed = std::stoull(v); }},
+        {"steps_per_epoch",
+         [&](const std::string &v) { cfg.ppo.stepsPerEpoch = std::stoi(v); }},
+        {"learning_rate",
+         [&](const std::string &v) { cfg.ppo.lr = std::stod(v); }},
+        {"entropy_coef",
+         [&](const std::string &v) { cfg.ppo.entropyCoef = std::stod(v); }},
+        {"gamma",
+         [&](const std::string &v) { cfg.ppo.gamma = std::stod(v); }},
+        {"hidden",
+         [&](const std::string &v) { cfg.ppo.hidden = std::stoul(v); }},
+        // ----- exploration control
+        {"max_epochs",
+         [&](const std::string &v) { cfg.maxEpochs = std::stoi(v); }},
+        {"target_accuracy",
+         [&](const std::string &v) { cfg.targetAccuracy = std::stod(v); }},
+        {"eval_episodes",
+         [&](const std::string &v) { cfg.evalEpisodes = std::stoi(v); }},
+        {"verbose",
+         [&](const std::string &v) {
+             cfg.verbose = parseBool(v, "verbose");
+         }},
+    };
+
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument(
+                "config: missing '=' on line " + std::to_string(lineno));
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        const auto it = setters.find(key);
+        if (it == setters.end()) {
+            throw std::invalid_argument("config: unknown option '" + key +
+                                        "' on line " +
+                                        std::to_string(lineno));
+        }
+        it->second(value);
+    }
+
+    // Keep the address space large enough for the configured ranges.
+    const std::uint64_t needed =
+        std::max(cfg.env.attackAddrE, cfg.env.victimAddrE) + 2;
+    if (cfg.env.cache.addressSpaceSize < needed)
+        cfg.env.cache.addressSpaceSize = needed;
+    return cfg;
+}
+
+ExplorationConfig
+parseExplorationConfig(const std::string &text)
+{
+    std::istringstream iss(text);
+    return parseExplorationConfig(iss);
+}
+
+ExplorationConfig
+loadExplorationConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("config: cannot open " + path);
+    return parseExplorationConfig(in);
+}
+
+std::string
+renderExplorationConfig(const ExplorationConfig &cfg)
+{
+    std::ostringstream out;
+    out << "num_sets = " << cfg.env.cache.numSets << "\n"
+        << "num_ways = " << cfg.env.cache.numWays << "\n"
+        << "rep_policy = " << replPolicyName(cfg.env.cache.policy) << "\n"
+        << "prefetcher = " << prefetcherName(cfg.env.cache.prefetcher)
+        << "\n"
+        << "random_set_mapping = "
+        << (cfg.env.cache.randomSetMapping ? "true" : "false") << "\n"
+        << "address_space = " << cfg.env.cache.addressSpaceSize << "\n"
+        << "attack_addr_s = " << cfg.env.attackAddrS << "\n"
+        << "attack_addr_e = " << cfg.env.attackAddrE << "\n"
+        << "victim_addr_s = " << cfg.env.victimAddrS << "\n"
+        << "victim_addr_e = " << cfg.env.victimAddrE << "\n"
+        << "flush_enable = " << (cfg.env.flushEnable ? "true" : "false")
+        << "\n"
+        << "victim_no_access_enable = "
+        << (cfg.env.victimNoAccessEnable ? "true" : "false") << "\n"
+        << "detection_enable = "
+        << (cfg.env.detectionEnable ? "true" : "false") << "\n"
+        << "pl_cache_lock_victim = "
+        << (cfg.env.plCacheLockVictim ? "true" : "false") << "\n"
+        << "window_size = " << cfg.env.windowSize << "\n"
+        << "multi_secret = "
+        << (cfg.env.multiSecret ? "true" : "false") << "\n"
+        << "multi_secret_episode_steps = "
+        << cfg.env.multiSecretEpisodeSteps << "\n"
+        << "reveal_on_guess = "
+        << (cfg.env.revealOnGuess ? "true" : "false") << "\n"
+        << "random_init = " << (cfg.env.randomInit ? "true" : "false")
+        << "\n"
+        << "correct_guess_reward = " << cfg.env.correctGuessReward << "\n"
+        << "wrong_guess_reward = " << cfg.env.wrongGuessReward << "\n"
+        << "step_reward = " << cfg.env.stepReward << "\n"
+        << "length_violation_reward = " << cfg.env.lengthViolationReward
+        << "\n"
+        << "detection_reward = " << cfg.env.detectionReward << "\n"
+        << "seed = " << cfg.env.seed << "\n"
+        << "ppo_seed = " << cfg.ppo.seed << "\n"
+        << "steps_per_epoch = " << cfg.ppo.stepsPerEpoch << "\n"
+        << "learning_rate = " << cfg.ppo.lr << "\n"
+        << "gamma = " << cfg.ppo.gamma << "\n"
+        << "max_epochs = " << cfg.maxEpochs << "\n"
+        << "target_accuracy = " << cfg.targetAccuracy << "\n";
+    return out.str();
+}
+
+} // namespace autocat

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Text-based experiment configuration.
+ *
+ * The upstream AutoCAT drives experiments from config files; this
+ * parser accepts a simple `key = value` format (one option per line,
+ * '#' comments) covering every Table II knob plus the PPO
+ * hyper-parameters, so explorations can be described without
+ * recompiling:
+ *
+ *     # 4-way LRU set, 0/E victim
+ *     num_sets            = 1
+ *     num_ways            = 4
+ *     rep_policy          = lru
+ *     attack_addr_s       = 0
+ *     attack_addr_e       = 4
+ *     victim_addr_s       = 0
+ *     victim_addr_e       = 0
+ *     victim_no_access_enable = true
+ *     window_size         = 16
+ *     step_reward         = -0.01
+ *     max_epochs          = 120
+ */
+
+#ifndef AUTOCAT_CORE_CONFIG_PARSER_HPP
+#define AUTOCAT_CORE_CONFIG_PARSER_HPP
+
+#include <istream>
+#include <string>
+
+#include "core/explore.hpp"
+
+namespace autocat {
+
+/**
+ * Parse an exploration config from `key = value` text.
+ *
+ * Unknown keys raise std::invalid_argument (typos should fail loudly,
+ * not silently fall back to defaults).
+ */
+ExplorationConfig parseExplorationConfig(std::istream &in);
+
+/** Parse from a string (convenience for tests). */
+ExplorationConfig parseExplorationConfig(const std::string &text);
+
+/** Load from a file path; throws std::runtime_error if unreadable. */
+ExplorationConfig loadExplorationConfig(const std::string &path);
+
+/** Render a config back to the key = value format (round-trips). */
+std::string renderExplorationConfig(const ExplorationConfig &config);
+
+} // namespace autocat
+
+#endif // AUTOCAT_CORE_CONFIG_PARSER_HPP

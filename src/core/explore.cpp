@@ -1,0 +1,86 @@
+#include "core/explore.hpp"
+
+#include "util/logging.hpp"
+
+namespace autocat {
+
+AttackSequence
+extractSequence(CacheGuessingGame &env, ActorCritic &policy,
+                std::string *guess)
+{
+    env.reset();
+    // Deterministic replay: fix the secret so the rendered trajectory
+    // is reproducible (the paper's tables show one example sequence).
+    const auto secrets = env.secretSpace();
+    env.forceSecret(secrets.front());
+
+    AttackSequence seq;
+    std::vector<float> obs = env.reset();
+    env.forceSecret(secrets.front());
+
+    bool done = false;
+    int safety = 4096;
+    while (!done && safety-- > 0) {
+        const AcOutput out = policy.forwardOne(obs);
+        const std::size_t action = policy.argmax(out.logits, 0);
+        const Action decoded = env.actionSpace().decode(action);
+        StepResult sr = env.step(action);
+        if (decoded.isGuess()) {
+            if (guess)
+                *guess = env.actionSpace().toString(action);
+            // In multi-secret mode one symbol round is representative.
+            break;
+        }
+        seq.push({decoded.kind, decoded.addr});
+        done = sr.done;
+        obs = std::move(sr.obs);
+    }
+    return seq;
+}
+
+ExplorationResult
+explore(const ExplorationConfig &config,
+        std::unique_ptr<MemorySystem> memory, const EnvDecorator &decorate)
+{
+    std::unique_ptr<MemorySystem> mem =
+        memory ? std::move(memory) : makeMemorySystem(config.env);
+    CacheGuessingGame env(config.env, std::move(mem));
+    if (decorate)
+        decorate(env);
+
+    PpoTrainer trainer(env, config.ppo);
+
+    ExplorationResult result;
+    const PpoTrainer::EpochCallback log_cb =
+        [&](const EpochStats &stats) {
+            if (config.verbose) {
+                AUTOCAT_LOG_INFO
+                    << "epoch " << stats.epoch << " return "
+                    << stats.meanReturn << " len "
+                    << stats.meanEpisodeLength << " eval-acc "
+                    << stats.eval.guessAccuracy;
+            }
+        };
+
+    const int converged_epoch = trainer.trainUntil(
+        config.targetAccuracy, config.maxEpochs, config.evalEpisodes,
+        log_cb);
+
+    result.converged = converged_epoch > 0;
+    result.epochsToConverge = converged_epoch;
+    result.envSteps = trainer.totalEnvSteps();
+
+    const EvalStats final_eval =
+        trainer.evaluate(config.evalEpisodes, /*greedy=*/true);
+    result.finalAccuracy = final_eval.guessAccuracy;
+    result.finalEpisodeLength = final_eval.meanEpisodeLength;
+    result.bitRate = final_eval.bitRate;
+    result.detectionRate = final_eval.detectionRate;
+
+    result.sequence =
+        extractSequence(env, trainer.policy(), &result.finalGuess);
+    result.category = classifyAttack(result.sequence, config.env);
+    return result;
+}
+
+} // namespace autocat

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The AutoCAT exploration pipeline (Fig. 2a of the paper): take an
+ * environment description, train a PPO agent on the guessing game,
+ * extract the attack sequence by deterministic (greedy) replay, and
+ * classify it.
+ */
+
+#ifndef AUTOCAT_CORE_EXPLORE_HPP
+#define AUTOCAT_CORE_EXPLORE_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "attacks/classifier.hpp"
+#include "attacks/sequence.hpp"
+#include "cache/memory_system.hpp"
+#include "detect/detector.hpp"
+#include "env/env_config.hpp"
+#include "env/guessing_game.hpp"
+#include "rl/ppo.hpp"
+
+namespace autocat {
+
+/** Everything one exploration run needs. */
+struct ExplorationConfig
+{
+    EnvConfig env;
+    PpoConfig ppo;
+
+    /** Give up after this many epochs (paper: 1 epoch = 3000 steps). */
+    int maxEpochs = 150;
+
+    /** Greedy eval accuracy that counts as converged. */
+    double targetAccuracy = 0.97;
+
+    /** Episodes per convergence evaluation. */
+    int evalEpisodes = 100;
+
+    /** Log per-epoch progress at Info level. */
+    bool verbose = false;
+};
+
+/** Outcome of one exploration run. */
+struct ExplorationResult
+{
+    bool converged = false;
+    int epochsToConverge = -1;       ///< 1-based; -1 if not converged
+    double finalAccuracy = 0.0;      ///< greedy eval accuracy
+    double finalEpisodeLength = 0.0; ///< greedy eval mean episode steps
+    double bitRate = 0.0;            ///< guesses per step (greedy eval)
+    double detectionRate = 0.0;      ///< flagged episodes fraction
+    long long envSteps = 0;          ///< total training env steps
+
+    /** Primitive actions of a representative greedy episode. */
+    AttackSequence sequence;
+
+    /** Final guess of that episode ("g0", "gE", ...). */
+    std::string finalGuess;
+
+    /** Automatic category label of the sequence. */
+    AttackCategory category = AttackCategory::Unknown;
+};
+
+/** Hook to decorate the environment (attach detectors) before training. */
+using EnvDecorator = std::function<void(CacheGuessingGame &)>;
+
+/**
+ * Run one exploration.
+ *
+ * @param config    exploration description
+ * @param memory    optional externally-built memory system (e.g. a
+ *                  SimulatedHardwareTarget); defaults to the one the
+ *                  EnvConfig describes
+ * @param decorate  optional detector attachment hook
+ */
+ExplorationResult explore(const ExplorationConfig &config,
+                          std::unique_ptr<MemorySystem> memory = nullptr,
+                          const EnvDecorator &decorate = {});
+
+/**
+ * Extract the greedy episode trajectory from a trained policy.
+ *
+ * @param env    environment (reset internally; secret forced to the
+ *               first value of the secret space for determinism)
+ * @param policy trained network
+ * @param guess  receives the final guess action rendering
+ */
+AttackSequence extractSequence(CacheGuessingGame &env, ActorCritic &policy,
+                               std::string *guess = nullptr);
+
+} // namespace autocat
+
+#endif // AUTOCAT_CORE_EXPLORE_HPP

@@ -1,0 +1,73 @@
+#include "detect/autocorr_detector.hpp"
+
+#include "util/stats.hpp"
+
+namespace autocat {
+
+AutocorrDetector::AutocorrDetector(std::size_t max_lag, double threshold,
+                                   double penalty_coef,
+                                   std::size_t min_events)
+    : max_lag_(max_lag),
+      threshold_(threshold),
+      penalty_coef_(penalty_coef),
+      min_events_(min_events)
+{
+}
+
+void
+AutocorrDetector::onEvent(const CacheEvent &event)
+{
+    if (event.op == CacheOp::Flush || !event.evicted)
+        return;
+    if (event.domain == event.evictedOwner)
+        return;  // intra-domain eviction: not a conflict event
+
+    // A->V is encoded 1, V->A is encoded 0 (paper Fig. 3 convention).
+    train_.push_back(event.domain == Domain::Attacker ? 1.0 : 0.0);
+}
+
+void
+AutocorrDetector::onEpisodeReset()
+{
+    train_.clear();
+}
+
+double
+AutocorrDetector::maxAutocorr() const
+{
+    if (train_.size() < min_events_)
+        return 0.0;
+    return maxAutocorrelation(train_, max_lag_);
+}
+
+bool
+AutocorrDetector::flagged() const
+{
+    return maxAutocorr() > threshold_;
+}
+
+double
+AutocorrDetector::episodePenalty()
+{
+    if (train_.size() < min_events_)
+        return 0.0;
+    double sum_sq = 0.0;
+    std::size_t lags = 0;
+    const std::size_t limit = std::min(max_lag_ + 1, train_.size());
+    for (std::size_t p = 1; p < limit; ++p) {
+        const double c = autocorrelation(train_, p);
+        sum_sq += c * c;
+        ++lags;
+    }
+    if (lags == 0)
+        return 0.0;
+    return penalty_coef_ * sum_sq / static_cast<double>(max_lag_);
+}
+
+std::vector<double>
+AutocorrDetector::correlogram() const
+{
+    return autocorrelogram(train_, max_lag_);
+}
+
+} // namespace autocat

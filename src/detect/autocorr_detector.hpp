@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CC-Hunter-style autocorrelation detector (Chen & Venkataramani,
+ * MICRO'14; Section V-D of the paper).
+ *
+ * Two kinds of conflict-miss events form an event train:
+ *   A→V (attacker evicts a victim-owned line), encoded as 1
+ *   V→A (victim evicts an attacker-owned line), encoded as 0
+ * Periodic channels produce high autocorrelation at some lag p; the
+ * detector fires when max_{1<=p<=P} C_p exceeds a threshold (paper
+ * example: 0.75).
+ *
+ * For RL detector-bypass training the detector also exposes the L2
+ * penalty the paper adds to the reward: R_{L2} = a * sum_p C_p^2 / P
+ * with a < 0.
+ */
+
+#ifndef AUTOCAT_DETECT_AUTOCORR_DETECTOR_HPP
+#define AUTOCAT_DETECT_AUTOCORR_DETECTOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace autocat {
+
+/** Autocorrelation-based covert-channel detector. */
+class AutocorrDetector : public Detector
+{
+  public:
+    /**
+     * @param max_lag     P: largest lag examined
+     * @param threshold   detection threshold on max |C_p|
+     * @param penalty_coef a (<= 0): weight of the L2 reward penalty
+     * @param min_events  shortest train worth analyzing
+     */
+    AutocorrDetector(std::size_t max_lag = 30, double threshold = 0.75,
+                     double penalty_coef = -1.0,
+                     std::size_t min_events = 8);
+
+    void onEvent(const CacheEvent &event) override;
+    void onEpisodeReset() override;
+    bool flagged() const override;
+    double episodePenalty() override;
+    const char *name() const override { return "autocorrelation"; }
+
+    /** max_{1<=p<=P} |C_p| of the current train (0 if too short). */
+    double maxAutocorr() const;
+
+    /** The conflict-miss event train accumulated this episode. */
+    const std::vector<double> &eventTrain() const { return train_; }
+
+    /** Full autocorrelogram C_1..C_P (Fig. 3b). */
+    std::vector<double> correlogram() const;
+
+  private:
+    std::size_t max_lag_;
+    double threshold_;
+    double penalty_coef_;
+    std::size_t min_events_;
+    std::vector<double> train_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_DETECT_AUTOCORR_DETECTOR_HPP

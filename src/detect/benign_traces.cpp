@@ -1,0 +1,183 @@
+#include "detect/benign_traces.hpp"
+
+#include <cmath>
+
+namespace autocat {
+
+CycloneTrainingSetBuilder::CycloneTrainingSetBuilder(
+    const CacheConfig &cache_config, std::size_t interval_steps,
+    const BenignTraceConfig &benign_config)
+    : cache_config_(cache_config),
+      interval_steps_(interval_steps),
+      benign_config_(benign_config)
+{
+}
+
+namespace {
+
+/** One synthetic benign process: a pattern over a private range. */
+class BenignProcess
+{
+  public:
+    enum class Kind { Stride, Loop, Zipf };
+
+    BenignProcess(Kind kind, std::uint64_t base, std::uint64_t span,
+                  Rng &rng)
+        : kind_(kind), base_(base), span_(span == 0 ? 1 : span)
+    {
+        stride_ = 1 + rng.uniformInt(3);
+        pos_ = rng.uniformInt(span_);
+        loop_len_ = 2 + rng.uniformInt(std::max<std::uint64_t>(2, span_ / 2));
+    }
+
+    std::uint64_t
+    next(Rng &rng)
+    {
+        switch (kind_) {
+          case Kind::Stride:
+            pos_ = (pos_ + stride_) % span_;
+            return base_ + pos_;
+          case Kind::Loop:
+            pos_ = (pos_ + 1) % loop_len_;
+            return base_ + pos_ % span_;
+          case Kind::Zipf: {
+            // Approximate zipf: square a uniform draw to bias toward
+            // small indices.
+            const double u = rng.uniformDouble();
+            const auto idx = static_cast<std::uint64_t>(
+                u * u * static_cast<double>(span_));
+            return base_ + (idx % span_);
+          }
+        }
+        return base_;
+    }
+
+  private:
+    Kind kind_;
+    std::uint64_t base_;
+    std::uint64_t span_;
+    std::uint64_t stride_;
+    std::uint64_t pos_;
+    std::uint64_t loop_len_;
+};
+
+} // namespace
+
+void
+CycloneTrainingSetBuilder::runTrace(Cache &cache, Rng &rng, bool attack,
+                                    int label, SvmDataset &out)
+{
+    CycloneFeatureExtractor extractor(cache_config_.numSets,
+                                      interval_steps_);
+    // A trace contributes one row: the mean per-interval cyclic counts
+    // (a contention channel sustains its cycling rate across the whole
+    // trace; benign slice-boundary bursts average out).
+    std::vector<double> sum(extractor.featureDim(), 0.0);
+    std::size_t intervals = 0;
+    auto accumulate = [&](const std::vector<double> &features) {
+        for (std::size_t i = 0; i < features.size(); ++i)
+            sum[i] += features[i];
+        ++intervals;
+    };
+    cache.setEventListener([&](const CacheEvent &ev) {
+        if (auto features = extractor.onEvent(ev))
+            accumulate(*features);
+    });
+
+    const std::uint64_t span = benign_config_.addrSpace;
+
+    if (!attack) {
+        // Two co-resident benign processes with independent patterns.
+        auto pick_kind = [&](Rng &r) {
+            const double x = r.uniformDouble();
+            if (x < benign_config_.strideFraction)
+                return BenignProcess::Kind::Stride;
+            if (x < benign_config_.strideFraction +
+                        benign_config_.loopFraction)
+                return BenignProcess::Kind::Loop;
+            return BenignProcess::Kind::Zipf;
+        };
+        BenignProcess p0(pick_kind(rng), 0, span, rng);
+        BenignProcess p1(pick_kind(rng), span, span, rng);
+
+        // Benign schedulers run processes in time slices that are long
+        // relative to the detector's observation interval: domain
+        // alternation (and thus cross-domain eviction cycling) happens
+        // only at slice boundaries, not every few accesses.
+        bool victim_turn = rng.bernoulli(0.5);
+        std::size_t i = 0;
+        while (i < benign_config_.traceLength) {
+            const std::size_t burst = 30 + rng.uniformInt(120);
+            for (std::size_t k = 0;
+                 k < burst && i < benign_config_.traceLength; ++k, ++i) {
+                if (victim_turn)
+                    cache.access(p1.next(rng), Domain::Victim);
+                else
+                    cache.access(p0.next(rng), Domain::Attacker);
+            }
+            victim_turn = !victim_turn;
+        }
+    } else {
+        // Textbook prime+probe rounds: prime the victim-conflicting
+        // sets, let the victim touch a secret line, probe.
+        const std::uint64_t sets = cache_config_.numSets;
+        std::size_t steps = 0;
+        while (steps < benign_config_.traceLength) {
+            for (std::uint64_t a = 0; a < sets &&
+                                      steps < benign_config_.traceLength;
+                 ++a, ++steps) {
+                cache.access(sets + a, Domain::Attacker);
+            }
+            if (steps < benign_config_.traceLength) {
+                cache.access(rng.uniformInt(sets), Domain::Victim);
+                ++steps;
+            }
+            for (std::uint64_t a = 0; a < sets &&
+                                      steps < benign_config_.traceLength;
+                 ++a, ++steps) {
+                cache.access(sets + a, Domain::Attacker);
+            }
+        }
+    }
+
+    if (auto features = extractor.finishInterval())
+        accumulate(*features);
+    cache.setEventListener(nullptr);
+
+    if (intervals > 0) {
+        for (double &v : sum)
+            v /= static_cast<double>(intervals);
+        out.add(std::move(sum), label);
+    }
+}
+
+void
+CycloneTrainingSetBuilder::addBenignTraces(std::size_t traces, Rng &rng,
+                                           SvmDataset &out)
+{
+    for (std::size_t t = 0; t < traces; ++t) {
+        Cache cache(cache_config_);
+        runTrace(cache, rng, /*attack=*/false, -1, out);
+    }
+}
+
+void
+CycloneTrainingSetBuilder::addPrimeProbeTraces(std::size_t traces,
+                                               Rng &rng, SvmDataset &out)
+{
+    for (std::size_t t = 0; t < traces; ++t) {
+        Cache cache(cache_config_);
+        runTrace(cache, rng, /*attack=*/true, 1, out);
+    }
+}
+
+SvmDataset
+CycloneTrainingSetBuilder::build(std::size_t traces, Rng &rng)
+{
+    SvmDataset data;
+    addBenignTraces(traces, rng, data);
+    addPrimeProbeTraces(traces, rng, data);
+    return data;
+}
+
+} // namespace autocat

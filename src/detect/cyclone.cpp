@@ -1,0 +1,130 @@
+#include "detect/cyclone.hpp"
+
+#include <cassert>
+
+namespace autocat {
+
+CycloneFeatureExtractor::CycloneFeatureExtractor(std::size_t num_sets,
+                                                 std::size_t interval_steps)
+    : num_sets_(num_sets),
+      interval_steps_(interval_steps),
+      counts_(num_sets + 1, 0.0),
+      history_(num_sets)
+{
+    assert(interval_steps > 0);
+}
+
+std::optional<std::vector<double>>
+CycloneFeatureExtractor::onEvent(const CacheEvent &event)
+{
+    if (event.op == CacheOp::Flush)
+        return std::nullopt;
+
+    // Cyclic interference (Cyclone, MICRO'19): on the same set, domain
+    // a evicts one of b's lines and b later evicts one of a's lines
+    // (a ⇝ b ⇝ a). Contention channels alternate eviction directions
+    // every transmission round; benign co-residents almost never do.
+    if (event.evicted && event.domain != event.evictedOwner) {
+        const std::size_t set = event.setIndex % num_sets_;
+        auto &h = history_[set];
+        const bool attacker_evicts = event.domain == Domain::Attacker;
+        if (h.have_prev && h.prev_attacker_evicts != attacker_evicts) {
+            counts_[set] += 1.0;
+            counts_[num_sets_] += 1.0;
+        }
+        h.prev_attacker_evicts = attacker_evicts;
+        h.have_prev = true;
+    }
+
+    if (event.op != CacheOp::DemandAccess)
+        return std::nullopt;
+
+    if (++steps_in_interval_ < interval_steps_)
+        return std::nullopt;
+
+    std::vector<double> features = counts_;
+    std::fill(counts_.begin(), counts_.end(), 0.0);
+    steps_in_interval_ = 0;
+    return features;
+}
+
+std::optional<std::vector<double>>
+CycloneFeatureExtractor::finishInterval()
+{
+    if (steps_in_interval_ == 0)
+        return std::nullopt;
+    std::vector<double> features = counts_;
+    std::fill(counts_.begin(), counts_.end(), 0.0);
+    steps_in_interval_ = 0;
+    return features;
+}
+
+void
+CycloneFeatureExtractor::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0.0);
+    steps_in_interval_ = 0;
+    history_.assign(num_sets_, SetHistory());
+}
+
+CycloneDetector::CycloneDetector(std::size_t num_sets,
+                                 std::size_t interval_steps,
+                                 std::shared_ptr<const LinearSvm> svm,
+                                 double step_penalty)
+    : extractor_(num_sets, interval_steps),
+      svm_(std::move(svm)),
+      step_penalty_(step_penalty)
+{
+    assert(svm_ && svm_->trained());
+}
+
+void
+CycloneDetector::onEvent(const CacheEvent &event)
+{
+    const auto features = extractor_.onEvent(event);
+    if (!features)
+        return;
+    ++intervals_;
+
+    // Classify on the episode's running mean per-interval features —
+    // the same statistic the SVM was trained on (one averaged row per
+    // trace).
+    if (feature_sum_.empty())
+        feature_sum_.assign(features->size(), 0.0);
+    for (std::size_t i = 0; i < features->size(); ++i)
+        feature_sum_[i] += (*features)[i];
+    std::vector<double> mean(feature_sum_.size());
+    for (std::size_t i = 0; i < mean.size(); ++i)
+        mean[i] = feature_sum_[i] / static_cast<double>(intervals_);
+
+    if (svm_->predict(mean) > 0) {
+        ++flagged_intervals_;
+        pending_penalty_ += step_penalty_;
+    }
+}
+
+void
+CycloneDetector::onEpisodeReset()
+{
+    extractor_.reset();
+    pending_penalty_ = 0.0;
+    intervals_ = 0;
+    flagged_intervals_ = 0;
+    feature_sum_.clear();
+}
+
+bool
+CycloneDetector::flagged() const
+{
+    return flagged_intervals_ > 0;
+}
+
+double
+CycloneDetector::consumeStepPenalty()
+{
+    const double p = pending_penalty_;
+    pending_penalty_ = 0.0;
+    return p;
+}
+
+} // namespace autocat

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cyclone-style cyclic-interference detector (Harris et al., MICRO'19;
+ * Section V-D of the paper).
+ *
+ * Cyclone observes, for each cache line/set, *cyclic* access sequences
+ * by different security domains (a ⇝ b ⇝ a with a != b) within fixed
+ * time intervals. The per-set cyclic counts of an interval form the
+ * feature vector of an SVM classifier trained offline on benign vs.
+ * attack traces. During RL training the detector fires per interval and
+ * contributes a step penalty (the paper's "RL SVM" agent setting).
+ */
+
+#ifndef AUTOCAT_DETECT_CYCLONE_HPP
+#define AUTOCAT_DETECT_CYCLONE_HPP
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/svm.hpp"
+
+namespace autocat {
+
+/**
+ * Extracts cyclic-interference feature vectors from a cache event
+ * stream. Usable standalone (to build SVM training sets) and inside
+ * CycloneDetector.
+ */
+class CycloneFeatureExtractor
+{
+  public:
+    /**
+     * @param num_sets       sets tracked (feature dimension is
+     *                       num_sets + 1; the extra entry is the total)
+     * @param interval_steps demand accesses per observation interval
+     */
+    CycloneFeatureExtractor(std::size_t num_sets,
+                            std::size_t interval_steps);
+
+    /**
+     * Observe one event; returns the completed interval's feature
+     * vector when this event closes an interval.
+     */
+    std::optional<std::vector<double>> onEvent(const CacheEvent &event);
+
+    /** Flush a partial interval (end of trace); empty if no accesses. */
+    std::optional<std::vector<double>> finishInterval();
+
+    /** Reset all per-set histories and the interval position. */
+    void reset();
+
+    /** Feature dimension (num_sets + 1). */
+    std::size_t featureDim() const { return counts_.size(); }
+
+  private:
+    std::size_t num_sets_;
+    std::size_t interval_steps_;
+    std::size_t steps_in_interval_ = 0;
+    std::vector<double> counts_;  ///< per-set cyclic counts + total
+    struct SetHistory
+    {
+        bool have_prev = false;
+        /// direction of the last cross-domain eviction on this set:
+        /// true = attacker evicted a victim line (A->V).
+        bool prev_attacker_evicts = false;
+    };
+    std::vector<SetHistory> history_;
+};
+
+/** SVM-backed cyclic-interference detector. */
+class CycloneDetector : public Detector
+{
+  public:
+    /**
+     * @param num_sets        sets tracked
+     * @param interval_steps  demand accesses per interval
+     * @param svm             trained classifier (+1 = attack); shared so
+     *                        benches can reuse one trained model
+     * @param step_penalty    reward added whenever an interval is
+     *                        classified as an attack (<= 0)
+     */
+    CycloneDetector(std::size_t num_sets, std::size_t interval_steps,
+                    std::shared_ptr<const LinearSvm> svm,
+                    double step_penalty = -1.0);
+
+    void onEvent(const CacheEvent &event) override;
+    void onEpisodeReset() override;
+    bool flagged() const override;
+    double consumeStepPenalty() override;
+    const char *name() const override { return "cyclone-svm"; }
+
+    /** Intervals observed this episode. */
+    std::size_t intervals() const { return intervals_; }
+
+    /** Intervals classified as attack this episode. */
+    std::size_t flaggedIntervals() const { return flagged_intervals_; }
+
+  private:
+    CycloneFeatureExtractor extractor_;
+    std::shared_ptr<const LinearSvm> svm_;
+    double step_penalty_;
+    double pending_penalty_ = 0.0;
+    std::size_t intervals_ = 0;
+    std::size_t flagged_intervals_ = 0;
+    std::vector<double> feature_sum_;  ///< running episode totals
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_DETECT_CYCLONE_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Detector interface for cache timing-channel detection schemes.
+ *
+ * Detectors observe the cache exclusively through CacheEvent records
+ * (like hardware monitors tapping event signals). The guessing-game
+ * environment consults them in two modes, matching Section V-D:
+ *
+ *  - Terminate: the episode ends with detection_reward the moment the
+ *    detector fires (miss-based detection, Table II detection_enable).
+ *  - Penalize: the detector contributes negative reward — per step
+ *    (Cyclone SVM intervals) or at episode end (CC-Hunter L2
+ *    autocorrelation penalty) — without ending the episode.
+ */
+
+#ifndef AUTOCAT_DETECT_DETECTOR_HPP
+#define AUTOCAT_DETECT_DETECTOR_HPP
+
+#include "cache/events.hpp"
+
+namespace autocat {
+
+/** How the environment reacts when a detector fires. */
+enum class DetectorMode { Terminate, Penalize };
+
+/** Base class of all detection schemes. */
+class Detector
+{
+  public:
+    virtual ~Detector() = default;
+
+    /** Observe one cache event. */
+    virtual void onEvent(const CacheEvent &event) = 0;
+
+    /** Clear per-episode state at episode start. */
+    virtual void onEpisodeReset() = 0;
+
+    /** True once the detector has fired during this episode. */
+    virtual bool flagged() const = 0;
+
+    /**
+     * Reward contribution applied at episode end (non-positive);
+     * default none.
+     */
+    virtual double episodePenalty() { return 0.0; }
+
+    /**
+     * Reward contribution to apply at the current step (non-positive),
+     * cleared by the call; default none.
+     */
+    virtual double consumeStepPenalty() { return 0.0; }
+
+    /** Short scheme name for logs/tables. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_DETECT_DETECTOR_HPP

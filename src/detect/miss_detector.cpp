@@ -1,0 +1,32 @@
+#include "detect/miss_detector.hpp"
+
+namespace autocat {
+
+MissBasedDetector::MissBasedDetector(unsigned threshold)
+    : threshold_(threshold == 0 ? 1 : threshold)
+{
+}
+
+void
+MissBasedDetector::onEvent(const CacheEvent &event)
+{
+    if (event.op == CacheOp::DemandAccess &&
+        event.domain == Domain::Victim && !event.hit &&
+        !event.servedUncached) {
+        ++victim_misses_;
+    }
+}
+
+void
+MissBasedDetector::onEpisodeReset()
+{
+    victim_misses_ = 0;
+}
+
+bool
+MissBasedDetector::flagged() const
+{
+    return victim_misses_ >= threshold_;
+}
+
+} // namespace autocat

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Microarchitecture-statistics-based detection (Section V-D).
+ *
+ * Performance-counter detectors flag an attack when the victim process
+ * shows abnormal cache-miss counts. Following the paper's evaluation
+ * setting, "an attack is detected when the victim program's access
+ * triggers a cache miss": the detector fires on the first demand miss
+ * by the victim domain (a threshold > 1 is supported for generality).
+ */
+
+#ifndef AUTOCAT_DETECT_MISS_DETECTOR_HPP
+#define AUTOCAT_DETECT_MISS_DETECTOR_HPP
+
+#include "detect/detector.hpp"
+
+namespace autocat {
+
+/** Victim-miss-count detector (HPC-style). */
+class MissBasedDetector : public Detector
+{
+  public:
+    /** Fire when the victim accumulates @p threshold demand misses. */
+    explicit MissBasedDetector(unsigned threshold = 1);
+
+    void onEvent(const CacheEvent &event) override;
+    void onEpisodeReset() override;
+    bool flagged() const override;
+    const char *name() const override { return "miss-based"; }
+
+    /** Victim demand misses observed this episode. */
+    unsigned victimMisses() const { return victim_misses_; }
+
+  private:
+    unsigned threshold_;
+    unsigned victim_misses_ = 0;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_DETECT_MISS_DETECTOR_HPP

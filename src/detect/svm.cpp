@@ -1,0 +1,143 @@
+#include "detect/svm.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace autocat {
+
+LinearSvm::LinearSvm(double lambda, unsigned epochs)
+    : lambda_(lambda), epochs_(epochs)
+{
+}
+
+std::vector<double>
+LinearSvm::standardize(const std::vector<double> &x) const
+{
+    std::vector<double> z(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        z[i] = (x[i] - mean_[i]) / scale_[i];
+    return z;
+}
+
+void
+LinearSvm::train(const SvmDataset &data, Rng &rng)
+{
+    if (data.size() == 0)
+        throw std::invalid_argument("SVM: empty training set");
+    const std::size_t dim = data.features.front().size();
+
+    // Feature standardization.
+    mean_.assign(dim, 0.0);
+    scale_.assign(dim, 0.0);
+    for (const auto &x : data.features) {
+        assert(x.size() == dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            mean_[i] += x[i];
+    }
+    for (double &m : mean_)
+        m /= static_cast<double>(data.size());
+    for (const auto &x : data.features) {
+        for (std::size_t i = 0; i < dim; ++i)
+            scale_[i] += (x[i] - mean_[i]) * (x[i] - mean_[i]);
+    }
+    for (double &s : scale_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-9)
+            s = 1.0;  // constant feature
+    }
+
+    // Pegasos SGD over the hinge loss.
+    w_.assign(dim, 0.0);
+    b_ = 0.0;
+    long t = 0;
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (unsigned epoch = 0; epoch < epochs_; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t i : order) {
+            ++t;
+            const double eta = 1.0 / (lambda_ * static_cast<double>(t));
+            const std::vector<double> x = standardize(data.features[i]);
+            const double y = data.labels[i];
+
+            double margin = b_;
+            for (std::size_t d = 0; d < dim; ++d)
+                margin += w_[d] * x[d];
+            margin *= y;
+
+            const double shrink = 1.0 - eta * lambda_;
+            for (double &w : w_)
+                w *= shrink;
+            if (margin < 1.0) {
+                for (std::size_t d = 0; d < dim; ++d)
+                    w_[d] += eta * y * x[d];
+                b_ += eta * y;
+            }
+        }
+    }
+    trained_ = true;
+}
+
+double
+LinearSvm::decision(const std::vector<double> &x) const
+{
+    assert(trained_);
+    const std::vector<double> z = standardize(x);
+    double v = b_;
+    for (std::size_t d = 0; d < z.size(); ++d)
+        v += w_[d] * z[d];
+    return v;
+}
+
+int
+LinearSvm::predict(const std::vector<double> &x) const
+{
+    return decision(x) >= 0.0 ? 1 : -1;
+}
+
+double
+LinearSvm::accuracy(const SvmDataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (predict(data.features[i]) == data.labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double
+kFoldAccuracy(const SvmDataset &data, unsigned folds, Rng &rng,
+              double lambda, unsigned epochs)
+{
+    if (folds < 2 || data.size() < folds)
+        throw std::invalid_argument("kFold: need >= folds samples");
+
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    double acc_sum = 0.0;
+    for (unsigned f = 0; f < folds; ++f) {
+        SvmDataset train_set, test_set;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const auto &x = data.features[order[i]];
+            const int y = data.labels[order[i]];
+            if (i % folds == f)
+                test_set.add(x, y);
+            else
+                train_set.add(x, y);
+        }
+        LinearSvm svm(lambda, epochs);
+        svm.train(train_set, rng);
+        acc_sum += svm.accuracy(test_set);
+    }
+    return acc_sum / static_cast<double>(folds);
+}
+
+} // namespace autocat

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Linear support vector machine trained with Pegasos SGD
+ * (Shalev-Shwartz et al., 2011), with feature standardization and
+ * k-fold cross-validation — the classifier behind the Cyclone-style
+ * detector (Section V-D).
+ */
+
+#ifndef AUTOCAT_DETECT_SVM_HPP
+#define AUTOCAT_DETECT_SVM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Labeled dataset: rows of features with labels in {-1, +1}. */
+struct SvmDataset
+{
+    std::vector<std::vector<double>> features;
+    std::vector<int> labels;
+
+    void
+    add(std::vector<double> x, int y)
+    {
+        features.push_back(std::move(x));
+        labels.push_back(y);
+    }
+
+    std::size_t size() const { return features.size(); }
+};
+
+/** L2-regularized linear SVM. */
+class LinearSvm
+{
+  public:
+    /**
+     * @param lambda regularization strength
+     * @param epochs passes over the data during training
+     */
+    explicit LinearSvm(double lambda = 1e-3, unsigned epochs = 40);
+
+    /** Fit on @p data (standardizes features internally). */
+    void train(const SvmDataset &data, Rng &rng);
+
+    /** Signed decision value w.x + b (after standardization). */
+    double decision(const std::vector<double> &x) const;
+
+    /** Predicted label in {-1, +1}. */
+    int predict(const std::vector<double> &x) const;
+
+    /** Fraction of @p data classified correctly. */
+    double accuracy(const SvmDataset &data) const;
+
+    /** True once train() has been called. */
+    bool trained() const { return trained_; }
+
+    /** Weight vector (standardized space, tests). */
+    const std::vector<double> &weights() const { return w_; }
+
+  private:
+    std::vector<double> standardize(const std::vector<double> &x) const;
+
+    double lambda_;
+    unsigned epochs_;
+    bool trained_ = false;
+    std::vector<double> w_;
+    double b_ = 0.0;
+    std::vector<double> mean_;
+    std::vector<double> scale_;
+};
+
+/**
+ * Mean k-fold cross-validation accuracy of a LinearSvm on @p data
+ * (paper reports 98.8% 5-fold accuracy for the Cyclone SVM).
+ */
+double kFoldAccuracy(const SvmDataset &data, unsigned folds, Rng &rng,
+                     double lambda = 1e-3, unsigned epochs = 40);
+
+} // namespace autocat
+
+#endif // AUTOCAT_DETECT_SVM_HPP

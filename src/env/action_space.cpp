@@ -1,0 +1,134 @@
+#include "env/action_space.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace autocat {
+
+ActionSpace::ActionSpace(const EnvConfig &config)
+    : attack_s_(config.attackAddrS),
+      victim_s_(config.victimAddrS),
+      num_access_(static_cast<std::size_t>(config.numAttackAddrs())),
+      num_flush_(config.flushEnable
+                     ? static_cast<std::size_t>(config.numAttackAddrs())
+                     : 0),
+      num_guess_(static_cast<std::size_t>(config.numVictimAddrs())),
+      guess_empty_(config.victimNoAccessEnable)
+{
+    flush_base_ = num_access_;
+    trigger_base_ = flush_base_ + num_flush_;
+    guess_base_ = trigger_base_ + 1;
+    size_ = guess_base_ + num_guess_ + (guess_empty_ ? 1 : 0);
+}
+
+Action
+ActionSpace::decode(std::size_t index) const
+{
+    assert(index < size_);
+    Action a;
+    if (index < flush_base_) {
+        a.kind = ActionKind::Access;
+        a.addr = attack_s_ + index;
+    } else if (index < trigger_base_) {
+        a.kind = ActionKind::Flush;
+        a.addr = attack_s_ + (index - flush_base_);
+    } else if (index == trigger_base_) {
+        a.kind = ActionKind::TriggerVictim;
+    } else if (index < guess_base_ + num_guess_) {
+        a.kind = ActionKind::Guess;
+        a.addr = victim_s_ + (index - guess_base_);
+    } else {
+        assert(guess_empty_);
+        a.kind = ActionKind::GuessNoAccess;
+    }
+    return a;
+}
+
+std::size_t
+ActionSpace::encode(const Action &action) const
+{
+    switch (action.kind) {
+      case ActionKind::Access:
+        return accessIndex(action.addr);
+      case ActionKind::Flush:
+        return flushIndex(action.addr);
+      case ActionKind::TriggerVictim:
+        return trigger_base_;
+      case ActionKind::Guess:
+        return guessIndex(action.addr);
+      case ActionKind::GuessNoAccess:
+        return guessNoAccessIndex();
+    }
+    throw std::invalid_argument("bad action kind");
+}
+
+std::size_t
+ActionSpace::accessIndex(std::uint64_t addr) const
+{
+    const std::uint64_t off = addr - attack_s_;
+    if (off >= num_access_)
+        throw std::out_of_range("access addr outside attacker range");
+    return static_cast<std::size_t>(off);
+}
+
+std::size_t
+ActionSpace::flushIndex(std::uint64_t addr) const
+{
+    if (num_flush_ == 0)
+        throw std::logic_error("flush actions are disabled");
+    const std::uint64_t off = addr - attack_s_;
+    if (off >= num_flush_)
+        throw std::out_of_range("flush addr outside attacker range");
+    return flush_base_ + static_cast<std::size_t>(off);
+}
+
+std::size_t
+ActionSpace::guessIndex(std::uint64_t addr) const
+{
+    const std::uint64_t off = addr - victim_s_;
+    if (off >= num_guess_)
+        throw std::out_of_range("guess addr outside victim range");
+    return guess_base_ + static_cast<std::size_t>(off);
+}
+
+std::size_t
+ActionSpace::guessNoAccessIndex() const
+{
+    if (!guess_empty_)
+        throw std::logic_error("guess-no-access is disabled");
+    return guess_base_ + num_guess_;
+}
+
+bool
+ActionSpace::isGuess(std::size_t index) const
+{
+    assert(index < size_);
+    return index >= guess_base_;
+}
+
+std::string
+ActionSpace::toString(std::size_t index) const
+{
+    const Action a = decode(index);
+    switch (a.kind) {
+      case ActionKind::Access:
+        return std::to_string(a.addr);
+      case ActionKind::Flush: {
+        std::string s = "f";
+        s += std::to_string(a.addr);
+        return s;
+      }
+      case ActionKind::TriggerVictim:
+        return "v";
+      case ActionKind::Guess: {
+        std::string s = "g";
+        s += std::to_string(a.addr);
+        return s;
+      }
+      case ActionKind::GuessNoAccess:
+        return "gE";
+    }
+    return "?";
+}
+
+} // namespace autocat

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Guessing-game environment configuration — the exact knob set of
+ * Table II in the paper (cache configs, attack & victim program
+ * configuration, and RL/reward configuration), plus the episode-mode
+ * switches used by the Section V case studies.
+ */
+
+#ifndef AUTOCAT_ENV_ENV_CONFIG_HPP
+#define AUTOCAT_ENV_ENV_CONFIG_HPP
+
+#include <cstdint>
+
+#include "cache/cache_config.hpp"
+
+namespace autocat {
+
+/** Full configuration of a CacheGuessingGame. */
+struct EnvConfig
+{
+    // ----- cache configs (Table II: "Cache configs in cache simulator")
+    /** Single-level cache configuration (used when !twoLevel). */
+    CacheConfig cache;
+
+    /** Use a two-level hierarchy instead of a single cache. */
+    bool twoLevel = false;
+
+    /** Two-level configuration (used when twoLevel). */
+    TwoLevelConfig twoLevelCfg;
+
+    // ----- attack & victim program configuration (Table II)
+    /** Attack program address range, inclusive. */
+    std::uint64_t attackAddrS = 0;
+    std::uint64_t attackAddrE = 3;
+
+    /** Victim program address range, inclusive. */
+    std::uint64_t victimAddrS = 0;
+    std::uint64_t victimAddrE = 3;
+
+    /** Allow clflush actions for the attack program. */
+    bool flushEnable = false;
+
+    /**
+     * Victim may make no access when triggered; adds the "no access"
+     * secret value and the corresponding guess action (paper's 0/E
+     * victim configuration).
+     */
+    bool victimNoAccessEnable = false;
+
+    /** Terminate the episode when a Terminate-mode detector fires. */
+    bool detectionEnable = false;
+
+    /**
+     * A guess made before the victim program has been triggered is
+     * always scored as wrong (the official AutoCAT environment's
+     * behavior): a guess only counts against an actual transmission,
+     * which removes the degenerate guess-immediately policy.
+     */
+    bool requireTriggerBeforeGuess = true;
+
+    // ----- episode structure
+    /**
+     * Observation-history window W (paper: empirically 4-8x
+     * num_blocks); 0 selects 6 * num_blocks automatically.
+     */
+    unsigned windowSize = 0;
+
+    /**
+     * Maximum steps per single-secret episode before the length
+     * violation fires; 0 selects windowSize.
+     */
+    unsigned episodeLengthLimit = 0;
+
+    /**
+     * Multi-secret mode (Tables VIII/IX): episodes last exactly
+     * multiSecretEpisodeSteps steps, each guess scores and re-samples
+     * the secret instead of ending the episode.
+     */
+    bool multiSecret = false;
+    unsigned multiSecretEpisodeSteps = 160;
+
+    /**
+     * Real-hardware batched mode (Section IV-C): latencies are masked
+     * (observed as N.A.) until the first guess action, which reveals
+     * the latency history instead of scoring; the following guess is
+     * evaluated normally.
+     */
+    bool revealOnGuess = false;
+
+    /**
+     * Initialize the cache by accessing addresses randomly sampled
+     * from the attack and victim ranges (Section VI-B); when false the
+     * episode starts from an empty cache.
+     */
+    bool randomInit = true;
+
+    /** Number of warm-up accesses; 0 selects num_blocks. */
+    unsigned initAccesses = 0;
+
+    /**
+     * PL cache defense (Section V-D): pre-install and lock every
+     * victim-range line at episode start.
+     */
+    bool plCacheLockVictim = false;
+
+    // ----- RL / reward configuration (Table II)
+    double correctGuessReward = 1.0;
+    double wrongGuessReward = -1.0;
+    double stepReward = -0.01;
+    double lengthViolationReward = -1.0;
+    double detectionReward = -1.0;
+
+    /** Multi-secret: penalty when an episode contains no guess. */
+    double noGuessReward = -1.0;
+
+    /** Master seed (secret sampling, init accesses). */
+    std::uint64_t seed = 1;
+
+    /** Number of attacker-accessible addresses. */
+    std::uint64_t
+    numAttackAddrs() const
+    {
+        return attackAddrE - attackAddrS + 1;
+    }
+
+    /** Number of victim-accessible addresses (without "no access"). */
+    std::uint64_t
+    numVictimAddrs() const
+    {
+        return victimAddrE - victimAddrS + 1;
+    }
+
+    /** Number of distinct secret values. */
+    std::uint64_t
+    numSecrets() const
+    {
+        return numVictimAddrs() + (victimNoAccessEnable ? 1 : 0);
+    }
+
+    /** Blocks in the (attacked level of the) cache. */
+    unsigned
+    numBlocks() const
+    {
+        return twoLevel ? twoLevelCfg.l2.numBlocks() : cache.numBlocks();
+    }
+
+    /** Resolved window size. */
+    unsigned
+    resolvedWindowSize() const
+    {
+        if (windowSize > 0)
+            return windowSize;
+        return 6 * numBlocks();
+    }
+
+    /** Resolved episode length limit (single-secret mode). */
+    unsigned
+    resolvedLengthLimit() const
+    {
+        if (episodeLengthLimit > 0)
+            return episodeLengthLimit;
+        return resolvedWindowSize();
+    }
+
+    /** Resolved warm-up access count. */
+    unsigned
+    resolvedInitAccesses() const
+    {
+        if (!randomInit)
+            return 0;
+        if (initAccesses > 0)
+            return initAccesses;
+        // Two passes worth of random draws leave the cache almost
+        // fully populated, which both matches the paper's warm-start
+        // setting and keeps the learning signal smooth (each extra
+        // eviction access has a visible marginal effect).
+        return 2 * numBlocks();
+    }
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_ENV_ENV_CONFIG_HPP

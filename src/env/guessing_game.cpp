@@ -1,0 +1,362 @@
+#include "env/guessing_game.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace autocat {
+
+std::unique_ptr<MemorySystem>
+makeMemorySystem(const EnvConfig &config)
+{
+    if (config.twoLevel)
+        return std::make_unique<TwoLevelMemory>(config.twoLevelCfg);
+    return std::make_unique<SingleLevelMemory>(config.cache);
+}
+
+CacheGuessingGame::CacheGuessingGame(const EnvConfig &config)
+    : CacheGuessingGame(config, makeMemorySystem(config))
+{
+}
+
+CacheGuessingGame::CacheGuessingGame(const EnvConfig &config,
+                                     std::unique_ptr<MemorySystem> memory)
+    : config_(config),
+      actions_(config),
+      memory_(std::move(memory)),
+      rng_(config.seed),
+      window_(config.resolvedWindowSize()),
+      length_limit_(config.resolvedLengthLimit())
+{
+    if (config_.attackAddrE < config_.attackAddrS ||
+        config_.victimAddrE < config_.victimAddrS) {
+        throw std::invalid_argument("env: empty address range");
+    }
+    // Per-slot features: latency one-hot (3) + action one-hot (A) +
+    // normalized step (1) + victim-triggered flag (1).
+    slot_dim_ = 3 + actions_.size() + 2;
+    installListener();
+}
+
+void
+CacheGuessingGame::installListener()
+{
+    memory_->setEventListener([this](const CacheEvent &ev) {
+        for (auto &entry : detectors_)
+            entry.detector->onEvent(ev);
+    });
+}
+
+void
+CacheGuessingGame::attachDetector(std::shared_ptr<Detector> detector,
+                                  DetectorMode mode)
+{
+    assert(detector);
+    detectors_.push_back({std::move(detector), mode});
+}
+
+std::size_t
+CacheGuessingGame::observationSize() const
+{
+    // Window slots, plus two 4-state latency summaries per attacker
+    // address (whole episode, and since the last victim trigger), plus
+    // three global features: reveal-phase flag, victim-triggered flag,
+    // and normalized episode progress.
+    return static_cast<std::size_t>(window_) * slot_dim_ +
+           8 * static_cast<std::size_t>(config_.numAttackAddrs()) + 3;
+}
+
+std::size_t
+CacheGuessingGame::numActions() const
+{
+    return actions_.size();
+}
+
+std::vector<std::optional<std::uint64_t>>
+CacheGuessingGame::secretSpace() const
+{
+    std::vector<std::optional<std::uint64_t>> secrets;
+    for (std::uint64_t a = config_.victimAddrS; a <= config_.victimAddrE;
+         ++a) {
+        secrets.emplace_back(a);
+    }
+    if (config_.victimNoAccessEnable)
+        secrets.emplace_back(std::nullopt);
+    return secrets;
+}
+
+std::optional<std::uint64_t>
+CacheGuessingGame::sampleSecret()
+{
+    const std::uint64_t n = config_.numSecrets();
+    const std::uint64_t pick = rng_.uniformInt(n);
+    if (pick < config_.numVictimAddrs())
+        return config_.victimAddrS + pick;
+    return std::nullopt;  // victim makes no access
+}
+
+void
+CacheGuessingGame::initializeEpisodeState()
+{
+    memory_->reset();
+
+    if (config_.plCacheLockVictim) {
+        for (std::uint64_t a = config_.victimAddrS;
+             a <= config_.victimAddrE; ++a) {
+            memory_->lockLine(a, Domain::Victim);
+        }
+    }
+
+    // Warm the cache with accesses sampled uniformly over the union of
+    // the attack and victim address ranges (Section VI-B initialization
+    // scheme). Locked lines survive.
+    const unsigned warmups = config_.resolvedInitAccesses();
+    if (warmups > 0) {
+        std::vector<std::uint64_t> pool;
+        for (std::uint64_t a = config_.attackAddrS;
+             a <= config_.attackAddrE; ++a) {
+            pool.push_back(a);
+        }
+        for (std::uint64_t a = config_.victimAddrS;
+             a <= config_.victimAddrE; ++a) {
+            if (a < config_.attackAddrS || a > config_.attackAddrE)
+                pool.push_back(a);
+        }
+        for (unsigned i = 0; i < warmups; ++i) {
+            const std::uint64_t a = pool[rng_.uniformInt(pool.size())];
+            const bool attacker_addr =
+                a >= config_.attackAddrS && a <= config_.attackAddrE;
+            memory_->access(a, attacker_addr ? Domain::Attacker
+                                             : Domain::Victim);
+        }
+    }
+
+    // Detectors must not see the warm-up traffic.
+    for (auto &entry : detectors_)
+        entry.detector->onEpisodeReset();
+}
+
+std::vector<float>
+CacheGuessingGame::reset()
+{
+    initializeEpisodeState();
+    secret_ = sampleSecret();
+    victim_triggered_ = false;
+    revealed_ = false;
+    done_ = false;
+    step_count_ = 0;
+    guesses_this_episode_ = 0;
+    history_.clear();
+    addr_lat_actual_.assign(
+        static_cast<std::size_t>(config_.numAttackAddrs()), AddrNever);
+    addr_lat_visible_ = addr_lat_actual_;
+    addr_lat_post_actual_ = addr_lat_actual_;
+    addr_lat_post_visible_ = addr_lat_actual_;
+    return buildObservation();
+}
+
+void
+CacheGuessingGame::forceSecret(std::optional<std::uint64_t> secret)
+{
+    if (secret && (*secret < config_.victimAddrS ||
+                   *secret > config_.victimAddrE)) {
+        throw std::out_of_range("forced secret outside victim range");
+    }
+    if (!secret && !config_.victimNoAccessEnable)
+        throw std::logic_error("no-access secret is disabled");
+    secret_ = secret;
+}
+
+void
+CacheGuessingGame::pushHistory(std::size_t action, int actual_lat)
+{
+    HistorySlot slot;
+    slot.actualLat = actual_lat;
+    // In reveal mode latencies stay masked until the reveal point.
+    slot.visibleLat =
+        (config_.revealOnGuess && !revealed_) ? LatNa : actual_lat;
+    slot.action = action;
+    slot.step = step_count_;
+    slot.victimTriggered = victim_triggered_;
+    history_.push_back(slot);
+    while (history_.size() > window_)
+        history_.pop_front();
+}
+
+std::vector<float>
+CacheGuessingGame::buildObservation() const
+{
+    std::vector<float> obs(observationSize(), 0.0f);
+    // Newest slot occupies the last window position so the most recent
+    // context always lives at a fixed offset.
+    const std::size_t count = history_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const HistorySlot &slot = history_[i];
+        const std::size_t pos = window_ - count + i;
+        float *base = obs.data() + pos * slot_dim_;
+        base[slot.visibleLat] = 1.0f;
+        base[3 + slot.action] = 1.0f;
+        base[3 + actions_.size()] =
+            static_cast<float>(slot.step) /
+            static_cast<float>(std::max(1u, length_limit_));
+        base[3 + actions_.size() + 1] = slot.victimTriggered ? 1.0f : 0.0f;
+    }
+    // Per-address latency summaries (fixed positions).
+    std::size_t offset = window_ * slot_dim_;
+    for (std::size_t a = 0; a < addr_lat_visible_.size(); ++a)
+        obs[offset + 4 * a + addr_lat_visible_[a]] = 1.0f;
+    offset += 4 * addr_lat_visible_.size();
+    for (std::size_t a = 0; a < addr_lat_post_visible_.size(); ++a)
+        obs[offset + 4 * a + addr_lat_post_visible_[a]] = 1.0f;
+    offset += 4 * addr_lat_post_visible_.size();
+
+    obs[offset] = revealed_ ? 1.0f : 0.0f;
+    obs[offset + 1] = victim_triggered_ ? 1.0f : 0.0f;
+    const unsigned denom = config_.multiSecret
+                               ? config_.multiSecretEpisodeSteps
+                               : length_limit_;
+    obs[offset + 2] = static_cast<float>(step_count_) /
+                      static_cast<float>(std::max(1u, denom));
+    return obs;
+}
+
+StepResult
+CacheGuessingGame::step(std::size_t action_index)
+{
+    if (done_)
+        throw std::logic_error("step() after episode end; call reset()");
+    assert(action_index < actions_.size());
+
+    StepResult result;
+    const Action action = actions_.decode(action_index);
+    ++step_count_;
+
+    int lat = LatNa;
+    double reward = 0.0;
+
+    switch (action.kind) {
+      case ActionKind::Access: {
+        const MemoryAccessResult res =
+            memory_->access(action.addr, Domain::Attacker);
+        lat = res.hit ? LatHit : LatMiss;
+        reward += config_.stepReward;
+        const std::size_t off =
+            static_cast<std::size_t>(action.addr - config_.attackAddrS);
+        const int cls = res.hit ? AddrHit : AddrMiss;
+        const bool masked = config_.revealOnGuess && !revealed_;
+        addr_lat_actual_[off] = cls;
+        addr_lat_visible_[off] = masked ? AddrMasked : cls;
+        if (victim_triggered_) {
+            addr_lat_post_actual_[off] = cls;
+            addr_lat_post_visible_[off] = masked ? AddrMasked : cls;
+        }
+        break;
+      }
+      case ActionKind::Flush: {
+        memory_->flush(action.addr, Domain::Attacker);
+        reward += config_.stepReward;
+        break;
+      }
+      case ActionKind::TriggerVictim: {
+        if (secret_)
+            memory_->access(*secret_, Domain::Victim);
+        victim_triggered_ = true;
+        reward += config_.stepReward;
+        // The post-trigger summary restarts at each trigger.
+        addr_lat_post_actual_.assign(addr_lat_post_actual_.size(),
+                                     AddrNever);
+        addr_lat_post_visible_ = addr_lat_post_actual_;
+        break;
+      }
+      case ActionKind::Guess:
+      case ActionKind::GuessNoAccess: {
+        if (config_.revealOnGuess && !revealed_) {
+            // Real-hardware batched mode: the first guess action ends
+            // the blind phase. The latency history becomes visible and
+            // the agent guesses again with full information.
+            revealed_ = true;
+            for (auto &slot : history_)
+                slot.visibleLat = slot.actualLat;
+            addr_lat_visible_ = addr_lat_actual_;
+            addr_lat_post_visible_ = addr_lat_post_actual_;
+            reward += config_.stepReward;
+            break;
+        }
+        const bool match =
+            action.kind == ActionKind::GuessNoAccess
+                ? !secret_.has_value()
+                : (secret_.has_value() && action.addr == *secret_);
+        const bool correct =
+            match && (victim_triggered_ ||
+                      !config_.requireTriggerBeforeGuess);
+        reward += correct ? config_.correctGuessReward
+                          : config_.wrongGuessReward;
+        result.info.guessMade = true;
+        result.info.guessCorrect = correct;
+        ++guesses_this_episode_;
+
+        if (config_.multiSecret) {
+            // The guess transmits one symbol; the victim's next secret
+            // is drawn fresh and the episode continues.
+            secret_ = sampleSecret();
+            victim_triggered_ = false;
+            revealed_ = false;
+            addr_lat_actual_.assign(addr_lat_actual_.size(), AddrNever);
+            addr_lat_visible_ = addr_lat_actual_;
+            addr_lat_post_actual_ = addr_lat_actual_;
+            addr_lat_post_visible_ = addr_lat_actual_;
+        } else {
+            done_ = true;
+        }
+        break;
+      }
+    }
+
+    // Detector handling.
+    for (auto &entry : detectors_) {
+        reward += entry.detector->consumeStepPenalty();
+        if (entry.mode == DetectorMode::Terminate &&
+            config_.detectionEnable && entry.detector->flagged() &&
+            !done_) {
+            reward += config_.detectionReward;
+            result.info.detected = true;
+            done_ = true;
+        }
+    }
+
+    // Episode length handling.
+    if (!done_) {
+        if (config_.multiSecret) {
+            if (step_count_ >= config_.multiSecretEpisodeSteps) {
+                done_ = true;
+                if (guesses_this_episode_ == 0)
+                    reward += config_.noGuessReward;
+            }
+        } else if (step_count_ >= length_limit_) {
+            done_ = true;
+            reward += config_.lengthViolationReward;
+            result.info.lengthViolation = true;
+        }
+    }
+
+    // Episode-end detector outcomes (penalties and detection flags).
+    if (done_) {
+        for (auto &entry : detectors_) {
+            if (entry.mode == DetectorMode::Penalize) {
+                reward += entry.detector->episodePenalty();
+                if (entry.detector->flagged())
+                    result.info.detected = true;
+            }
+        }
+    }
+
+    pushHistory(action_index, lat);
+
+    result.reward = reward;
+    result.done = done_;
+    result.info.observedLatency =
+        (config_.revealOnGuess && !revealed_) ? LatNa : lat;
+    result.obs = buildObservation();
+    return result;
+}
+
+} // namespace autocat

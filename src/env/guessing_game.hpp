@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The cache guessing game (Sections III-B and IV of the paper).
+ *
+ * An RL agent controls the attack program: it accesses / flushes its
+ * own addresses, decides when the victim runs, and finally guesses the
+ * victim's secret address. The environment owns the memory system, the
+ * secret, the guess evaluator, the reward shaping, and optional
+ * detector hooks (Section V-D case studies).
+ */
+
+#ifndef AUTOCAT_ENV_GUESSING_GAME_HPP
+#define AUTOCAT_ENV_GUESSING_GAME_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/memory_system.hpp"
+#include "detect/detector.hpp"
+#include "env/action_space.hpp"
+#include "env/env_config.hpp"
+#include "rl/env_interface.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Latency classes visible to the agent. */
+enum LatencyClass : int { LatHit = 0, LatMiss = 1, LatNa = 2 };
+
+/** Build the memory system an EnvConfig describes. */
+std::unique_ptr<MemorySystem> makeMemorySystem(const EnvConfig &config);
+
+/** Gym-style guessing-game environment. */
+class CacheGuessingGame : public Environment
+{
+  public:
+    /**
+     * Construct with an internally-built memory system.
+     */
+    explicit CacheGuessingGame(const EnvConfig &config);
+
+    /**
+     * Construct around an externally-provided memory system (e.g. the
+     * simulated real-hardware target in src/hw). The environment takes
+     * ownership.
+     */
+    CacheGuessingGame(const EnvConfig &config,
+                      std::unique_ptr<MemorySystem> memory);
+
+    // The memory system's event listener captures `this`; copying or
+    // moving would leave it dangling.
+    CacheGuessingGame(const CacheGuessingGame &) = delete;
+    CacheGuessingGame &operator=(const CacheGuessingGame &) = delete;
+
+    // Environment interface ------------------------------------------
+    std::size_t observationSize() const override;
+    std::size_t numActions() const override;
+    std::vector<float> reset() override;
+    StepResult step(std::size_t action) override;
+
+    // Introspection ---------------------------------------------------
+    /** The action-space layout. */
+    const ActionSpace &actionSpace() const { return actions_; }
+
+    /** The configuration. */
+    const EnvConfig &config() const { return config_; }
+
+    /** Current secret; nullopt encodes "victim makes no access". */
+    std::optional<std::uint64_t> secret() const { return secret_; }
+
+    /** All possible secret values (victim addresses, then no-access). */
+    std::vector<std::optional<std::uint64_t>> secretSpace() const;
+
+    /**
+     * Override the current episode's secret (deterministic replay,
+     * sequence evaluation, tests). Call immediately after reset().
+     */
+    void forceSecret(std::optional<std::uint64_t> secret);
+
+    /** The underlying memory system (tests, state dumps). */
+    MemorySystem &memory() { return *memory_; }
+
+    /**
+     * Attach a detector. Terminate-mode detectors end the episode with
+     * detectionReward when they fire (requires detectionEnable);
+     * Penalize-mode detectors contribute step and episode-end reward
+     * penalties without terminating.
+     */
+    void attachDetector(std::shared_ptr<Detector> detector,
+                        DetectorMode mode);
+
+    /** Steps taken in the current episode. */
+    unsigned stepsTaken() const { return step_count_; }
+
+    /** Reseed the environment RNG (independent evaluation streams). */
+    void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+  private:
+    struct HistorySlot
+    {
+        int visibleLat = LatNa;  ///< latency class shown to the agent
+        int actualLat = LatNa;   ///< true latency (reveal mode)
+        std::size_t action = 0;
+        unsigned step = 0;
+        bool victimTriggered = false;
+    };
+
+    /** Per-attacker-address summary states (see buildObservation). */
+    enum AddrLat : int {
+        AddrHit = 0,
+        AddrMiss = 1,
+        AddrMasked = 2,
+        AddrNever = 3,
+    };
+
+    void installListener();
+    void initializeEpisodeState();
+    void pushHistory(std::size_t action, int actual_lat);
+    std::vector<float> buildObservation() const;
+    std::optional<std::uint64_t> sampleSecret();
+
+    EnvConfig config_;
+    ActionSpace actions_;
+    std::unique_ptr<MemorySystem> memory_;
+    Rng rng_;
+
+    struct DetectorEntry
+    {
+        std::shared_ptr<Detector> detector;
+        DetectorMode mode;
+    };
+    std::vector<DetectorEntry> detectors_;
+
+    unsigned window_;
+    unsigned length_limit_;
+    std::size_t slot_dim_;
+
+    // Episode state.
+    std::optional<std::uint64_t> secret_;
+    bool victim_triggered_ = false;
+    bool revealed_ = false;
+    bool done_ = true;
+    unsigned step_count_ = 0;
+    unsigned guesses_this_episode_ = 0;
+    std::deque<HistorySlot> history_;
+
+    /**
+     * Summary feature state: the latency class last observed for each
+     * attacker address (actual, and the masked view shown before a
+     * reveal in batched mode). This is a re-encoding of information
+     * already present in the observation window — it gives the MLP
+     * policy fixed-position access to the per-address timing the
+     * paper's Transformer extracts by pooling over the window.
+     */
+    std::vector<int> addr_lat_actual_;
+    std::vector<int> addr_lat_visible_;
+
+    /** Same summary restricted to accesses after the last trigger. */
+    std::vector<int> addr_lat_post_actual_;
+    std::vector<int> addr_lat_post_visible_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_ENV_GUESSING_GAME_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Distinguishing-sequence oracle over an EnvConfig.
+ *
+ * A fixed primitive-action sequence (accesses, flushes, victim
+ * triggers) is a working attack exactly when the latency pattern it
+ * produces differs for every pair of secrets — then a final guess can
+ * decode the secret from the observations. The search baselines of
+ * Section VI-A use this oracle to score candidates.
+ */
+
+#ifndef AUTOCAT_ENV_SEQUENCE_ORACLE_HPP
+#define AUTOCAT_ENV_SEQUENCE_ORACLE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "env/action_space.hpp"
+#include "env/env_config.hpp"
+#include "rl/search.hpp"
+
+namespace autocat {
+
+/** Oracle that replays sequences against every secret. */
+class DistinguishingOracle : public SequenceOracle
+{
+  public:
+    /**
+     * @param config environment description (randomInit is ignored:
+     *               candidates run from a deterministic empty cache so
+     *               distinguishability is well defined)
+     */
+    explicit DistinguishingOracle(const EnvConfig &config);
+
+    std::size_t numPrimitives() const override;
+    bool isDistinguishing(const std::vector<std::size_t> &seq) override;
+    long long
+    stepsPerTrial(const std::vector<std::size_t> &seq) const override;
+
+    /**
+     * Latency pattern of @p seq under @p secret (one entry per access
+     * action; flushes and triggers contribute no observation).
+     */
+    std::vector<int>
+    latencyPattern(const std::vector<std::size_t> &seq,
+                   std::optional<std::uint64_t> secret) const;
+
+    /** The action space used for index decoding. */
+    const ActionSpace &actionSpace() const { return actions_; }
+
+  private:
+    EnvConfig config_;
+    ActionSpace actions_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_ENV_SEQUENCE_ORACLE_HPP

@@ -1,0 +1,230 @@
+#include "hw/covert_channel.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace autocat {
+
+namespace {
+
+CacheConfig
+channelCache(const CovertChannelConfig &config)
+{
+    CacheConfig cfg;
+    cfg.numSets = 1;
+    cfg.numWays = config.ways;
+    cfg.policy = config.policy;
+    // Shared lines + a rotating evictor pool of the same size.
+    cfg.addressSpaceSize = 2ull * config.ways;
+    cfg.seed = config.seed;
+    return cfg;
+}
+
+} // namespace
+
+CovertChannel::CovertChannel(const CovertChannelConfig &config)
+    : config_(config), cache_(channelCache(config)), rng_(config.seed)
+{
+    if (config_.protocol == CovertProtocol::StealthyStreamline) {
+        candidates_ = 1u << config_.bitsPerSymbol;
+        if (candidates_ > config_.ways) {
+            throw std::invalid_argument(
+                "SS: 2^bitsPerSymbol must fit in the set");
+        }
+    } else {
+        candidates_ = 1;
+    }
+    buildDecodeTable();
+}
+
+unsigned
+CovertChannel::symbolsPerRound() const
+{
+    return config_.protocol == CovertProtocol::StealthyStreamline
+               ? (1u << config_.bitsPerSymbol)
+               : 2;
+}
+
+unsigned
+CovertChannel::accessesPerRound() const
+{
+    if (config_.protocol == CovertProtocol::StealthyStreamline) {
+        // sender + evictor + candidates timed + (ways - candidates)
+        // reorder accesses.
+        return config_.ways + 2;
+    }
+    // prime N + sender (counted as 1) + evictor + 1 timed probe.
+    return config_.ways + 3;
+}
+
+unsigned
+CovertChannel::measuredPerRound() const
+{
+    return config_.protocol == CovertProtocol::StealthyStreamline
+               ? candidates_
+               : 1;
+}
+
+void
+CovertChannel::primeCanonical()
+{
+    for (unsigned a = 0; a < config_.ways; ++a) {
+        const AccessResult r = cache_.access(a, Domain::Attacker);
+        cycles_ += config_.latency.plainAccess(r.hit ? 1 : 2);
+    }
+}
+
+void
+CovertChannel::maybeInterfere()
+{
+    if (config_.noise > 0.0 && rng_.bernoulli(config_.noise)) {
+        const std::uint64_t stray =
+            rng_.uniformInt(cache_.config().addressSpaceSize);
+        cache_.access(stray, Domain::Attacker);
+    }
+}
+
+unsigned
+CovertChannel::sendSymbolOnce(unsigned symbol)
+{
+    cycles_ += config_.roundOverheadCycles;
+
+    const std::uint64_t evictor =
+        config_.ways + (evictor_cursor_++ % config_.ways);
+
+    if (config_.protocol == CovertProtocol::StealthyStreamline) {
+        // 1. sender encodes by touching candidate line `symbol`.
+        maybeInterfere();
+        const AccessResult s = cache_.access(symbol, Domain::Victim);
+        if (!s.hit)
+            ++sender_misses_;
+        cycles_ += config_.latency.plainAccess(s.hit ? 1 : 2);
+
+        // 2. evictor access displaces the oldest candidate.
+        maybeInterfere();
+        const AccessResult e = cache_.access(evictor, Domain::Attacker);
+        cycles_ += config_.latency.plainAccess(e.hit ? 1 : 2);
+
+        // 3. timed probes of the candidates; hit position decodes.
+        std::vector<int> pattern;
+        for (unsigned c = 0; c < candidates_; ++c) {
+            maybeInterfere();
+            const AccessResult p = cache_.access(c, Domain::Attacker);
+            cycles_ += config_.latency.measuredAccess(p.hit ? 1 : 2);
+            pattern.push_back(p.hit ? 1 : 0);
+        }
+
+        // 4. re-normalize the rest of the set (streamline overlap:
+        // the probes above already re-primed the candidates).
+        for (unsigned a = candidates_; a < config_.ways; ++a) {
+            maybeInterfere();
+            const AccessResult r = cache_.access(a, Domain::Attacker);
+            cycles_ += config_.latency.plainAccess(r.hit ? 1 : 2);
+        }
+
+        const auto it = decode_.find(pattern);
+        if (it != decode_.end())
+            return it->second;
+        return 0;  // undecodable pattern: report symbol 0
+    }
+
+    // LRU address-based: one bit per round.
+    primeCanonical();
+    if (symbol & 1u) {
+        maybeInterfere();
+        const AccessResult s = cache_.access(0, Domain::Victim);
+        if (!s.hit)
+            ++sender_misses_;
+        cycles_ += config_.latency.plainAccess(s.hit ? 1 : 2);
+    }
+    maybeInterfere();
+    const AccessResult e = cache_.access(evictor, Domain::Attacker);
+    cycles_ += config_.latency.plainAccess(e.hit ? 1 : 2);
+
+    maybeInterfere();
+    const AccessResult p = cache_.access(0, Domain::Attacker);
+    cycles_ += config_.latency.measuredAccess(p.hit ? 1 : 2);
+    return p.hit ? 1u : 0u;
+}
+
+void
+CovertChannel::buildDecodeTable()
+{
+    if (config_.protocol != CovertProtocol::StealthyStreamline)
+        return;
+
+    // Dry-run each symbol from the canonical state with no noise to
+    // learn the pattern -> symbol mapping (channel calibration phase).
+    const double saved_noise = config_.noise;
+    config_.noise = 0.0;
+    for (unsigned s = 0; s < symbolsPerRound(); ++s) {
+        cache_.reset();
+        evictor_cursor_ = 0;
+        primeCanonical();
+
+        // Inline round without decoding.
+        const std::uint64_t evictor =
+            config_.ways + (evictor_cursor_++ % config_.ways);
+        cache_.access(s, Domain::Victim);
+        cache_.access(evictor, Domain::Attacker);
+        std::vector<int> pattern;
+        for (unsigned c = 0; c < candidates_; ++c) {
+            const AccessResult p = cache_.access(c, Domain::Attacker);
+            pattern.push_back(p.hit ? 1 : 0);
+        }
+        decode_[pattern] = s;
+    }
+    config_.noise = saved_noise;
+
+    cache_.reset();
+    evictor_cursor_ = 0;
+    cycles_ = 0.0;
+    sender_misses_ = 0;
+}
+
+CovertResult
+CovertChannel::transmit(const BitString &message)
+{
+    cache_.reset();
+    cycles_ = 0.0;
+    sender_misses_ = 0;
+    evictor_cursor_ = 0;
+    primeCanonical();
+
+    const unsigned bits_per_symbol =
+        config_.protocol == CovertProtocol::StealthyStreamline
+            ? config_.bitsPerSymbol
+            : 1;
+    const std::vector<unsigned> symbols =
+        packSymbols(message, bits_per_symbol);
+
+    std::vector<unsigned> received;
+    received.reserve(symbols.size());
+    for (unsigned s : symbols) {
+        std::vector<unsigned> votes(symbolsPerRound(), 0);
+        for (unsigned r = 0; r < std::max(1u, config_.repeats); ++r)
+            ++votes[sendSymbolOnce(s) % votes.size()];
+        unsigned best = 0;
+        for (unsigned v = 1; v < votes.size(); ++v) {
+            if (votes[v] > votes[best])
+                best = v;
+        }
+        received.push_back(best);
+    }
+
+    BitString decoded = unpackSymbols(received, bits_per_symbol);
+    decoded.resize(message.size());
+
+    CovertResult result;
+    result.bitsSent = message.size();
+    result.errorRate = bitErrorRate(message, decoded);
+    result.cyclesPerBit =
+        message.empty() ? 0.0
+                        : cycles_ / static_cast<double>(message.size());
+    result.mbps = config_.latency.mbps(
+        static_cast<double>(message.size()), cycles_);
+    result.victimMisses = sender_misses_;
+    return result;
+}
+
+} // namespace autocat

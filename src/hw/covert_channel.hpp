@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cache covert-channel protocols for the Table X / Figure 5
+ * experiments: the LRU address-based channel (Xiong & Szefer,
+ * HPCA'20) and StealthyStreamline (the paper's new attack, Fig. 4c),
+ * executed on the cache simulator with a cycle-level latency model.
+ *
+ * StealthyStreamline round (N-way set, 2-bit symbol s in 0..3), from
+ * the canonical state "lines 0..N-1 resident, 0..3 oldest":
+ *   1. sender accesses candidate line s            (1 plain access)
+ *   2. receiver accesses a fresh evictor line      (1 plain miss)
+ *   3. receiver times candidate lines 0..3         (4 measured)
+ *      -> the hit position identifies s
+ *   4. receiver re-accesses lines 4..N-1           (N-4 plain)
+ *      -> restores the canonical state (streamline overlap: the
+ *         timed probes of step 3 double as next round's prime)
+ * Total N+2 accesses per 2 bits, 4 of them measured — matching the
+ * paper's "4 out of 10 (8-way) vs 4 out of 14 (12-way)" accounting.
+ * No victim/sender access ever misses, so the channel is invisible to
+ * miss-count detectors (the "stealthy" property).
+ *
+ * LRU address-based round (1 bit b):
+ *   1. receiver primes lines 0..N-1 in order       (N plain)
+ *   2. sender accesses line 0 when b = 1           (<=1 plain)
+ *   3. receiver accesses a fresh evictor line      (1 plain miss)
+ *   4. receiver times line 0: hit => b = 1         (1 measured)
+ */
+
+#ifndef AUTOCAT_HW_COVERT_CHANNEL_HPP
+#define AUTOCAT_HW_COVERT_CHANNEL_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "hw/latency_model.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Which protocol a channel instance runs. */
+enum class CovertProtocol {
+    LruAddrBased,         ///< 1 bit per round baseline
+    StealthyStreamline,   ///< 2+ bits per round, paper's new attack
+};
+
+/** Channel configuration. */
+struct CovertChannelConfig
+{
+    CovertProtocol protocol = CovertProtocol::StealthyStreamline;
+    unsigned ways = 8;
+    /// Bits per StealthyStreamline symbol (2 or 3; Table X uses 2).
+    unsigned bitsPerSymbol = 2;
+    ReplPolicy policy = ReplPolicy::Lru;
+    LatencyModel latency;
+    /// Per-access probability of a stray interfering access to the set.
+    double noise = 0.0;
+    /// Send each symbol this many times and majority-vote (trades bit
+    /// rate for error rate; generates the Fig. 5 curve).
+    unsigned repeats = 1;
+    /// Fixed per-round protocol overhead (sync, branches) in cycles.
+    double roundOverheadCycles = 400.0;
+    std::uint64_t seed = 1;
+};
+
+/** Transmission outcome. */
+struct CovertResult
+{
+    double mbps = 0.0;
+    double errorRate = 0.0;
+    double cyclesPerBit = 0.0;
+    std::size_t bitsSent = 0;
+    std::size_t victimMisses = 0;  ///< sender demand misses (stealth)
+};
+
+/** A configured covert channel over one simulated cache set. */
+class CovertChannel
+{
+  public:
+    explicit CovertChannel(const CovertChannelConfig &config);
+
+    /** Transmit @p message; returns rate/error measurements. */
+    CovertResult transmit(const BitString &message);
+
+    /** Symbols representable per round. */
+    unsigned symbolsPerRound() const;
+
+    /** Accesses per round (paper's accounting; no noise). */
+    unsigned accessesPerRound() const;
+
+    /** Measured (timed) accesses per round. */
+    unsigned measuredPerRound() const;
+
+  private:
+    void primeCanonical();
+    void maybeInterfere();
+    /// One protocol round; returns the decoded symbol.
+    unsigned sendSymbolOnce(unsigned symbol);
+    void buildDecodeTable();
+
+    CovertChannelConfig config_;
+    Cache cache_;
+    Rng rng_;
+    double cycles_ = 0.0;
+    std::size_t sender_misses_ = 0;
+    std::uint64_t evictor_cursor_ = 0;
+    std::map<std::vector<int>, unsigned> decode_;
+
+    unsigned candidates_ = 4;  ///< timed lines per SS round
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_HW_COVERT_CHANNEL_HPP

@@ -1,0 +1,89 @@
+#include "hw/machines.hpp"
+
+namespace autocat {
+
+std::vector<HardwareTargetPreset>
+tableIIITargets()
+{
+    std::vector<HardwareTargetPreset> t;
+    // Core i7-6700 (SkyLake)
+    t.push_back({"Core i7-6700 (SkyLake)", "L1", 8, ReplPolicy::TreePlru,
+                 true, 15, 0.002, 0.004});
+    t.push_back({"Core i7-6700 (SkyLake)", "L2", 4, ReplPolicy::Rrip,
+                 false, 8, 0.002, 0.004});
+    t.push_back({"Core i7-6700 (SkyLake)", "L3", 4, ReplPolicy::Rrip,
+                 false, 8, 0.002, 0.004});
+    // Core i7-7700K (KabyLake), L3 way-partitioned with Intel CAT.
+    t.push_back({"Core i7-7700K (KabyLake)", "L3", 4, ReplPolicy::Rrip,
+                 false, 8, 0.002, 0.004});
+    t.push_back({"Core i7-7700K (KabyLake)", "L3", 8, ReplPolicy::Rrip,
+                 false, 15, 0.003, 0.005});
+    // Core i7-9700 (CoffeeLake)
+    t.push_back({"Core i7-9700 (CoffeeLake)", "L1", 8,
+                 ReplPolicy::TreePlru, true, 15, 0.002, 0.004});
+    t.push_back({"Core i7-9700 (CoffeeLake)", "L2", 4, ReplPolicy::Rrip,
+                 false, 8, 0.002, 0.004});
+    return t;
+}
+
+std::vector<CovertMachinePreset>
+tableXMachines()
+{
+    std::vector<CovertMachinePreset> m;
+
+    CovertMachinePreset ivy;
+    ivy.cpu = "Xeon E5-2687W v2";
+    ivy.uarch = "IvyBridge";
+    ivy.l1d = "32KB(8way)";
+    ivy.os = "Ubuntu18";
+    ivy.l1Ways = 8;
+    ivy.latency.freqGHz = 3.4;
+    ivy.latency.l1HitCycles = 4.0;
+    ivy.latency.l2HitCycles = 12.0;
+    ivy.latency.measureCycles = 24.0;
+    ivy.noise = 0.0015;
+    m.push_back(ivy);
+
+    CovertMachinePreset sky;
+    sky.cpu = "Core i7-6700";
+    sky.uarch = "Skylake";
+    sky.l1d = "32KB(8way)";
+    sky.os = "Ubuntu18";
+    sky.l1Ways = 8;
+    sky.latency.freqGHz = 3.4;
+    sky.latency.l1HitCycles = 4.0;
+    sky.latency.l2HitCycles = 14.0;
+    sky.latency.measureCycles = 30.0;
+    sky.noise = 0.003;
+    m.push_back(sky);
+
+    CovertMachinePreset rocket1;
+    rocket1.cpu = "Core i5-11600K";
+    rocket1.uarch = "RocketLake";
+    rocket1.l1d = "48KB(12way)";
+    rocket1.os = "CentOS8";
+    rocket1.l1Ways = 12;
+    rocket1.latency.freqGHz = 3.9;
+    rocket1.latency.l1HitCycles = 5.0;
+    rocket1.latency.l2HitCycles = 13.0;
+    rocket1.latency.measureCycles = 30.0;
+    rocket1.noise = 0.003;
+    m.push_back(rocket1);
+
+    CovertMachinePreset rocket2;
+    rocket2.cpu = "Xeon W-1350P";
+    rocket2.uarch = "RocketLake";
+    rocket2.l1d = "48KB(12way)";
+    rocket2.os = "Ubuntu20";
+    rocket2.l1Ways = 12;
+    rocket2.latency.freqGHz = 4.0;
+    rocket2.latency.l1HitCycles = 5.0;
+    rocket2.latency.l2HitCycles = 13.0;
+    rocket2.latency.measureCycles = 32.0;
+    rocket2.noise = 0.004;
+    m.push_back(rocket2);
+
+    return m;
+}
+
+} // namespace autocat

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine presets standing in for the paper's physical test systems.
+ *
+ * Table III explores attacks on specific cache levels of three Intel
+ * CPUs via CacheQuery; Table X measures covert channels on four
+ * machines. We reproduce each as a configured simulator: documented
+ * geometry, a *hidden* replacement policy (the RL agent is never told
+ * which), realistic latencies, and injected noise.
+ *
+ * "N.O.D." levels (not officially documented) use RRIP here, which is
+ * a public approximation of Intel's QLRU family — the point of the
+ * experiment is that the agent adapts without knowing this.
+ */
+
+#ifndef AUTOCAT_HW_MACHINES_HPP
+#define AUTOCAT_HW_MACHINES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "hw/latency_model.hpp"
+
+namespace autocat {
+
+/** One Table III exploration target: a single set of one cache level. */
+struct HardwareTargetPreset
+{
+    std::string cpu;        ///< e.g. "Core i7-6700 (SkyLake)"
+    std::string level;      ///< "L1", "L2", "L3"
+    unsigned ways = 8;
+    ReplPolicy policy = ReplPolicy::TreePlru;  ///< hidden from the agent
+    bool documented = false;  ///< false => "N.O.D." in the table
+    std::uint64_t attackAddrE = 15;  ///< attacker range is [0, attackAddrE]
+    double obsNoise = 0.002;   ///< per-access latency misread probability
+    double interference = 0.004;  ///< per-step stray-access probability
+};
+
+/** The seven Table III rows. */
+std::vector<HardwareTargetPreset> tableIIITargets();
+
+/** One Table X covert-channel machine. */
+struct CovertMachinePreset
+{
+    std::string cpu;     ///< e.g. "Xeon E5-2687W v2"
+    std::string uarch;   ///< e.g. "IvyBridge"
+    std::string l1d;     ///< e.g. "32KB(8way)"
+    std::string os;      ///< e.g. "Ubuntu18"
+    unsigned l1Ways = 8;
+    LatencyModel latency;
+    double noise = 0.002;  ///< per-access interference probability
+};
+
+/** The four Table X machines. */
+std::vector<CovertMachinePreset> tableXMachines();
+
+} // namespace autocat
+
+#endif // AUTOCAT_HW_MACHINES_HPP

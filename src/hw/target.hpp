@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulated black-box hardware target (the CacheQuery substitution).
+ *
+ * Presents the MemorySystem interface the environment consumes, backed
+ * by a single cache set whose replacement policy is configured from a
+ * HardwareTargetPreset but never exposed through the interface — the
+ * RL agent must adapt to it exactly as it would to real silicon.
+ *
+ * Two noise processes model real-machine conditions:
+ *  - observation noise: with probability obsNoise a latency
+ *    measurement is misread (hit reported as miss or vice versa);
+ *  - interference: with probability interference per demand access, a
+ *    stray system access touches a random line of the set first,
+ *    perturbing the true cache state.
+ */
+
+#ifndef AUTOCAT_HW_TARGET_HPP
+#define AUTOCAT_HW_TARGET_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cache/memory_system.hpp"
+#include "hw/machines.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Black-box single-set hardware target. */
+class SimulatedHardwareTarget : public MemorySystem
+{
+  public:
+    /**
+     * @param preset machine/level description
+     * @param seed   noise determinism
+     */
+    SimulatedHardwareTarget(const HardwareTargetPreset &preset,
+                            std::uint64_t seed);
+
+    MemoryAccessResult access(std::uint64_t addr, Domain domain) override;
+    void flush(std::uint64_t addr, Domain domain) override;
+    bool contains(std::uint64_t addr) const override;
+    void reset() override;
+    void setEventListener(CacheEventListener listener) override;
+    unsigned numBlocks() const override;
+
+    /** The preset this target was built from. */
+    const HardwareTargetPreset &preset() const { return preset_; }
+
+  private:
+    HardwareTargetPreset preset_;
+    Cache cache_;
+    Rng rng_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_HW_TARGET_HPP

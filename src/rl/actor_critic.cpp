@@ -1,0 +1,155 @@
+#include "rl/actor_critic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace autocat {
+
+ActorCritic::ActorCritic(std::size_t obs_dim, std::size_t num_actions,
+                         std::size_t hidden, std::size_t layers, Rng &rng)
+    : obs_dim_(obs_dim),
+      num_actions_(num_actions),
+      torso_([&] {
+          std::vector<std::size_t> sizes{obs_dim};
+          for (std::size_t i = 0; i < std::max<std::size_t>(1, layers); ++i)
+              sizes.push_back(hidden);
+          return Mlp(sizes, rng, /*activate_last=*/true);
+      }()),
+      // Small-gain policy head keeps the initial policy near uniform,
+      // which matters for exploration in the guessing game.
+      pi_head_(hidden, num_actions, rng, 0.01f),
+      v_head_(hidden, 1, rng, 1.0f)
+{
+}
+
+AcOutput
+ActorCritic::forward(const Matrix &obs)
+{
+    assert(obs.cols() == obs_dim_);
+    torso_out_ = torso_.forward(obs);
+    AcOutput out;
+    out.logits = pi_head_.forward(torso_out_);
+    Matrix v = v_head_.forward(torso_out_);
+    out.values.resize(obs.rows());
+    for (std::size_t r = 0; r < obs.rows(); ++r)
+        out.values[r] = v(r, 0);
+    return out;
+}
+
+void
+ActorCritic::backward(const Matrix &dlogits,
+                      const std::vector<float> &dvalues)
+{
+    assert(dlogits.rows() == torso_out_.rows());
+    assert(dvalues.size() == torso_out_.rows());
+
+    const Matrix d_torso_pi = pi_head_.backward(dlogits);
+
+    Matrix dv(dvalues.size(), 1);
+    for (std::size_t r = 0; r < dvalues.size(); ++r)
+        dv(r, 0) = dvalues[r];
+    const Matrix d_torso_v = v_head_.backward(dv);
+
+    Matrix d_torso = d_torso_pi;
+    for (std::size_t i = 0; i < d_torso.size(); ++i)
+        d_torso.data()[i] += d_torso_v.data()[i];
+
+    torso_.backward(d_torso);
+}
+
+AcOutput
+ActorCritic::forwardOne(const std::vector<float> &obs)
+{
+    Matrix m(1, obs.size());
+    std::copy(obs.begin(), obs.end(), m.data());
+    return forward(m);
+}
+
+void
+ActorCritic::zeroGrad()
+{
+    torso_.zeroGrad();
+    pi_head_.zeroGrad();
+    v_head_.zeroGrad();
+}
+
+std::vector<ParamBlock>
+ActorCritic::paramBlocks()
+{
+    std::vector<ParamBlock> blocks = torso_.paramBlocks();
+    for (auto &b : pi_head_.paramBlocks())
+        blocks.push_back(b);
+    for (auto &b : v_head_.paramBlocks())
+        blocks.push_back(b);
+    return blocks;
+}
+
+std::vector<double>
+ActorCritic::softmaxRow(const Matrix &logits, std::size_t r)
+{
+    const std::size_t n = logits.cols();
+    std::vector<double> p(n);
+    double maxv = -1e30;
+    for (std::size_t c = 0; c < n; ++c)
+        maxv = std::max(maxv, static_cast<double>(logits(r, c)));
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        p[c] = std::exp(static_cast<double>(logits(r, c)) - maxv);
+        sum += p[c];
+    }
+    for (auto &v : p)
+        v /= sum;
+    return p;
+}
+
+std::size_t
+ActorCritic::sample(const Matrix &logits, std::size_t r, Rng &rng) const
+{
+    const std::vector<double> p = softmaxRow(logits, r);
+    double x = rng.uniformDouble();
+    for (std::size_t c = 0; c < p.size(); ++c) {
+        x -= p[c];
+        if (x < 0.0)
+            return c;
+    }
+    return p.size() - 1;
+}
+
+std::size_t
+ActorCritic::argmax(const Matrix &logits, std::size_t r) const
+{
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+        if (logits(r, c) > logits(r, best))
+            best = c;
+    }
+    return best;
+}
+
+double
+ActorCritic::logProb(const Matrix &logits, std::size_t r,
+                     std::size_t action)
+{
+    double maxv = -1e30;
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+        maxv = std::max(maxv, static_cast<double>(logits(r, c)));
+    double sum = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+        sum += std::exp(static_cast<double>(logits(r, c)) - maxv);
+    return static_cast<double>(logits(r, action)) - maxv - std::log(sum);
+}
+
+double
+ActorCritic::entropy(const Matrix &logits, std::size_t r)
+{
+    const std::vector<double> p = softmaxRow(logits, r);
+    double h = 0.0;
+    for (double v : p) {
+        if (v > 1e-12)
+            h -= v * std::log(v);
+    }
+    return h;
+}
+
+} // namespace autocat

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Actor-critic network: shared MLP torso with a categorical policy head
+ * and a scalar value head, plus the categorical-distribution math PPO
+ * needs (sampling, log-probabilities, entropy) computed from logits.
+ */
+
+#ifndef AUTOCAT_RL_ACTOR_CRITIC_HPP
+#define AUTOCAT_RL_ACTOR_CRITIC_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/adam.hpp"
+#include "rl/mat.hpp"
+#include "rl/nn.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Batch forward output of the actor-critic. */
+struct AcOutput
+{
+    Matrix logits;              ///< B x numActions
+    std::vector<float> values;  ///< B
+};
+
+/** Policy/value network with manual backward pass. */
+class ActorCritic
+{
+  public:
+    /**
+     * @param obs_dim     observation vector length
+     * @param num_actions discrete action count
+     * @param hidden      hidden width of the torso
+     * @param layers      number of hidden layers (>= 1)
+     * @param rng         weight init randomness
+     */
+    ActorCritic(std::size_t obs_dim, std::size_t num_actions,
+                std::size_t hidden, std::size_t layers, Rng &rng);
+
+    /** Batch forward; caches intermediates for backward(). */
+    AcOutput forward(const Matrix &obs);
+
+    /**
+     * Backward from loss gradients w.r.t. logits and values of the last
+     * forward() batch. Accumulates parameter gradients.
+     */
+    void backward(const Matrix &dlogits, const std::vector<float> &dvalues);
+
+    /** Single-observation forward (no grad caching needed by callers). */
+    AcOutput forwardOne(const std::vector<float> &obs);
+
+    void zeroGrad();
+    std::vector<ParamBlock> paramBlocks();
+
+    std::size_t obsDim() const { return obs_dim_; }
+    std::size_t numActions() const { return num_actions_; }
+
+    /** Sample an action index from softmax(logits row @p r). */
+    std::size_t sample(const Matrix &logits, std::size_t r, Rng &rng) const;
+
+    /** Greedy action (argmax of logits row @p r). */
+    std::size_t argmax(const Matrix &logits, std::size_t r) const;
+
+    /** log softmax(logits)[action] for row @p r. */
+    static double logProb(const Matrix &logits, std::size_t r,
+                          std::size_t action);
+
+    /** Entropy of softmax(logits row @p r). */
+    static double entropy(const Matrix &logits, std::size_t r);
+
+    /** softmax of row @p r. */
+    static std::vector<double> softmaxRow(const Matrix &logits,
+                                          std::size_t r);
+
+  private:
+    std::size_t obs_dim_;
+    std::size_t num_actions_;
+    Mlp torso_;
+    Linear pi_head_;
+    Linear v_head_;
+    Matrix torso_out_;  ///< cached torso output for backward
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_ACTOR_CRITIC_HPP

@@ -1,0 +1,46 @@
+#include "rl/adam.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace autocat {
+
+Adam::Adam(const std::vector<ParamBlock> &blocks, double lr, double beta1,
+           double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+    m_.reserve(blocks.size());
+    v_.reserve(blocks.size());
+    for (const auto &b : blocks) {
+        m_.emplace_back(b.size, 0.0f);
+        v_.emplace_back(b.size, 0.0f);
+    }
+}
+
+void
+Adam::step(std::vector<ParamBlock> &blocks)
+{
+    assert(blocks.size() == m_.size());
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, t_);
+    const double bc2 = 1.0 - std::pow(beta2_, t_);
+    const double alpha = lr_ * std::sqrt(bc2) / bc1;
+
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+        auto &b = blocks[k];
+        auto &m = m_[k];
+        auto &v = v_[k];
+        assert(b.size == m.size());
+        for (std::size_t i = 0; i < b.size; ++i) {
+            const float g = b.grads[i];
+            m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+            v[i] = static_cast<float>(beta2_ * v[i] +
+                                      (1.0 - beta2_) * g * g);
+            b.params[i] -= static_cast<float>(
+                alpha * m[i] / (std::sqrt(static_cast<double>(v[i])) +
+                                eps_));
+        }
+    }
+}
+
+} // namespace autocat

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Adam optimizer over flat parameter blocks (Kingma & Ba, 2015).
+ */
+
+#ifndef AUTOCAT_RL_ADAM_HPP
+#define AUTOCAT_RL_ADAM_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/nn.hpp"
+
+namespace autocat {
+
+/** Adam with bias correction; state is keyed by block order. */
+class Adam
+{
+  public:
+    /**
+     * @param blocks parameter blocks to optimize; the same blocks (in
+     *               the same order) must be passed to every step()
+     * @param lr     learning rate
+     */
+    Adam(const std::vector<ParamBlock> &blocks, double lr,
+         double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+    /** Apply one update from the gradients currently in @p blocks. */
+    void step(std::vector<ParamBlock> &blocks);
+
+    /** Change the learning rate (for schedules). */
+    void setLearningRate(double lr) { lr_ = lr; }
+
+    double learningRate() const { return lr_; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    long t_ = 0;
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_ADAM_HPP

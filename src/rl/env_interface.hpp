@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Environment abstraction the RL engine trains against.
+ *
+ * Matches the OpenAI-Gym-style loop the paper uses (Section V): reset()
+ * starts an episode, step() advances it. StepInfo carries the
+ * guessing-game bookkeeping (guesses made, correctness, detection) that
+ * convergence checks and the bit-rate/accuracy metrics are computed from;
+ * environments that are not guessing games simply leave those at zero.
+ */
+
+#ifndef AUTOCAT_RL_ENV_INTERFACE_HPP
+#define AUTOCAT_RL_ENV_INTERFACE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace autocat {
+
+/** Per-step metadata beyond the reward signal. */
+struct StepInfo
+{
+    bool guessMade = false;     ///< this step was a guess action
+    bool guessCorrect = false;  ///< ... and it matched the secret
+    bool detected = false;      ///< a detector flagged the sequence
+    bool lengthViolation = false;  ///< episode hit the length limit
+
+    /**
+     * Latency class the agent observed this step: 0 = hit, 1 = miss,
+     * 2 = not applicable / masked. Lets scripted agents decode timing
+     * without parsing the observation vector.
+     */
+    int observedLatency = 2;
+};
+
+/** Result of one environment step. */
+struct StepResult
+{
+    std::vector<float> obs;  ///< next observation
+    double reward = 0.0;
+    bool done = false;
+    StepInfo info;
+};
+
+/** Gym-like environment interface. */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    /** Dimension of the flat observation vector. */
+    virtual std::size_t observationSize() const = 0;
+
+    /** Size of the discrete action space. */
+    virtual std::size_t numActions() const = 0;
+
+    /** Begin a new episode and return the initial observation. */
+    virtual std::vector<float> reset() = 0;
+
+    /** Take @p action; must not be called after done without reset. */
+    virtual StepResult step(std::size_t action) = 0;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_ENV_INTERFACE_HPP

@@ -1,0 +1,90 @@
+#include "rl/mat.hpp"
+
+namespace autocat {
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    assert(a.cols() == b.rows());
+    Matrix c(a.rows(), b.cols());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (std::size_t i = 0; i < m; ++i) {
+        float *crow = c.rowPtr(i);
+        const float *arow = a.rowPtr(i);
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.rowPtr(p);
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransB(const Matrix &a, const Matrix &b)
+{
+    assert(a.cols() == b.cols());
+    Matrix c(a.rows(), b.rows());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a.rowPtr(i);
+        float *crow = c.rowPtr(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = b.rowPtr(j);
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransA(const Matrix &a, const Matrix &b)
+{
+    assert(a.rows() == b.rows());
+    Matrix c(a.cols(), b.cols());
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *arow = a.rowPtr(p);
+        const float *brow = b.rowPtr(p);
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.rowPtr(i);
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+void
+addRowVector(Matrix &m, const std::vector<float> &bias)
+{
+    assert(bias.size() == m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        float *row = m.rowPtr(r);
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            row[c] += bias[c];
+    }
+}
+
+std::vector<float>
+colSum(const Matrix &m)
+{
+    std::vector<float> out(m.cols(), 0.0f);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const float *row = m.rowPtr(r);
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            out[c] += row[c];
+    }
+    return out;
+}
+
+} // namespace autocat

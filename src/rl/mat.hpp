@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal dense matrix used by the neural-network substrate.
+ *
+ * Row-major float storage with exactly the operations PPO needs:
+ * matmul (plain and transposed variants), elementwise ops, and row/col
+ * reductions. Deliberately not a general linear-algebra library.
+ */
+
+#ifndef AUTOCAT_RL_MAT_HPP
+#define AUTOCAT_RL_MAT_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace autocat {
+
+/** Row-major dense float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &operator()(std::size_t r, std::size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float operator()(std::size_t r, std::size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const float *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** Set every element to zero. */
+    void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+    /** Resize (contents become zero). */
+    void
+    resize(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, 0.0f);
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** C = A * B. A: m x k, B: k x n. */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T. A: m x k, B: n x k. */
+Matrix matmulTransB(const Matrix &a, const Matrix &b);
+
+/** C = A^T * B. A: k x m, B: k x n. */
+Matrix matmulTransA(const Matrix &a, const Matrix &b);
+
+/** Add row vector @p bias (length cols) to every row of @p m in place. */
+void addRowVector(Matrix &m, const std::vector<float> &bias);
+
+/** Column sums of @p m (length cols). */
+std::vector<float> colSum(const Matrix &m);
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_MAT_HPP

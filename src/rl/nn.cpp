@@ -1,0 +1,179 @@
+#include "rl/nn.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace autocat {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng &rng, float gain)
+    : in_(in), out_(out), w_(out, in), b_(out, 0.0f), gw_(out, in),
+      gb_(out, 0.0f)
+{
+    // Xavier-uniform initialization scaled by gain.
+    const float limit =
+        gain * std::sqrt(6.0f / static_cast<float>(in + out));
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+        w_.data()[i] =
+            limit * (2.0f * static_cast<float>(rng.uniformDouble()) - 1.0f);
+    }
+}
+
+Matrix
+Linear::forward(const Matrix &x)
+{
+    assert(x.cols() == in_);
+    input_ = x;
+    Matrix y = matmulTransB(x, w_);
+    addRowVector(y, b_);
+    return y;
+}
+
+Matrix
+Linear::backward(const Matrix &grad_out)
+{
+    assert(grad_out.cols() == out_);
+    assert(grad_out.rows() == input_.rows());
+
+    // dW += grad_out^T * x ; db += colsum(grad_out) ; dx = grad_out * W
+    Matrix gw = matmulTransA(grad_out, input_);
+    for (std::size_t i = 0; i < gw_.size(); ++i)
+        gw_.data()[i] += gw.data()[i];
+    const std::vector<float> gb = colSum(grad_out);
+    for (std::size_t i = 0; i < gb_.size(); ++i)
+        gb_[i] += gb[i];
+
+    return matmul(grad_out, w_);
+}
+
+void
+Linear::zeroGrad()
+{
+    gw_.zero();
+    std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+std::vector<ParamBlock>
+Linear::paramBlocks()
+{
+    return {
+        {w_.data(), gw_.data(), w_.size()},
+        {b_.data(), gb_.data(), b_.size()},
+    };
+}
+
+Mlp::Mlp(const std::vector<std::size_t> &sizes, Rng &rng, bool activate_last)
+    : activate_last_(activate_last)
+{
+    assert(sizes.size() >= 2);
+    layers_.reserve(sizes.size() - 1);
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i)
+        layers_.emplace_back(sizes[i], sizes[i + 1], rng);
+    preact_.resize(layers_.size());
+}
+
+Matrix
+Mlp::forward(const Matrix &x)
+{
+    Matrix h = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        h = layers_[i].forward(h);
+        const bool activate =
+            i + 1 < layers_.size() || activate_last_;
+        if (activate) {
+            preact_[i] = h;
+            reluInPlace(h);
+        } else {
+            preact_[i] = Matrix();
+        }
+    }
+    return h;
+}
+
+Matrix
+Mlp::backward(const Matrix &grad_out)
+{
+    Matrix g = grad_out;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        if (!preact_[i].empty())
+            reluBackwardInPlace(g, preact_[i]);
+        g = layers_[i].backward(g);
+    }
+    return g;
+}
+
+void
+Mlp::zeroGrad()
+{
+    for (auto &layer : layers_)
+        layer.zeroGrad();
+}
+
+std::vector<ParamBlock>
+Mlp::paramBlocks()
+{
+    std::vector<ParamBlock> blocks;
+    for (auto &layer : layers_) {
+        for (auto &b : layer.paramBlocks())
+            blocks.push_back(b);
+    }
+    return blocks;
+}
+
+std::size_t
+Mlp::inFeatures() const
+{
+    return layers_.front().inFeatures();
+}
+
+std::size_t
+Mlp::outFeatures() const
+{
+    return layers_.back().outFeatures();
+}
+
+void
+reluInPlace(Matrix &m)
+{
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        if (m.data()[i] < 0.0f)
+            m.data()[i] = 0.0f;
+    }
+}
+
+void
+reluBackwardInPlace(Matrix &grad, const Matrix &preact)
+{
+    assert(grad.size() == preact.size());
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+        if (preact.data()[i] <= 0.0f)
+            grad.data()[i] = 0.0f;
+    }
+}
+
+double
+gradNorm(const std::vector<ParamBlock> &blocks)
+{
+    double total = 0.0;
+    for (const auto &b : blocks) {
+        for (std::size_t i = 0; i < b.size; ++i) {
+            const double g = b.grads[i];
+            total += g * g;
+        }
+    }
+    return std::sqrt(total);
+}
+
+void
+clipGradNorm(std::vector<ParamBlock> &blocks, double max_norm)
+{
+    const double norm = gradNorm(blocks);
+    if (norm <= max_norm || norm <= 0.0)
+        return;
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto &b : blocks) {
+        for (std::size_t i = 0; i < b.size; ++i)
+            b.grads[i] *= scale;
+    }
+}
+
+} // namespace autocat

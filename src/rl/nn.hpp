@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Neural-network building blocks with manual backpropagation.
+ *
+ * A Linear layer caches its input during forward() so backward() can
+ * compute weight gradients; an Mlp stacks Linear+ReLU. Parameters and
+ * gradients are exposed as flat blocks for the Adam optimizer.
+ */
+
+#ifndef AUTOCAT_RL_NN_HPP
+#define AUTOCAT_RL_NN_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/mat.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** A contiguous span of parameters and their gradients. */
+struct ParamBlock
+{
+    float *params = nullptr;
+    float *grads = nullptr;
+    std::size_t size = 0;
+};
+
+/** Fully-connected layer y = x W^T + b with cached-input backward. */
+class Linear
+{
+  public:
+    /**
+     * @param in    input feature count
+     * @param out   output feature count
+     * @param rng   initializer randomness
+     * @param gain  scale on the Xavier-uniform init (use a small gain,
+     *              e.g. 0.01, for policy heads so the initial policy is
+     *              near uniform)
+     */
+    Linear(std::size_t in, std::size_t out, Rng &rng, float gain = 1.0f);
+
+    /** Batch forward; caches @p x for backward. x: B x in → B x out. */
+    Matrix forward(const Matrix &x);
+
+    /**
+     * Backward pass: accumulates weight/bias gradients from
+     * @p grad_out (B x out) and returns the input gradient (B x in).
+     */
+    Matrix backward(const Matrix &grad_out);
+
+    /** Zero accumulated gradients. */
+    void zeroGrad();
+
+    /** Parameter/gradient blocks (weights then bias). */
+    std::vector<ParamBlock> paramBlocks();
+
+    std::size_t inFeatures() const { return in_; }
+    std::size_t outFeatures() const { return out_; }
+
+    /** Direct weight access (tests / serialization). */
+    Matrix &weights() { return w_; }
+    std::vector<float> &bias() { return b_; }
+
+  private:
+    std::size_t in_;
+    std::size_t out_;
+    Matrix w_;   ///< out x in
+    std::vector<float> b_;
+    Matrix gw_;
+    std::vector<float> gb_;
+    Matrix input_;  ///< cached forward input
+};
+
+/** Multi-layer perceptron with ReLU between hidden layers. */
+class Mlp
+{
+  public:
+    /**
+     * @param sizes layer widths, e.g. {obs, 128, 128}; the last entry is
+     *              the torso output width (no activation after it when
+     *              @p activate_last is false)
+     */
+    Mlp(const std::vector<std::size_t> &sizes, Rng &rng,
+        bool activate_last = true);
+
+    /** Batch forward with activation caching. */
+    Matrix forward(const Matrix &x);
+
+    /** Backward through the whole stack; returns input gradient. */
+    Matrix backward(const Matrix &grad_out);
+
+    void zeroGrad();
+    std::vector<ParamBlock> paramBlocks();
+
+    std::size_t inFeatures() const;
+    std::size_t outFeatures() const;
+
+  private:
+    std::vector<Linear> layers_;
+    std::vector<Matrix> preact_;  ///< cached pre-activation outputs
+    bool activate_last_;
+};
+
+/** In-place ReLU. */
+void reluInPlace(Matrix &m);
+
+/** Zero grad entries where the cached pre-activation was <= 0. */
+void reluBackwardInPlace(Matrix &grad, const Matrix &preact);
+
+/** Global L2 norm over blocks; used for gradient clipping. */
+double gradNorm(const std::vector<ParamBlock> &blocks);
+
+/** Scale all gradients so the global norm is at most @p max_norm. */
+void clipGradNorm(std::vector<ParamBlock> &blocks, double max_norm);
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_NN_HPP

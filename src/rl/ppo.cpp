@@ -1,0 +1,279 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace autocat {
+
+PpoTrainer::PpoTrainer(Environment &env, const PpoConfig &config)
+    : env_(&env),
+      config_(config),
+      rng_(config.seed),
+      buffer_(static_cast<std::size_t>(config.stepsPerEpoch),
+              env.observationSize())
+{
+    Rng init_rng(config.seed ^ 0x5eedf00dull);
+    net_ = std::make_unique<ActorCritic>(env.observationSize(),
+                                         env.numActions(), config.hidden,
+                                         config.layers, init_rng);
+    auto blocks = net_->paramBlocks();
+    adam_ = std::make_unique<Adam>(blocks, config.lr);
+}
+
+void
+PpoTrainer::collect()
+{
+    buffer_.clear();
+    collect_return_sum_ = 0.0;
+    collect_len_sum_ = 0.0;
+    collect_episodes_ = 0;
+
+    if (!episode_active_) {
+        current_obs_ = env_->reset();
+        episode_active_ = true;
+        running_return_ = 0.0;
+        running_len_ = 0.0;
+    }
+
+    double last_value = 0.0;
+    while (!buffer_.full()) {
+        const AcOutput out = net_->forwardOne(current_obs_);
+        const std::size_t action = net_->sample(out.logits, 0, rng_);
+        const double logp = ActorCritic::logProb(out.logits, 0, action);
+        const double value = out.values[0];
+
+        StepResult sr = env_->step(action);
+        ++total_env_steps_;
+        running_return_ += sr.reward;
+        running_len_ += 1.0;
+
+        buffer_.add(current_obs_, action, sr.reward, sr.done, value, logp);
+
+        if (sr.done) {
+            collect_return_sum_ += running_return_;
+            collect_len_sum_ += running_len_;
+            ++collect_episodes_;
+            current_obs_ = env_->reset();
+            running_return_ = 0.0;
+            running_len_ = 0.0;
+        } else {
+            current_obs_ = std::move(sr.obs);
+        }
+
+        if (buffer_.full() && !sr.done) {
+            // Bootstrap the value of the state we stopped in.
+            const AcOutput boot = net_->forwardOne(current_obs_);
+            last_value = boot.values[0];
+        }
+    }
+
+    buffer_.computeAdvantages(config_.gamma, config_.lambda, last_value);
+    buffer_.normalizeAdvantages();
+}
+
+void
+PpoTrainer::update(EpochStats &stats)
+{
+    const std::size_t n = buffer_.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    double pi_loss_sum = 0.0, v_loss_sum = 0.0, ent_sum = 0.0;
+    long batches = 0;
+
+    for (int pass = 0; pass < config_.updatePasses; ++pass) {
+        rng_.shuffle(order);
+        for (std::size_t start = 0; start < n;
+             start += static_cast<std::size_t>(config_.minibatchSize)) {
+            const std::size_t end = std::min(
+                n, start + static_cast<std::size_t>(config_.minibatchSize));
+            const std::vector<std::size_t> idx(order.begin() + start,
+                                               order.begin() + end);
+            const std::size_t bsz = idx.size();
+
+            const Matrix obs = buffer_.gatherObs(idx);
+            AcOutput out = net_->forward(obs);
+
+            Matrix dlogits(bsz, net_->numActions());
+            std::vector<float> dvalues(bsz, 0.0f);
+            const double inv_b = 1.0 / static_cast<double>(bsz);
+
+            for (std::size_t r = 0; r < bsz; ++r) {
+                const std::size_t i = idx[r];
+                const std::size_t act = buffer_.actions()[i];
+                const double adv = buffer_.advantages()[i];
+                const double old_logp = buffer_.logProbs()[i];
+                const double ret = buffer_.returns()[i];
+
+                const std::vector<double> p =
+                    ActorCritic::softmaxRow(out.logits, r);
+                const double logp =
+                    std::log(std::max(p[act], 1e-12));
+                const double ratio = std::exp(logp - old_logp);
+
+                // Clipped surrogate: gradient flows only through the
+                // unclipped branch when it is the active minimum.
+                const bool clipped =
+                    (adv >= 0.0 && ratio > 1.0 + config_.clip) ||
+                    (adv < 0.0 && ratio < 1.0 - config_.clip);
+                const double dl_dlogp = clipped ? 0.0 : -adv * ratio;
+
+                // Entropy bonus gradient: d(-H)/dlogit_k =
+                // p_k * (log p_k + H).
+                double ent = 0.0;
+                for (double pv : p) {
+                    if (pv > 1e-12)
+                        ent -= pv * std::log(pv);
+                }
+
+                for (std::size_t k = 0; k < p.size(); ++k) {
+                    const double ind = (k == act) ? 1.0 : 0.0;
+                    double g = dl_dlogp * (ind - p[k]);
+                    g += config_.entropyCoef * p[k] *
+                         (std::log(std::max(p[k], 1e-12)) + ent);
+                    dlogits(r, k) = static_cast<float>(g * inv_b);
+                }
+
+                const double verr =
+                    static_cast<double>(out.values[r]) - ret;
+                dvalues[r] = static_cast<float>(
+                    2.0 * config_.valueCoef * verr * inv_b);
+
+                pi_loss_sum += -std::min(
+                    ratio * adv,
+                    std::clamp(ratio, 1.0 - config_.clip,
+                               1.0 + config_.clip) * adv);
+                v_loss_sum += verr * verr;
+                ent_sum += ent;
+            }
+
+            net_->zeroGrad();
+            net_->backward(dlogits, dvalues);
+            auto blocks = net_->paramBlocks();
+            clipGradNorm(blocks, config_.maxGradNorm);
+            adam_->step(blocks);
+            ++batches;
+        }
+    }
+
+    const double steps = static_cast<double>(n) * config_.updatePasses;
+    stats.policyLoss = pi_loss_sum / steps;
+    stats.valueLoss = v_loss_sum / steps;
+    stats.entropy = ent_sum / steps;
+}
+
+EpochStats
+PpoTrainer::runEpoch()
+{
+    EpochStats stats;
+    stats.epoch = ++epoch_;
+    if (epoch_ > 1) {
+        config_.entropyCoef = std::max(
+            config_.entropyMin, config_.entropyCoef * config_.entropyDecay);
+    }
+    collect();
+    if (collect_episodes_ > 0) {
+        stats.meanReturn =
+            collect_return_sum_ / static_cast<double>(collect_episodes_);
+        stats.meanEpisodeLength =
+            collect_len_sum_ / static_cast<double>(collect_episodes_);
+    }
+    update(stats);
+    return stats;
+}
+
+EvalStats
+PpoTrainer::evaluate(int episodes, bool greedy)
+{
+    EvalStats stats;
+    stats.episodes = static_cast<std::size_t>(episodes);
+
+    std::size_t correct = 0, guesses = 0;
+    long long steps = 0;
+    double return_sum = 0.0;
+    std::size_t detected_episodes = 0;
+
+    for (int e = 0; e < episodes; ++e) {
+        std::vector<float> obs = env_->reset();
+        bool done = false;
+        bool detected = false;
+        double ep_return = 0.0;
+        long ep_steps = 0;
+        while (!done) {
+            const AcOutput out = net_->forwardOne(obs);
+            const std::size_t action =
+                greedy ? net_->argmax(out.logits, 0)
+                       : net_->sample(out.logits, 0, rng_);
+            StepResult sr = env_->step(action);
+            ep_return += sr.reward;
+            ++ep_steps;
+            if (sr.info.guessMade) {
+                ++guesses;
+                if (sr.info.guessCorrect)
+                    ++correct;
+            }
+            if (sr.info.detected)
+                detected = true;
+            done = sr.done;
+            obs = std::move(sr.obs);
+        }
+        return_sum += ep_return;
+        steps += ep_steps;
+        if (detected)
+            ++detected_episodes;
+    }
+
+    // The trainer's persistent episode state is stale after evaluation.
+    episode_active_ = false;
+
+    stats.meanReturn = return_sum / std::max(1, episodes);
+    stats.meanEpisodeLength =
+        static_cast<double>(steps) / std::max(1, episodes);
+    stats.guessAccuracy =
+        guesses ? static_cast<double>(correct) /
+                      static_cast<double>(guesses)
+                : 0.0;
+    stats.bitRate = steps ? static_cast<double>(guesses) /
+                                static_cast<double>(steps)
+                          : 0.0;
+    stats.detectionRate =
+        episodes ? static_cast<double>(detected_episodes) /
+                       static_cast<double>(episodes)
+                 : 0.0;
+    stats.guesses = guesses;
+    return stats;
+}
+
+int
+PpoTrainer::trainUntil(double target_accuracy, int max_epochs,
+                       int eval_episodes, const EpochCallback &callback)
+{
+    for (int e = 1; e <= max_epochs; ++e) {
+        EpochStats stats = runEpoch();
+        stats.eval = evaluate(eval_episodes, /*greedy=*/true);
+        if (callback)
+            callback(stats);
+        const bool guessing =
+            stats.eval.guesses >= stats.eval.episodes;
+        if (guessing && stats.eval.guessAccuracy >= target_accuracy)
+            return e;
+    }
+    return -1;
+}
+
+void
+PpoTrainer::setEnvironment(Environment &env)
+{
+    if (env.observationSize() != env_->observationSize() ||
+        env.numActions() != env_->numActions()) {
+        throw std::invalid_argument(
+            "setEnvironment: observation/action dimensions must match");
+    }
+    env_ = &env;
+    episode_active_ = false;
+}
+
+} // namespace autocat

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Proximal Policy Optimization (Schulman et al., 2017).
+ *
+ * Synchronous single-worker PPO with the clipped surrogate objective,
+ * GAE advantages, entropy bonus, and value regression — the algorithm
+ * the paper trains AutoCAT with (Section IV-C; the paper uses the
+ * non-distributed synchronous variant for real-hardware experiments,
+ * which is what we implement).
+ *
+ * One "epoch" is paper-aligned: 3000 environment steps of collection
+ * followed by minibatch updates (Table V footnote: "One epoch is 3000
+ * training steps").
+ */
+
+#ifndef AUTOCAT_RL_PPO_HPP
+#define AUTOCAT_RL_PPO_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rl/actor_critic.hpp"
+#include "rl/adam.hpp"
+#include "rl/env_interface.hpp"
+#include "rl/rollout.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Hyper-parameters of the PPO trainer. */
+struct PpoConfig
+{
+    int stepsPerEpoch = 3000;   ///< paper: one epoch = 3000 steps
+    int updatePasses = 6;       ///< optimization passes per epoch
+    int minibatchSize = 500;
+    double gamma = 0.99;
+    double lambda = 0.95;
+    double clip = 0.2;
+    double lr = 7e-4;
+    double entropyCoef = 0.03;
+
+    /**
+     * Multiplicative per-epoch decay of the entropy coefficient;
+     * keeps exploration high early and lets the policy sharpen once
+     * the attack structure is found.
+     */
+    double entropyDecay = 0.94;
+    double entropyMin = 5e-4;
+    double valueCoef = 0.5;
+    double maxGradNorm = 0.5;
+    std::size_t hidden = 128;
+    std::size_t layers = 2;
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate metrics from a batch of evaluation episodes. */
+struct EvalStats
+{
+    double meanReturn = 0.0;
+    double meanEpisodeLength = 0.0;
+    double guessAccuracy = 0.0;  ///< correct guesses / guesses
+    double bitRate = 0.0;        ///< guesses / steps
+    double detectionRate = 0.0;  ///< episodes flagged / episodes
+    std::size_t episodes = 0;
+    std::size_t guesses = 0;
+};
+
+/** Per-epoch training telemetry. */
+struct EpochStats
+{
+    int epoch = 0;
+    double meanReturn = 0.0;
+    double meanEpisodeLength = 0.0;
+    double policyLoss = 0.0;
+    double valueLoss = 0.0;
+    double entropy = 0.0;
+    EvalStats eval;
+};
+
+/** PPO trainer bound to one environment. */
+class PpoTrainer
+{
+  public:
+    /** Observer invoked after every epoch (may be empty). */
+    using EpochCallback = std::function<void(const EpochStats &)>;
+
+    PpoTrainer(Environment &env, const PpoConfig &config);
+
+    /** Collect stepsPerEpoch transitions and run the PPO update. */
+    EpochStats runEpoch();
+
+    /**
+     * Train until the greedy policy reaches @p target_accuracy (with at
+     * least one guess per episode on average) or @p max_epochs elapse.
+     *
+     * @return the 1-based epoch at which convergence was first observed,
+     *         or -1 if training did not converge
+     */
+    int trainUntil(double target_accuracy, int max_epochs,
+                   int eval_episodes = 100,
+                   const EpochCallback &callback = {});
+
+    /** Evaluate the current policy over @p episodes fresh episodes. */
+    EvalStats evaluate(int episodes, bool greedy = true);
+
+    /** The policy network (for replay / extraction). */
+    ActorCritic &policy() { return *net_; }
+
+    /** Total environment steps taken during training so far. */
+    long long totalEnvSteps() const { return total_env_steps_; }
+
+    /**
+     * Rebind the trainer to another environment with identical
+     * observation and action dimensions (curriculum training: e.g.
+     * single-secret episodes first, then the multi-secret channel).
+     */
+    void setEnvironment(Environment &env);
+
+  private:
+    void collect();
+    void update(EpochStats &stats);
+
+    Environment *env_;
+    PpoConfig config_;
+    Rng rng_;
+    std::unique_ptr<ActorCritic> net_;
+    std::unique_ptr<Adam> adam_;
+    RolloutBuffer buffer_;
+
+    // Persistent episode state so collection can span epoch boundaries.
+    std::vector<float> current_obs_;
+    bool episode_active_ = false;
+
+    // Collection-phase episode telemetry.
+    double collect_return_sum_ = 0.0;
+    double collect_len_sum_ = 0.0;
+    std::size_t collect_episodes_ = 0;
+    double running_return_ = 0.0;
+    double running_len_ = 0.0;
+
+    long long total_env_steps_ = 0;
+    int epoch_ = 0;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_PPO_HPP

@@ -1,0 +1,99 @@
+#include "rl/rollout.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace autocat {
+
+RolloutBuffer::RolloutBuffer(std::size_t capacity, std::size_t obs_dim)
+    : capacity_(capacity), obs_dim_(obs_dim)
+{
+    obs_.resize(capacity * obs_dim);
+    actions_.reserve(capacity);
+    rewards_.reserve(capacity);
+    dones_.reserve(capacity);
+    values_.reserve(capacity);
+    log_probs_.reserve(capacity);
+}
+
+void
+RolloutBuffer::add(const std::vector<float> &obs, std::size_t action,
+                   double reward, bool done, double value, double log_prob)
+{
+    assert(size_ < capacity_);
+    assert(obs.size() == obs_dim_);
+    std::memcpy(obs_.data() + size_ * obs_dim_, obs.data(),
+                obs_dim_ * sizeof(float));
+    actions_.push_back(action);
+    rewards_.push_back(reward);
+    dones_.push_back(done);
+    values_.push_back(value);
+    log_probs_.push_back(log_prob);
+    ++size_;
+}
+
+void
+RolloutBuffer::clear()
+{
+    size_ = 0;
+    actions_.clear();
+    rewards_.clear();
+    dones_.clear();
+    values_.clear();
+    log_probs_.clear();
+    advantages_.clear();
+    returns_.clear();
+}
+
+void
+RolloutBuffer::computeAdvantages(double gamma, double lambda,
+                                 double last_value)
+{
+    advantages_.assign(size_, 0.0);
+    returns_.assign(size_, 0.0);
+
+    double adv = 0.0;
+    double next_value = last_value;
+    for (std::size_t i = size_; i-- > 0;) {
+        const double not_done = dones_[i] ? 0.0 : 1.0;
+        const double delta =
+            rewards_[i] + gamma * next_value * not_done - values_[i];
+        adv = delta + gamma * lambda * not_done * adv;
+        advantages_[i] = adv;
+        returns_[i] = adv + values_[i];
+        next_value = values_[i];
+    }
+}
+
+void
+RolloutBuffer::normalizeAdvantages()
+{
+    if (size_ < 2)
+        return;
+    double mean = 0.0;
+    for (double a : advantages_)
+        mean += a;
+    mean /= static_cast<double>(size_);
+    double var = 0.0;
+    for (double a : advantages_)
+        var += (a - mean) * (a - mean);
+    var /= static_cast<double>(size_);
+    const double sd = std::sqrt(var) + 1e-8;
+    for (double &a : advantages_)
+        a = (a - mean) / sd;
+}
+
+Matrix
+RolloutBuffer::gatherObs(const std::vector<std::size_t> &indices) const
+{
+    Matrix m(indices.size(), obs_dim_);
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+        assert(indices[r] < size_);
+        std::memcpy(m.rowPtr(r), obs_.data() + indices[r] * obs_dim_,
+                    obs_dim_ * sizeof(float));
+    }
+    return m;
+}
+
+} // namespace autocat

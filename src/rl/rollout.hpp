@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Rollout storage and generalized advantage estimation (GAE).
+ */
+
+#ifndef AUTOCAT_RL_ROLLOUT_HPP
+#define AUTOCAT_RL_ROLLOUT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/mat.hpp"
+
+namespace autocat {
+
+/** Flat storage for one PPO collection phase. */
+class RolloutBuffer
+{
+  public:
+    /** @param capacity steps per epoch, @param obs_dim observation size */
+    RolloutBuffer(std::size_t capacity, std::size_t obs_dim);
+
+    /** Append one transition. */
+    void add(const std::vector<float> &obs, std::size_t action,
+             double reward, bool done, double value, double log_prob);
+
+    /** Number of stored transitions. */
+    std::size_t size() const { return size_; }
+
+    /** True when at capacity. */
+    bool full() const { return size_ == capacity_; }
+
+    /** Clear for the next epoch. */
+    void clear();
+
+    /**
+     * Compute GAE advantages and returns.
+     *
+     * @param gamma      discount factor
+     * @param lambda     GAE mixing factor
+     * @param last_value bootstrap value of the state following the final
+     *                   stored transition (0 when that transition ended
+     *                   an episode)
+     */
+    void computeAdvantages(double gamma, double lambda, double last_value);
+
+    /** Normalize advantages to zero mean / unit variance. */
+    void normalizeAdvantages();
+
+    /** Observation matrix restricted to @p indices. */
+    Matrix gatherObs(const std::vector<std::size_t> &indices) const;
+
+    const std::vector<std::size_t> &actions() const { return actions_; }
+    const std::vector<double> &rewards() const { return rewards_; }
+    const std::vector<double> &logProbs() const { return log_probs_; }
+    const std::vector<double> &values() const { return values_; }
+    const std::vector<double> &advantages() const { return advantages_; }
+    const std::vector<double> &returns() const { return returns_; }
+
+  private:
+    std::size_t capacity_;
+    std::size_t obs_dim_;
+    std::size_t size_ = 0;
+    std::vector<float> obs_;  ///< capacity x obs_dim, row major
+    std::vector<std::size_t> actions_;
+    std::vector<double> rewards_;
+    std::vector<bool> dones_;
+    std::vector<double> values_;
+    std::vector<double> log_probs_;
+    std::vector<double> advantages_;
+    std::vector<double> returns_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_ROLLOUT_HPP

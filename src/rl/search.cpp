@@ -1,0 +1,69 @@
+#include "rl/search.hpp"
+
+#include <cmath>
+
+namespace autocat {
+
+SearchResult
+randomSearch(SequenceOracle &oracle, std::size_t length,
+             long long max_trials, Rng &rng)
+{
+    SearchResult result;
+    const std::size_t n = oracle.numPrimitives();
+    std::vector<std::size_t> seq(length);
+
+    for (long long trial = 0; trial < max_trials; ++trial) {
+        for (auto &a : seq)
+            a = rng.uniformInt(n);
+        ++result.sequencesTried;
+        result.stepsTaken += oracle.stepsPerTrial(seq);
+        if (oracle.isDistinguishing(seq)) {
+            result.found = true;
+            result.sequence = seq;
+            return result;
+        }
+    }
+    return result;
+}
+
+SearchResult
+exhaustiveSearch(SequenceOracle &oracle, std::size_t length,
+                 long long max_trials)
+{
+    SearchResult result;
+    const std::size_t n = oracle.numPrimitives();
+    std::vector<std::size_t> seq(length, 0);
+
+    for (long long trial = 0; trial < max_trials; ++trial) {
+        ++result.sequencesTried;
+        result.stepsTaken += oracle.stepsPerTrial(seq);
+        if (oracle.isDistinguishing(seq)) {
+            result.found = true;
+            result.sequence = seq;
+            return result;
+        }
+        // Lexicographic increment.
+        std::size_t pos = 0;
+        while (pos < length) {
+            if (++seq[pos] < n)
+                break;
+            seq[pos] = 0;
+            ++pos;
+        }
+        if (pos == length)
+            break;  // exhausted the space
+    }
+    return result;
+}
+
+double
+primeProbeSearchSpace(unsigned ways)
+{
+    // M = 2 (N+1)^{2N+1} / (N!)^2, computed in log space for stability.
+    const double n = static_cast<double>(ways);
+    double log_m = std::log(2.0) + (2.0 * n + 1.0) * std::log(n + 1.0) -
+                   2.0 * std::lgamma(n + 1.0);
+    return std::exp(log_m);
+}
+
+} // namespace autocat

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Non-learning search baselines for Section VI-A.
+ *
+ * The paper contrasts RL against brute-force enumeration of attack
+ * sequences, deriving M ~ e^{2N} candidate sequences per successful
+ * prime+probe on an N-way set. These searchers enumerate (or sample)
+ * fixed action sequences and ask an oracle whether a candidate is a
+ * *distinguishing* sequence — one whose observable latency pattern
+ * differs for every pair of victim secrets, i.e. a working attack.
+ */
+
+#ifndef AUTOCAT_RL_SEARCH_HPP
+#define AUTOCAT_RL_SEARCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Judges candidate attack sequences (implemented by the env module). */
+class SequenceOracle
+{
+  public:
+    virtual ~SequenceOracle() = default;
+
+    /** Number of primitive (non-guess) actions a sequence may use. */
+    virtual std::size_t numPrimitives() const = 0;
+
+    /** True when @p seq fully distinguishes all secrets. */
+    virtual bool isDistinguishing(const std::vector<std::size_t> &seq) = 0;
+
+    /** Simulation steps one evaluation of @p seq costs. */
+    virtual long long
+    stepsPerTrial(const std::vector<std::size_t> &seq) const
+    {
+        return static_cast<long long>(seq.size());
+    }
+};
+
+/** Outcome of a search run. */
+struct SearchResult
+{
+    bool found = false;
+    std::vector<std::size_t> sequence;
+    long long sequencesTried = 0;
+    long long stepsTaken = 0;
+};
+
+/**
+ * Uniform random search over sequences of exactly @p length primitives.
+ * Stops at the first distinguishing sequence or after @p max_trials.
+ */
+SearchResult randomSearch(SequenceOracle &oracle, std::size_t length,
+                          long long max_trials, Rng &rng);
+
+/**
+ * Exhaustive lexicographic enumeration of sequences of exactly
+ * @p length primitives (bounded by @p max_trials candidates).
+ */
+SearchResult exhaustiveSearch(SequenceOracle &oracle, std::size_t length,
+                              long long max_trials);
+
+/**
+ * Closed-form expected number of candidate sequences per prime+probe hit
+ * on an N-way set, M = 2 (N+1)^{2N+1} / (N!)^2 (paper, Section VI-A).
+ */
+double primeProbeSearchSpace(unsigned ways);
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_SEARCH_HPP

@@ -1,0 +1,82 @@
+#include "util/bits.hpp"
+
+#include <algorithm>
+
+namespace autocat {
+
+BitString
+randomBits(Rng &rng, std::size_t nbits)
+{
+    BitString bits(nbits);
+    for (auto &b : bits)
+        b = static_cast<std::uint8_t>(rng.uniformInt(2));
+    return bits;
+}
+
+std::size_t
+hammingDistance(const BitString &a, const BitString &b)
+{
+    const std::size_t n = std::max(a.size(), b.size());
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t av = i < a.size() ? a[i] : 0;
+        const std::uint8_t bv = i < b.size() ? b[i] : 0;
+        if (av != bv)
+            ++d;
+    }
+    return d;
+}
+
+double
+bitErrorRate(const BitString &a, const BitString &b)
+{
+    const std::size_t n = std::max(a.size(), b.size());
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(hammingDistance(a, b)) /
+           static_cast<double>(n);
+}
+
+std::vector<unsigned>
+packSymbols(const BitString &bits, unsigned bitsPerSymbol)
+{
+    std::vector<unsigned> symbols;
+    if (bitsPerSymbol == 0)
+        return symbols;
+    for (std::size_t i = 0; i < bits.size(); i += bitsPerSymbol) {
+        unsigned sym = 0;
+        for (unsigned j = 0; j < bitsPerSymbol; ++j) {
+            sym <<= 1;
+            if (i + j < bits.size())
+                sym |= bits[i + j];
+        }
+        symbols.push_back(sym);
+    }
+    return symbols;
+}
+
+BitString
+unpackSymbols(const std::vector<unsigned> &symbols, unsigned bitsPerSymbol)
+{
+    BitString bits;
+    bits.reserve(symbols.size() * bitsPerSymbol);
+    for (unsigned sym : symbols) {
+        for (unsigned j = 0; j < bitsPerSymbol; ++j) {
+            const unsigned shift = bitsPerSymbol - 1 - j;
+            bits.push_back(static_cast<std::uint8_t>((sym >> shift) & 1u));
+        }
+    }
+    return bits;
+}
+
+std::string
+toString(const BitString &bits)
+{
+    std::string s;
+    s.reserve(bits.size());
+    for (auto b : bits)
+        s.push_back(b ? '1' : '0');
+    return s;
+}
+
+} // namespace autocat

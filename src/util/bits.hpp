@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bit-string helpers for covert-channel experiments.
+ *
+ * The paper measures covert channels by sending 2048-bit random strings
+ * and scoring the Hamming distance between sent and received messages;
+ * these helpers generate, pack, and compare such strings.
+ */
+
+#ifndef AUTOCAT_UTIL_BITS_HPP
+#define AUTOCAT_UTIL_BITS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** A message is a flat vector of bits (0/1). */
+using BitString = std::vector<std::uint8_t>;
+
+/** Generate @p nbits random bits. */
+BitString randomBits(Rng &rng, std::size_t nbits);
+
+/** Number of differing positions; shorter string is zero-padded. */
+std::size_t hammingDistance(const BitString &a, const BitString &b);
+
+/** Bit error rate in [0,1] relative to the longer string's length. */
+double bitErrorRate(const BitString &a, const BitString &b);
+
+/**
+ * Group bits into @p bitsPerSymbol-wide symbols (big-endian within a
+ * symbol); the tail is zero-padded to a full symbol.
+ */
+std::vector<unsigned> packSymbols(const BitString &bits,
+                                  unsigned bitsPerSymbol);
+
+/** Inverse of packSymbols; produces symbols.size()*bitsPerSymbol bits. */
+BitString unpackSymbols(const std::vector<unsigned> &symbols,
+                        unsigned bitsPerSymbol);
+
+/** Render as a "0101..." string (for logs and tests). */
+std::string toString(const BitString &bits);
+
+} // namespace autocat
+
+#endif // AUTOCAT_UTIL_BITS_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal leveled logging for the library.
+ *
+ * Benches and examples print their deliverable tables with TextTable;
+ * this logger carries progress / diagnostic messages and can be silenced
+ * globally (tests run with level Warn by default).
+ */
+
+#ifndef AUTOCAT_UTIL_LOGGING_HPP
+#define AUTOCAT_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace autocat {
+
+/** Severity levels in increasing order of importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global log-level control and message sink. */
+class Log
+{
+  public:
+    /** Set the minimum level that will be emitted. */
+    static void setLevel(LogLevel level);
+
+    /** Current minimum level. */
+    static LogLevel level();
+
+    /** Emit @p msg at @p level (no-op when below the threshold). */
+    static void write(LogLevel level, const std::string &msg);
+
+    /** True when messages at @p level would be emitted. */
+    static bool enabled(LogLevel level);
+};
+
+namespace detail {
+
+/** Stream-style one-shot message builder used by the LOG_* helpers. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+
+    ~LogLine() { Log::write(level_, oss_.str()); }
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &v)
+    {
+        oss_ << v;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream oss_;
+};
+
+} // namespace detail
+
+} // namespace autocat
+
+#define AUTOCAT_LOG_DEBUG autocat::detail::LogLine(autocat::LogLevel::Debug)
+#define AUTOCAT_LOG_INFO autocat::detail::LogLine(autocat::LogLevel::Info)
+#define AUTOCAT_LOG_WARN autocat::detail::LogLine(autocat::LogLevel::Warn)
+#define AUTOCAT_LOG_ERROR autocat::detail::LogLine(autocat::LogLevel::Error)
+
+#endif // AUTOCAT_UTIL_LOGGING_HPP

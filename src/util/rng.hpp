@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generation.
+ *
+ * Every stochastic component in the library (cache random replacement,
+ * episode secret sampling, policy sampling, noise injection) draws from an
+ * explicitly seeded Rng instance so experiments are reproducible run to
+ * run. The generator is xoshiro256**, seeded through splitmix64, which is
+ * both fast and statistically strong enough for simulation workloads.
+ */
+
+#ifndef AUTOCAT_UTIL_RNG_HPP
+#define AUTOCAT_UTIL_RNG_HPP
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace autocat {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience sampling helpers.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also be handed to
+ * standard-library distributions if ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from @p seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step: decorrelates consecutive seeds.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Next raw 64-bit draw (xoshiro256** update). */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    result_type operator()() { return next(); }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t bound)
+    {
+        assert(bound > 0);
+        // Lemire's nearly-divisionless bounded sampling.
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (-bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<__uint128_t>(next()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::int64_t
+    uniformRange(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(uniformInt(span));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniformDouble() < p;
+    }
+
+    /** Standard normal draw (Box-Muller; one value per call). */
+    double
+    gaussian()
+    {
+        if (has_spare_) {
+            has_spare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = uniformDouble();
+        const double u2 = uniformDouble();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 6.283185307179586476925286766559 * u2;
+        spare_ = r * std::sin(theta);
+        has_spare_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /** Fisher-Yates shuffle of @p v. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Uniformly pick one element of non-empty @p v. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &v)
+    {
+        assert(!v.empty());
+        return v[uniformInt(v.size())];
+    }
+
+    /**
+     * Sample an index from an (unnormalized, non-negative) weight vector.
+     * Falls back to uniform if all weights are zero.
+     */
+    std::size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        if (total <= 0.0)
+            return uniformInt(weights.size());
+        double x = uniformDouble() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            x -= weights[i];
+            if (x < 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** Derive an independent child generator (for per-worker streams). */
+    Rng
+    split()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    bool has_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_UTIL_RNG_HPP

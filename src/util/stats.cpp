@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autocat {
+
+void
+RunningStat::push(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+autocorrelation(const std::vector<double> &xs, std::size_t p)
+{
+    const std::size_t n = xs.size();
+    if (p == 0 || p >= n)
+        return 0.0;
+
+    const double m = mean(xs);
+    double denom = 0.0;
+    for (double x : xs)
+        denom += (x - m) * (x - m);
+    if (denom <= 0.0)
+        return 0.0;
+
+    double num = 0.0;
+    for (std::size_t i = 0; i + p < n; ++i)
+        num += (xs[i] - m) * (xs[i + p] - m);
+
+    // CC-Hunter scales the biased estimator by n / (n - p) to keep long
+    // lags comparable with short ones.
+    const double scale = static_cast<double>(n) /
+                         static_cast<double>(n - p);
+    return scale * num / denom;
+}
+
+double
+maxAutocorrelation(const std::vector<double> &xs, std::size_t maxLag)
+{
+    double best = 0.0;
+    const std::size_t limit = std::min(maxLag + 1, xs.size());
+    for (std::size_t p = 1; p < limit; ++p)
+        best = std::max(best, std::abs(autocorrelation(xs, p)));
+    return best;
+}
+
+std::vector<double>
+autocorrelogram(const std::vector<double> &xs, std::size_t maxLag)
+{
+    std::vector<double> cs;
+    const std::size_t limit = std::min(maxLag + 1, xs.size());
+    for (std::size_t p = 1; p < limit; ++p)
+        cs.push_back(autocorrelation(xs, p));
+    return cs;
+}
+
+} // namespace autocat

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Small statistics toolkit used across the library and benches.
+ *
+ * Includes the lag-p autocorrelation estimator from CC-Hunter
+ * (Chen & Venkataramani, MICRO'14) as quoted in the AutoCAT paper:
+ *
+ *   C_p = n * sum_{i=0}^{n-p} (X_i - mean)(X_{i+p} - mean)
+ *         -----------------------------------------------
+ *         (n - p) * sum_{i=0}^{n} (X_i - mean)^2
+ */
+
+#ifndef AUTOCAT_UTIL_STATS_HPP
+#define AUTOCAT_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace autocat {
+
+/** Streaming mean / variance accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void push(double x);
+
+    /** Number of samples pushed so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of @p xs; 0 when empty. */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample standard deviation of @p xs; 0 with < 2 samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Median (copies and sorts); 0 when empty. */
+double median(std::vector<double> xs);
+
+/**
+ * Lag-p autocorrelation coefficient of the binary/real event train @p xs
+ * using the CC-Hunter normalization (see file comment).
+ *
+ * @param xs event train X_0..X_{n}
+ * @param p  lag, 1 <= p < xs.size()
+ * @return C_p, or 0 when the train is constant or too short.
+ */
+double autocorrelation(const std::vector<double> &xs, std::size_t p);
+
+/**
+ * max_{1 <= p <= maxLag} |C_p| over the event train.
+ *
+ * CC-Hunter flags a covert channel when this exceeds a threshold
+ * (0.75 in the paper's example).
+ */
+double maxAutocorrelation(const std::vector<double> &xs, std::size_t maxLag);
+
+/** Full autocorrelogram C_1..C_maxLag (clamped to the train length). */
+std::vector<double> autocorrelogram(const std::vector<double> &xs,
+                                    std::size_t maxLag);
+
+} // namespace autocat
+
+#endif // AUTOCAT_UTIL_STATS_HPP

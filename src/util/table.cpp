@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace autocat {
+
+TextTable::TextTable(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::size_t total = 1;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    os << std::string(total, '=') << '\n';
+    os << "  " << title_ << '\n';
+    os << std::string(total, '=') << '\n';
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    os << std::string(total, '=') << '\n';
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            const bool quote =
+                cells[c].find(',') != std::string::npos ||
+                cells[c].find('"') != std::string::npos;
+            if (quote) {
+                os << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cells[c];
+            }
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TextTable::fmt(long v)
+{
+    return std::to_string(v);
+}
+
+} // namespace autocat

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table and CSV emission for bench binaries.
+ *
+ * Every bench reproduces one table or figure from the paper; TextTable
+ * renders the same rows the paper reports, aligned for terminal reading,
+ * and can additionally dump CSV for plotting.
+ */
+
+#ifndef AUTOCAT_UTIL_TABLE_HPP
+#define AUTOCAT_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autocat {
+
+/** Column-aligned ASCII table with an optional title and CSV export. */
+class TextTable
+{
+  public:
+    /** Create a table titled @p title with the given column headers. */
+    TextTable(std::string title, std::vector<std::string> headers);
+
+    /** Append a row; must have exactly one cell per header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render the aligned ASCII table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV (header row first) to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with @p precision digits after the decimal point. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Format an integer. */
+    static std::string fmt(long v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_UTIL_TABLE_HPP

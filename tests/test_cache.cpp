@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Unit tests for CacheSet, Cache, prefetchers, and the memory-system
+ * adapters (single-level and two-level inclusive hierarchy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/memory_system.hpp"
+#include "cache/prefetcher.hpp"
+
+namespace autocat {
+namespace {
+
+CacheConfig
+faConfig(unsigned ways, ReplPolicy policy = ReplPolicy::Lru)
+{
+    CacheConfig cfg;
+    cfg.numSets = 1;
+    cfg.numWays = ways;
+    cfg.policy = policy;
+    cfg.addressSpaceSize = 4 * ways;
+    cfg.seed = 3;
+    return cfg;
+}
+
+CacheConfig
+dmConfig(unsigned sets)
+{
+    CacheConfig cfg;
+    cfg.numSets = sets;
+    cfg.numWays = 1;
+    cfg.policy = ReplPolicy::Lru;
+    cfg.addressSpaceSize = 4 * sets;
+    cfg.seed = 3;
+    return cfg;
+}
+
+// ---------------------------------------------------------- CacheSet --
+
+TEST(CacheSet, MissThenHit)
+{
+    CacheSet set(2, ReplPolicy::Lru, nullptr);
+    EXPECT_FALSE(set.access(5, Domain::Attacker).hit);
+    EXPECT_TRUE(set.access(5, Domain::Attacker).hit);
+}
+
+TEST(CacheSet, FillsInvalidWaysBeforeEvicting)
+{
+    CacheSet set(3, ReplPolicy::Lru, nullptr);
+    EXPECT_FALSE(set.access(1, Domain::Attacker).evicted);
+    EXPECT_FALSE(set.access(2, Domain::Attacker).evicted);
+    EXPECT_FALSE(set.access(3, Domain::Attacker).evicted);
+    const AccessResult r = set.access(4, Domain::Attacker);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedAddr, 1u);
+}
+
+TEST(CacheSet, EvictedOwnerIsLastToucher)
+{
+    CacheSet set(1, ReplPolicy::Lru, nullptr);
+    set.access(1, Domain::Victim);
+    const AccessResult r = set.access(2, Domain::Attacker);
+    ASSERT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedOwner, Domain::Victim);
+}
+
+TEST(CacheSet, HitTransfersOwnership)
+{
+    CacheSet set(1, ReplPolicy::Lru, nullptr);
+    set.access(1, Domain::Victim);
+    set.access(1, Domain::Attacker);  // hit by the attacker
+    const AccessResult r = set.access(2, Domain::Victim);
+    ASSERT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedOwner, Domain::Attacker);
+}
+
+TEST(CacheSet, InvalidateRemovesLine)
+{
+    CacheSet set(2, ReplPolicy::Lru, nullptr);
+    set.access(7, Domain::Attacker);
+    EXPECT_TRUE(set.invalidate(7));
+    EXPECT_FALSE(set.contains(7));
+    EXPECT_FALSE(set.invalidate(7));  // already gone
+}
+
+TEST(CacheSet, LockPreventsEviction)
+{
+    CacheSet set(2, ReplPolicy::Lru, nullptr);
+    ASSERT_TRUE(set.lockLine(0, Domain::Victim));
+    set.access(1, Domain::Attacker);
+    // Fill pressure: 0 must survive all of it.
+    for (std::uint64_t a = 2; a < 10; ++a)
+        set.access(a, Domain::Attacker);
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_TRUE(set.isLocked(0));
+}
+
+TEST(CacheSet, AllLockedServesUncached)
+{
+    CacheSet set(2, ReplPolicy::Lru, nullptr);
+    set.lockLine(0, Domain::Victim);
+    set.lockLine(1, Domain::Victim);
+    const AccessResult r = set.access(9, Domain::Attacker);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.servedUncached);
+    EXPECT_FALSE(set.contains(9));
+}
+
+TEST(CacheSet, UnlockRestoresEvictability)
+{
+    CacheSet set(1, ReplPolicy::Lru, nullptr);
+    set.lockLine(0, Domain::Victim);
+    EXPECT_TRUE(set.unlockLine(0));
+    const AccessResult r = set.access(1, Domain::Attacker);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedAddr, 0u);
+}
+
+TEST(CacheSet, LockedLineAccessStillUpdatesReplacementState)
+{
+    // The PL-cache leak (Section V-D): a hit on a locked line moves
+    // the replacement metadata even though the line can't be evicted.
+    CacheSet set(4, ReplPolicy::Lru, nullptr);
+    set.lockLine(0, Domain::Victim);
+    set.access(1, Domain::Attacker);
+    set.access(2, Domain::Attacker);
+    set.access(3, Domain::Attacker);
+    // LRU order: 0 (locked, oldest), 1, 2, 3.
+    set.access(0, Domain::Victim);  // hit on the locked line
+    // Now 1 is the oldest unlocked line.
+    const AccessResult r = set.access(4, Domain::Attacker);
+    ASSERT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedAddr, 1u);
+}
+
+TEST(CacheSet, ResetClearsEverything)
+{
+    CacheSet set(2, ReplPolicy::Lru, nullptr);
+    set.lockLine(0, Domain::Victim);
+    set.access(1, Domain::Attacker);
+    set.reset();
+    EXPECT_FALSE(set.contains(0));
+    EXPECT_FALSE(set.contains(1));
+    EXPECT_TRUE(set.residentAddrs().empty());
+}
+
+// ------------------------------------------------------------- Cache --
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache cache(dmConfig(4));
+    cache.access(1, Domain::Attacker);
+    EXPECT_TRUE(cache.contains(1));
+    cache.access(5, Domain::Attacker);  // 5 % 4 == 1: conflict
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(5));
+    // Non-conflicting address is untouched.
+    cache.access(2, Domain::Attacker);
+    EXPECT_TRUE(cache.contains(5));
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    Cache cache(faConfig(4));
+    cache.access(3, Domain::Attacker);
+    EXPECT_TRUE(cache.flush(3, Domain::Attacker));
+    EXPECT_FALSE(cache.contains(3));
+    EXPECT_FALSE(cache.flush(3, Domain::Attacker));
+}
+
+TEST(Cache, EventListenerSeesAllOperations)
+{
+    Cache cache(dmConfig(2));
+    std::vector<CacheEvent> events;
+    cache.setEventListener(
+        [&](const CacheEvent &ev) { events.push_back(ev); });
+
+    cache.access(0, Domain::Attacker);
+    cache.access(0, Domain::Victim);
+    cache.flush(0, Domain::Attacker);
+
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].op, CacheOp::DemandAccess);
+    EXPECT_FALSE(events[0].hit);
+    EXPECT_TRUE(events[1].hit);
+    EXPECT_EQ(events[1].domain, Domain::Victim);
+    EXPECT_EQ(events[2].op, CacheOp::Flush);
+}
+
+TEST(Cache, EvictionEventCarriesOwner)
+{
+    Cache cache(dmConfig(2));
+    CacheEvent last;
+    cache.setEventListener([&](const CacheEvent &ev) { last = ev; });
+    cache.access(0, Domain::Victim);
+    cache.access(2, Domain::Attacker);  // conflicts with 0
+    EXPECT_TRUE(last.evicted);
+    EXPECT_EQ(last.evictedAddr, 0u);
+    EXPECT_EQ(last.evictedOwner, Domain::Victim);
+}
+
+TEST(Cache, RandomSetMappingIsBalancedAndFixed)
+{
+    CacheConfig cfg = dmConfig(4);
+    cfg.randomSetMapping = true;
+    cfg.addressSpaceSize = 16;
+    Cache a(cfg), b(cfg);
+
+    std::vector<unsigned> counts(4, 0);
+    for (std::uint64_t addr = 0; addr < 16; ++addr) {
+        EXPECT_EQ(a.setIndexOf(addr), b.setIndexOf(addr))
+            << "mapping must be a fixed function of the seed";
+        ++counts[a.setIndexOf(addr)];
+    }
+    for (unsigned c : counts)
+        EXPECT_EQ(c, 4u);  // balanced permutation
+
+    // A different seed gives a different permutation (overwhelmingly).
+    cfg.seed = 99;
+    Cache c(cfg);
+    bool any_diff = false;
+    for (std::uint64_t addr = 0; addr < 16; ++addr)
+        any_diff |= c.setIndexOf(addr) != a.setIndexOf(addr);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Cache, RandomPolicyIsSeedDeterministic)
+{
+    CacheConfig cfg = faConfig(4, ReplPolicy::Random);
+    Cache a(cfg), b(cfg);
+    // Drive both with the same access stream and compare contents.
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t addr = (i * 7 + 3) % 12;
+        a.access(addr, Domain::Attacker);
+        b.access(addr, Domain::Attacker);
+    }
+    for (std::uint64_t addr = 0; addr < 12; ++addr)
+        EXPECT_EQ(a.contains(addr), b.contains(addr));
+}
+
+// ------------------------------------------------------- prefetchers --
+
+TEST(NextLinePrefetcher, PrefetchesNextAddressWithWraparound)
+{
+    NextLinePrefetcher pf(8);
+    EXPECT_EQ(pf.onDemandAccess(6, false),
+              std::vector<std::uint64_t>{7});
+    EXPECT_EQ(pf.onDemandAccess(7, false),
+              std::vector<std::uint64_t>{0});
+}
+
+TEST(StreamPrefetcher, DetectsStrideAfterTwoObservations)
+{
+    StreamPrefetcher pf(32);
+    EXPECT_TRUE(pf.onDemandAccess(4, false).empty());
+    EXPECT_TRUE(pf.onDemandAccess(6, false).empty());  // stride learned
+    const auto out = pf.onDemandAccess(8, false);      // stream confirmed
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 10u);
+}
+
+TEST(StreamPrefetcher, IgnoresIrregularPattern)
+{
+    StreamPrefetcher pf(32);
+    pf.onDemandAccess(4, false);
+    pf.onDemandAccess(9, false);
+    EXPECT_TRUE(pf.onDemandAccess(11, false).empty());
+    pf.reset();
+    pf.onDemandAccess(1, false);
+    EXPECT_TRUE(pf.onDemandAccess(2, false).empty());
+}
+
+TEST(Cache, NextLinePrefetcherInstallsNeighbor)
+{
+    CacheConfig cfg = dmConfig(4);
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    cfg.addressSpaceSize = 8;
+    Cache cache(cfg);
+    cache.access(5, Domain::Attacker);
+    EXPECT_TRUE(cache.contains(5));
+    EXPECT_TRUE(cache.contains(6));  // prefetched
+}
+
+TEST(Cache, PrefetchEventsAreTagged)
+{
+    CacheConfig cfg = dmConfig(4);
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    cfg.addressSpaceSize = 8;
+    Cache cache(cfg);
+    std::vector<CacheEvent> events;
+    cache.setEventListener(
+        [&](const CacheEvent &ev) { events.push_back(ev); });
+    cache.access(1, Domain::Attacker);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].op, CacheOp::DemandAccess);
+    EXPECT_EQ(events[1].op, CacheOp::Prefetch);
+    EXPECT_EQ(events[1].addr, 2u);
+}
+
+// ----------------------------------------------- memory-system layer --
+
+TEST(SingleLevelMemory, VictimMissFlag)
+{
+    SingleLevelMemory mem(faConfig(2));
+    EXPECT_TRUE(mem.access(0, Domain::Victim).victimMissed);
+    EXPECT_FALSE(mem.access(0, Domain::Victim).victimMissed);
+    EXPECT_FALSE(mem.access(1, Domain::Attacker).victimMissed);
+}
+
+TEST(SingleLevelMemory, LockInterface)
+{
+    SingleLevelMemory mem(faConfig(2));
+    EXPECT_TRUE(mem.lockLine(0, Domain::Victim));
+    for (std::uint64_t a = 1; a < 6; ++a)
+        mem.access(a, Domain::Attacker);
+    EXPECT_TRUE(mem.contains(0));
+    EXPECT_TRUE(mem.unlockLine(0));
+}
+
+TwoLevelConfig
+twoLevel()
+{
+    TwoLevelConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1.numSets = 4;
+    cfg.l1.numWays = 1;
+    cfg.l1.policy = ReplPolicy::Lru;
+    cfg.l1.addressSpaceSize = 32;
+    cfg.l2.numSets = 4;
+    cfg.l2.numWays = 2;
+    cfg.l2.policy = ReplPolicy::Lru;
+    cfg.l2.addressSpaceSize = 32;
+    return cfg;
+}
+
+TEST(TwoLevelMemory, HitLevels)
+{
+    TwoLevelMemory mem(twoLevel());
+    EXPECT_EQ(mem.access(0, Domain::Attacker).hitLevel, 0);  // cold
+    EXPECT_EQ(mem.access(0, Domain::Attacker).hitLevel, 1);  // L1 hit
+}
+
+TEST(TwoLevelMemory, L2HitAfterL1Conflict)
+{
+    TwoLevelMemory mem(twoLevel());
+    mem.access(0, Domain::Attacker);
+    // 4 maps to the same L1 set (4 % 4 == 0) but a different L2 way.
+    mem.access(4, Domain::Attacker);
+    const MemoryAccessResult r = mem.access(0, Domain::Attacker);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.hitLevel, 2);
+}
+
+TEST(TwoLevelMemory, InclusionBackInvalidatesL1)
+{
+    TwoLevelMemory mem(twoLevel());
+    // Fill L2 set 0 (2 ways) from the attacker core: addrs 0, 4.
+    mem.access(0, Domain::Attacker);
+    mem.access(4, Domain::Attacker);
+    // Victim core access to 8 (set 0) evicts one of them from L2; the
+    // evicted line must also leave the attacker's L1 (inclusion).
+    mem.access(8, Domain::Victim);
+    const bool l2_has_0 = mem.l2().contains(0);
+    const bool l1_has_0 = mem.l1(0).contains(0);
+    if (!l2_has_0)
+        EXPECT_FALSE(l1_has_0) << "inclusion violated";
+    // Exactly one of {0, 4} was displaced.
+    EXPECT_NE(mem.l2().contains(0), mem.l2().contains(4));
+}
+
+TEST(TwoLevelMemory, CrossCorePrimeProbeSignal)
+{
+    // The contention mechanism behind Table IV configs 16/17.
+    TwoLevelMemory mem(twoLevel());
+    // Attacker primes L2 set 0 with its two lines.
+    mem.access(8, Domain::Attacker);
+    mem.access(16, Domain::Attacker);
+    // Victim touches a conflicting address on its own core.
+    mem.access(0, Domain::Victim);
+    // One attacker line was evicted from the shared L2: probing both,
+    // at least one must now miss to memory.
+    const MemoryAccessResult p1 = mem.access(8, Domain::Attacker);
+    const MemoryAccessResult p2 = mem.access(16, Domain::Attacker);
+    EXPECT_TRUE(p1.hitLevel == 0 || p2.hitLevel == 0);
+}
+
+TEST(TwoLevelMemory, FlushDropsAllLevels)
+{
+    TwoLevelMemory mem(twoLevel());
+    mem.access(0, Domain::Attacker);
+    mem.flush(0, Domain::Attacker);
+    EXPECT_FALSE(mem.contains(0));
+    EXPECT_FALSE(mem.l1(0).contains(0));
+}
+
+TEST(TwoLevelMemory, NumBlocksIsSharedLevel)
+{
+    TwoLevelMemory mem(twoLevel());
+    EXPECT_EQ(mem.numBlocks(), 8u);
+}
+
+} // namespace
+} // namespace autocat

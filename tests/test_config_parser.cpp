@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the key = value experiment-config parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config_parser.hpp"
+
+namespace autocat {
+namespace {
+
+TEST(ConfigParser, ParsesFullTableIIKnobSet)
+{
+    const ExplorationConfig cfg = parseExplorationConfig(std::string(R"(
+        # cache
+        num_sets = 4
+        num_ways = 2
+        rep_policy = rrip
+        prefetcher = nextline
+        random_set_mapping = true
+        address_space = 32
+        # attacker / victim
+        attack_addr_s = 4
+        attack_addr_e = 11
+        victim_addr_s = 0
+        victim_addr_e = 3
+        flush_enable = true
+        victim_no_access_enable = false
+        detection_enable = true
+        pl_cache_lock_victim = true
+        # episode / rewards
+        window_size = 24
+        multi_secret = true
+        multi_secret_episode_steps = 80
+        reveal_on_guess = true
+        random_init = false
+        correct_guess_reward = 2.0
+        wrong_guess_reward = -3.0
+        step_reward = -0.02
+        length_violation_reward = -5
+        detection_reward = -4
+        seed = 99
+        # rl
+        ppo_seed = 123
+        steps_per_epoch = 1234
+        learning_rate = 0.001
+        gamma = 0.9
+        hidden = 64
+        max_epochs = 55
+        target_accuracy = 0.9
+        eval_episodes = 77
+        verbose = true
+    )"));
+
+    EXPECT_EQ(cfg.env.cache.numSets, 4u);
+    EXPECT_EQ(cfg.env.cache.numWays, 2u);
+    EXPECT_EQ(cfg.env.cache.policy, ReplPolicy::Rrip);
+    EXPECT_EQ(cfg.env.cache.prefetcher, PrefetcherKind::NextLine);
+    EXPECT_TRUE(cfg.env.cache.randomSetMapping);
+    EXPECT_EQ(cfg.env.cache.addressSpaceSize, 32u);
+    EXPECT_EQ(cfg.env.attackAddrS, 4u);
+    EXPECT_EQ(cfg.env.attackAddrE, 11u);
+    EXPECT_EQ(cfg.env.victimAddrE, 3u);
+    EXPECT_TRUE(cfg.env.flushEnable);
+    EXPECT_FALSE(cfg.env.victimNoAccessEnable);
+    EXPECT_TRUE(cfg.env.detectionEnable);
+    EXPECT_TRUE(cfg.env.plCacheLockVictim);
+    EXPECT_EQ(cfg.env.windowSize, 24u);
+    EXPECT_TRUE(cfg.env.multiSecret);
+    EXPECT_EQ(cfg.env.multiSecretEpisodeSteps, 80u);
+    EXPECT_TRUE(cfg.env.revealOnGuess);
+    EXPECT_FALSE(cfg.env.randomInit);
+    EXPECT_DOUBLE_EQ(cfg.env.correctGuessReward, 2.0);
+    EXPECT_DOUBLE_EQ(cfg.env.wrongGuessReward, -3.0);
+    EXPECT_DOUBLE_EQ(cfg.env.stepReward, -0.02);
+    EXPECT_DOUBLE_EQ(cfg.env.lengthViolationReward, -5.0);
+    EXPECT_DOUBLE_EQ(cfg.env.detectionReward, -4.0);
+    EXPECT_EQ(cfg.env.seed, 99u);
+    EXPECT_EQ(cfg.ppo.seed, 123u);
+    EXPECT_EQ(cfg.ppo.stepsPerEpoch, 1234);
+    EXPECT_DOUBLE_EQ(cfg.ppo.lr, 0.001);
+    EXPECT_DOUBLE_EQ(cfg.ppo.gamma, 0.9);
+    EXPECT_EQ(cfg.ppo.hidden, 64u);
+    EXPECT_EQ(cfg.maxEpochs, 55);
+    EXPECT_DOUBLE_EQ(cfg.targetAccuracy, 0.9);
+    EXPECT_EQ(cfg.evalEpisodes, 77);
+    EXPECT_TRUE(cfg.verbose);
+}
+
+TEST(ConfigParser, DefaultsWhenEmpty)
+{
+    const ExplorationConfig cfg = parseExplorationConfig(std::string(""));
+    const ExplorationConfig fresh;
+    EXPECT_EQ(cfg.env.cache.numWays, fresh.env.cache.numWays);
+    EXPECT_EQ(cfg.maxEpochs, fresh.maxEpochs);
+}
+
+TEST(ConfigParser, UnknownKeyFailsLoudly)
+{
+    EXPECT_THROW(parseExplorationConfig(std::string("num_waysss = 4")),
+                 std::invalid_argument);
+}
+
+TEST(ConfigParser, MissingEqualsFails)
+{
+    EXPECT_THROW(parseExplorationConfig(std::string("num_ways 4")),
+                 std::invalid_argument);
+}
+
+TEST(ConfigParser, BadBooleanFails)
+{
+    EXPECT_THROW(
+        parseExplorationConfig(std::string("flush_enable = maybe")),
+        std::invalid_argument);
+}
+
+TEST(ConfigParser, CommentsAndBlankLinesIgnored)
+{
+    const ExplorationConfig cfg = parseExplorationConfig(std::string(
+        "\n   # a comment\nnum_ways = 8  # trailing comment\n\n"));
+    EXPECT_EQ(cfg.env.cache.numWays, 8u);
+}
+
+TEST(ConfigParser, AddressSpaceAutoWidens)
+{
+    const ExplorationConfig cfg = parseExplorationConfig(
+        std::string("attack_addr_e = 100\naddress_space = 8"));
+    EXPECT_GE(cfg.env.cache.addressSpaceSize, 102u);
+}
+
+TEST(ConfigParser, RenderRoundTrips)
+{
+    ExplorationConfig original;
+    original.env.cache.numWays = 8;
+    original.env.cache.policy = ReplPolicy::TreePlru;
+    original.env.flushEnable = true;
+    original.env.stepReward = -0.005;
+    original.maxEpochs = 42;
+
+    const std::string text = renderExplorationConfig(original);
+    const ExplorationConfig parsed = parseExplorationConfig(text);
+    EXPECT_EQ(parsed.env.cache.numWays, 8u);
+    EXPECT_EQ(parsed.env.cache.policy, ReplPolicy::TreePlru);
+    EXPECT_TRUE(parsed.env.flushEnable);
+    EXPECT_DOUBLE_EQ(parsed.env.stepReward, -0.005);
+    EXPECT_EQ(parsed.maxEpochs, 42);
+}
+
+TEST(ConfigParser, LoadMissingFileThrows)
+{
+    EXPECT_THROW(loadExplorationConfig("/nonexistent/path.cfg"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace autocat

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the detection schemes: miss-based, CC-Hunter
+ * autocorrelation, the linear SVM, and the Cyclone cyclic-interference
+ * detector with its synthetic training-set builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "detect/autocorr_detector.hpp"
+#include "detect/benign_traces.hpp"
+#include "detect/cyclone.hpp"
+#include "detect/miss_detector.hpp"
+#include "detect/svm.hpp"
+
+namespace autocat {
+namespace {
+
+CacheEvent
+demandEvent(Domain d, std::uint64_t addr, std::uint64_t set, bool hit,
+            bool evicted = false, Domain evicted_owner = Domain::Attacker)
+{
+    CacheEvent ev;
+    ev.op = CacheOp::DemandAccess;
+    ev.domain = d;
+    ev.addr = addr;
+    ev.setIndex = set;
+    ev.hit = hit;
+    ev.evicted = evicted;
+    ev.evictedOwner = evicted_owner;
+    return ev;
+}
+
+// -------------------------------------------------------- miss-based --
+
+TEST(MissDetector, CountsOnlyVictimDemandMisses)
+{
+    MissBasedDetector det(2);
+    det.onEvent(demandEvent(Domain::Attacker, 0, 0, false));  // ignored
+    det.onEvent(demandEvent(Domain::Victim, 0, 0, true));     // hit
+    EXPECT_FALSE(det.flagged());
+    det.onEvent(demandEvent(Domain::Victim, 0, 0, false));
+    EXPECT_FALSE(det.flagged()) << "threshold is 2";
+    det.onEvent(demandEvent(Domain::Victim, 1, 1, false));
+    EXPECT_TRUE(det.flagged());
+    det.onEpisodeReset();
+    EXPECT_FALSE(det.flagged());
+    EXPECT_EQ(det.victimMisses(), 0u);
+}
+
+TEST(MissDetector, IgnoresUncachedPlCacheAccesses)
+{
+    MissBasedDetector det(1);
+    CacheEvent ev = demandEvent(Domain::Victim, 0, 0, false);
+    ev.servedUncached = true;
+    det.onEvent(ev);
+    EXPECT_FALSE(det.flagged());
+}
+
+// ----------------------------------------------------- autocorrelation --
+
+TEST(AutocorrDetector, FlagsPeriodicConflictTrain)
+{
+    AutocorrDetector det(20, 0.75, -1.0, 4);
+    // Strictly alternating A->V / V->A conflicts (textbook channel).
+    for (int i = 0; i < 40; ++i) {
+        const bool attacker_evicts = i % 2 == 0;
+        CacheEvent ev = demandEvent(
+            attacker_evicts ? Domain::Attacker : Domain::Victim, 0, 0,
+            false, true,
+            attacker_evicts ? Domain::Victim : Domain::Attacker);
+        det.onEvent(ev);
+    }
+    EXPECT_EQ(det.eventTrain().size(), 40u);
+    EXPECT_GT(det.maxAutocorr(), 0.9);
+    EXPECT_TRUE(det.flagged());
+    EXPECT_LT(det.episodePenalty(), -0.1);
+}
+
+TEST(AutocorrDetector, IgnoresIntraDomainEvictions)
+{
+    AutocorrDetector det;
+    det.onEvent(demandEvent(Domain::Attacker, 0, 0, false, true,
+                            Domain::Attacker));
+    EXPECT_TRUE(det.eventTrain().empty());
+}
+
+TEST(AutocorrDetector, ShortTrainNeverFlags)
+{
+    AutocorrDetector det(20, 0.75, -1.0, 8);
+    for (int i = 0; i < 5; ++i) {
+        det.onEvent(demandEvent(Domain::Attacker, 0, 0, false, true,
+                                Domain::Victim));
+    }
+    EXPECT_FALSE(det.flagged());
+    EXPECT_EQ(det.episodePenalty(), 0.0);
+}
+
+TEST(AutocorrDetector, AperiodicTrainBelowThreshold)
+{
+    AutocorrDetector det(20, 0.75, -1.0, 4);
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        const bool a = rng.bernoulli(0.5);
+        det.onEvent(demandEvent(a ? Domain::Attacker : Domain::Victim, 0,
+                                0, false, true,
+                                a ? Domain::Victim : Domain::Attacker));
+    }
+    EXPECT_FALSE(det.flagged());
+}
+
+// --------------------------------------------------------------- SVM --
+
+TEST(Svm, SeparatesLinearlySeparableData)
+{
+    Rng rng(3);
+    SvmDataset data;
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.gaussian();
+        const double y = rng.gaussian();
+        data.add({x + 3.0, y}, +1);
+        data.add({x - 3.0, y}, -1);
+    }
+    LinearSvm svm(1e-3, 30);
+    svm.train(data, rng);
+    EXPECT_GT(svm.accuracy(data), 0.98);
+}
+
+TEST(Svm, DecisionSignMatchesPrediction)
+{
+    Rng rng(4);
+    SvmDataset data;
+    for (int i = 0; i < 50; ++i) {
+        data.add({1.0 + 0.01 * i}, +1);
+        data.add({-1.0 - 0.01 * i}, -1);
+    }
+    LinearSvm svm;
+    svm.train(data, rng);
+    EXPECT_GT(svm.decision({2.0}), 0.0);
+    EXPECT_LT(svm.decision({-2.0}), 0.0);
+    EXPECT_EQ(svm.predict({2.0}), 1);
+    EXPECT_EQ(svm.predict({-2.0}), -1);
+}
+
+TEST(Svm, HandlesConstantFeature)
+{
+    Rng rng(5);
+    SvmDataset data;
+    for (int i = 0; i < 40; ++i) {
+        data.add({7.0, static_cast<double>(i % 2 ? 1 : -1)},
+                 i % 2 ? 1 : -1);
+    }
+    LinearSvm svm;
+    EXPECT_NO_THROW(svm.train(data, rng));
+    EXPECT_GT(svm.accuracy(data), 0.95);
+}
+
+TEST(Svm, KFoldOnSeparableDataIsAccurate)
+{
+    Rng rng(6);
+    SvmDataset data;
+    for (int i = 0; i < 100; ++i) {
+        data.add({rng.gaussian() + 4.0}, +1);
+        data.add({rng.gaussian() - 4.0}, -1);
+    }
+    EXPECT_GT(kFoldAccuracy(data, 5, rng), 0.95);
+}
+
+TEST(Svm, EmptyTrainingThrows)
+{
+    Rng rng(7);
+    LinearSvm svm;
+    SvmDataset empty;
+    EXPECT_THROW(svm.train(empty, rng), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- cyclone --
+
+TEST(CycloneFeatures, CountsEvictionCycles)
+{
+    CycloneFeatureExtractor ex(4, 100);
+    // A evicts V's line, then V evicts A's line on set 2: one cycle.
+    ex.onEvent(demandEvent(Domain::Attacker, 2, 2, false, true,
+                           Domain::Victim));
+    ex.onEvent(demandEvent(Domain::Victim, 2, 2, false, true,
+                           Domain::Attacker));
+    const auto features = ex.finishInterval();
+    ASSERT_TRUE(features.has_value());
+    EXPECT_EQ((*features)[2], 1.0);
+    EXPECT_EQ((*features)[4], 1.0);  // total
+    EXPECT_EQ((*features)[0], 0.0);
+}
+
+TEST(CycloneFeatures, SameDirectionEvictionsNeverCycle)
+{
+    CycloneFeatureExtractor ex(2, 100);
+    for (int i = 0; i < 10; ++i) {
+        ex.onEvent(demandEvent(Domain::Attacker, 0, 0, false, true,
+                               Domain::Victim));
+    }
+    const auto features = ex.finishInterval();
+    ASSERT_TRUE(features.has_value());
+    EXPECT_EQ((*features)[2], 0.0);
+}
+
+TEST(CycloneFeatures, IntraDomainEvictionsIgnored)
+{
+    CycloneFeatureExtractor ex(2, 100);
+    ex.onEvent(demandEvent(Domain::Attacker, 0, 0, false, true,
+                           Domain::Attacker));
+    ex.onEvent(demandEvent(Domain::Victim, 0, 0, false, true,
+                           Domain::Victim));
+    const auto features = ex.finishInterval();
+    ASSERT_TRUE(features.has_value());
+    EXPECT_EQ((*features)[2], 0.0);
+}
+
+TEST(CycloneFeatures, IntervalBoundaryEmitsFeatures)
+{
+    CycloneFeatureExtractor ex(2, 3);
+    EXPECT_FALSE(ex.onEvent(demandEvent(Domain::Attacker, 0, 0, true))
+                     .has_value());
+    EXPECT_FALSE(ex.onEvent(demandEvent(Domain::Victim, 0, 0, true))
+                     .has_value());
+    EXPECT_TRUE(ex.onEvent(demandEvent(Domain::Attacker, 0, 0, true))
+                    .has_value());
+    // Counter restarts for the next interval.
+    EXPECT_FALSE(ex.onEvent(demandEvent(Domain::Victim, 0, 0, true))
+                     .has_value());
+}
+
+TEST(CycloneTraining, SvmSeparatesBenignFromPrimeProbe)
+{
+    CacheConfig cache;
+    cache.numSets = 4;
+    cache.numWays = 1;
+    cache.policy = ReplPolicy::Lru;
+    cache.addressSpaceSize = 128;
+
+    BenignTraceConfig benign;
+    benign.addrSpace = 64;
+    benign.traceLength = 160;
+
+    CycloneTrainingSetBuilder builder(cache, 16, benign);
+    Rng rng(11);
+    const SvmDataset data = builder.build(60, rng);
+    ASSERT_GT(data.size(), 100u);
+
+    // The paper reports 98.8% 5-fold accuracy for its Cyclone SVM.
+    const double acc = kFoldAccuracy(data, 5, rng);
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST(CycloneDetector, FlagsPrimeProbeIntervals)
+{
+    CacheConfig cache;
+    cache.numSets = 4;
+    cache.numWays = 1;
+    cache.policy = ReplPolicy::Lru;
+    cache.addressSpaceSize = 128;
+    BenignTraceConfig benign;
+    CycloneTrainingSetBuilder builder(cache, 16, benign);
+    Rng rng(12);
+    auto svm = std::make_shared<LinearSvm>();
+    svm->train(builder.build(60, rng), rng);
+
+    CycloneDetector det(4, 16, svm, -1.0);
+    // Feed a textbook prime+probe pattern.
+    Cache c(cache);
+    c.setEventListener([&](const CacheEvent &ev) { det.onEvent(ev); });
+    for (int round = 0; round < 8; ++round) {
+        for (std::uint64_t a = 0; a < 4; ++a)
+            c.access(4 + a, Domain::Attacker);
+        c.access(round % 4, Domain::Victim);
+    }
+    EXPECT_TRUE(det.flagged());
+    EXPECT_GT(det.flaggedIntervals(), 0u);
+    EXPECT_LT(det.consumeStepPenalty(), 0.0);
+    EXPECT_EQ(det.consumeStepPenalty(), 0.0) << "penalty is consumed";
+}
+
+TEST(CycloneDetector, QuietOnBenignTraffic)
+{
+    CacheConfig cache;
+    cache.numSets = 4;
+    cache.numWays = 1;
+    cache.policy = ReplPolicy::Lru;
+    cache.addressSpaceSize = 128;
+    BenignTraceConfig benign;
+    CycloneTrainingSetBuilder builder(cache, 16, benign);
+    Rng rng(13);
+    auto svm = std::make_shared<LinearSvm>();
+    svm->train(builder.build(60, rng), rng);
+
+    CycloneDetector det(4, 16, svm, -1.0);
+    Cache c(cache);
+    c.setEventListener([&](const CacheEvent &ev) { det.onEvent(ev); });
+    // Single-domain strided traffic: no cross-domain cycles at all.
+    for (int i = 0; i < 128; ++i)
+        c.access(i % 16, Domain::Attacker);
+    EXPECT_FALSE(det.flagged());
+}
+
+} // namespace
+} // namespace autocat

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the simulated-hardware layer: latency model arithmetic,
+ * machine presets, the black-box target, and both covert-channel
+ * protocols (correctness, stealth, accounting, noise behavior).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/covert_channel.hpp"
+#include "hw/latency_model.hpp"
+#include "hw/machines.hpp"
+#include "hw/target.hpp"
+
+namespace autocat {
+namespace {
+
+TEST(LatencyModel, CycleAccounting)
+{
+    LatencyModel m;
+    EXPECT_DOUBLE_EQ(m.plainAccess(1), m.loopCycles + m.l1HitCycles);
+    EXPECT_DOUBLE_EQ(m.measuredAccess(2),
+                     m.loopCycles + m.measureCycles + m.l2HitCycles);
+    EXPECT_DOUBLE_EQ(m.levelCycles(0), m.memCycles);
+    EXPECT_DOUBLE_EQ(m.levelCycles(3), m.l3HitCycles);
+}
+
+TEST(LatencyModel, MbpsConversion)
+{
+    LatencyModel m;
+    m.freqGHz = 1.0;  // 1e9 cycles per second
+    // 1e3 bits in 1e6 cycles = 1e3 bits / 1e-3 s = 1e6 bps = 1 Mbps.
+    EXPECT_NEAR(m.mbps(1e3, 1e6), 1.0, 1e-9);
+    EXPECT_EQ(m.mbps(100.0, 0.0), 0.0);
+}
+
+TEST(Machines, TableIIIHasSevenRows)
+{
+    const auto targets = tableIIITargets();
+    ASSERT_EQ(targets.size(), 7u);
+    // L1 levels are documented PLRU; the rest are N.O.D.
+    for (const auto &t : targets) {
+        if (t.level == "L1") {
+            EXPECT_TRUE(t.documented);
+            EXPECT_EQ(t.policy, ReplPolicy::TreePlru);
+        } else {
+            EXPECT_FALSE(t.documented);
+        }
+    }
+}
+
+TEST(Machines, TableXHasFourMachinesWithRisingWays)
+{
+    const auto machines = tableXMachines();
+    ASSERT_EQ(machines.size(), 4u);
+    EXPECT_EQ(machines[0].l1Ways, 8u);
+    EXPECT_EQ(machines[3].l1Ways, 12u);
+}
+
+// ------------------------------------------------------------ target --
+
+TEST(Target, NoiseFreePresetBehavesLikeCache)
+{
+    HardwareTargetPreset preset;
+    preset.ways = 4;
+    preset.policy = ReplPolicy::Lru;
+    preset.attackAddrE = 8;
+    preset.obsNoise = 0.0;
+    preset.interference = 0.0;
+    SimulatedHardwareTarget target(preset, 3);
+
+    EXPECT_FALSE(target.access(0, Domain::Attacker).hit);
+    EXPECT_TRUE(target.access(0, Domain::Attacker).hit);
+    target.reset();
+    EXPECT_FALSE(target.access(0, Domain::Attacker).hit);
+}
+
+TEST(Target, ObservationNoiseFlipsSomeReadings)
+{
+    HardwareTargetPreset preset;
+    preset.ways = 4;
+    preset.obsNoise = 0.2;
+    preset.interference = 0.0;
+    SimulatedHardwareTarget target(preset, 7);
+
+    target.access(0, Domain::Attacker);
+    int flips = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        // Address 0 is genuinely resident; a miss reading is noise.
+        if (!target.access(0, Domain::Attacker).hit)
+            ++flips;
+    }
+    EXPECT_NEAR(static_cast<double>(flips) / n, 0.2, 0.04);
+}
+
+TEST(Target, InterferencePerturbsState)
+{
+    HardwareTargetPreset preset;
+    preset.ways = 2;
+    preset.obsNoise = 0.0;
+    preset.interference = 0.5;
+    preset.attackAddrE = 8;
+    SimulatedHardwareTarget target(preset, 11);
+
+    // Keep two lines resident; strays will eventually evict one.
+    target.access(0, Domain::Attacker);
+    target.access(1, Domain::Attacker);
+    int misses = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (!target.access(i % 2, Domain::Attacker).hit)
+            ++misses;
+    }
+    EXPECT_GT(misses, 0);
+}
+
+TEST(Target, SeedDeterminism)
+{
+    HardwareTargetPreset preset = tableIIITargets()[0];
+    SimulatedHardwareTarget a(preset, 42), b(preset, 42);
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t addr = (i * 5) % 16;
+        EXPECT_EQ(a.access(addr, Domain::Attacker).hit,
+                  b.access(addr, Domain::Attacker).hit);
+    }
+}
+
+// ---------------------------------------------------- covert channel --
+
+CovertChannelConfig
+ssConfig(unsigned ways, double noise = 0.0)
+{
+    CovertChannelConfig cfg;
+    cfg.protocol = CovertProtocol::StealthyStreamline;
+    cfg.ways = ways;
+    cfg.bitsPerSymbol = 2;
+    cfg.policy = ReplPolicy::Lru;
+    cfg.noise = noise;
+    cfg.seed = 9;
+    return cfg;
+}
+
+CovertChannelConfig
+lruConfig(unsigned ways, double noise = 0.0)
+{
+    CovertChannelConfig cfg = ssConfig(ways, noise);
+    cfg.protocol = CovertProtocol::LruAddrBased;
+    return cfg;
+}
+
+TEST(CovertChannel, AccountingMatchesPaper)
+{
+    CovertChannel ss8(ssConfig(8));
+    EXPECT_EQ(ss8.accessesPerRound(), 10u);  // "4 out of 10"
+    EXPECT_EQ(ss8.measuredPerRound(), 4u);
+    CovertChannel ss12(ssConfig(12));
+    EXPECT_EQ(ss12.accessesPerRound(), 14u);  // "4 out of 14"
+    EXPECT_EQ(ss12.measuredPerRound(), 4u);
+}
+
+TEST(CovertChannel, StealthyStreamlineIsErrorFreeWithoutNoise)
+{
+    for (unsigned ways : {4u, 8u, 12u}) {
+        CovertChannel ch(ssConfig(ways));
+        Rng rng(5);
+        const BitString msg = randomBits(rng, 512);
+        const CovertResult r = ch.transmit(msg);
+        EXPECT_EQ(r.errorRate, 0.0) << ways << "-way";
+        EXPECT_GT(r.mbps, 0.0);
+    }
+}
+
+TEST(CovertChannel, LruAddrBasedIsErrorFreeWithoutNoise)
+{
+    for (unsigned ways : {4u, 8u, 12u}) {
+        CovertChannel ch(lruConfig(ways));
+        Rng rng(6);
+        const BitString msg = randomBits(rng, 256);
+        EXPECT_EQ(ch.transmit(msg).errorRate, 0.0) << ways << "-way";
+    }
+}
+
+TEST(CovertChannel, StealthyStreamlineSenderNeverMisses)
+{
+    // The "stealthy" property: the sender's accesses are always hits,
+    // so miss-count detectors watching the victim see nothing.
+    CovertChannel ch(ssConfig(8));
+    Rng rng(7);
+    const CovertResult r = ch.transmit(randomBits(rng, 1024));
+    EXPECT_EQ(r.victimMisses, 0u);
+}
+
+TEST(CovertChannel, LruBaselineSenderAlsoHits)
+{
+    CovertChannel ch(lruConfig(8));
+    Rng rng(8);
+    const CovertResult r = ch.transmit(randomBits(rng, 256));
+    EXPECT_EQ(r.victimMisses, 0u);
+}
+
+TEST(CovertChannel, StealthyStreamlineBeatsLruBaseline)
+{
+    // The paper's headline Table X comparison.
+    Rng rng(9);
+    const BitString msg = randomBits(rng, 1024);
+    for (unsigned ways : {8u, 12u}) {
+        CovertChannel ss(ssConfig(ways));
+        CovertChannel lru(lruConfig(ways));
+        const double ss_rate = ss.transmit(msg).mbps;
+        const double lru_rate = lru.transmit(msg).mbps;
+        EXPECT_GT(ss_rate, lru_rate) << ways << "-way";
+    }
+}
+
+TEST(CovertChannel, NoiseRaisesErrorRate)
+{
+    Rng rng(10);
+    const BitString msg = randomBits(rng, 1024);
+    CovertChannel clean(ssConfig(8, 0.0));
+    CovertChannel noisy(ssConfig(8, 0.05));
+    EXPECT_EQ(clean.transmit(msg).errorRate, 0.0);
+    EXPECT_GT(noisy.transmit(msg).errorRate, 0.01);
+}
+
+TEST(CovertChannel, MajorityVoteRepeatsTradeRateForErrors)
+{
+    Rng rng(11);
+    const BitString msg = randomBits(rng, 1024);
+
+    CovertChannelConfig one = ssConfig(8, 0.03);
+    CovertChannelConfig three = ssConfig(8, 0.03);
+    three.repeats = 3;
+
+    const CovertResult r1 = CovertChannel(one).transmit(msg);
+    const CovertResult r3 = CovertChannel(three).transmit(msg);
+    EXPECT_LT(r3.mbps, r1.mbps);
+    EXPECT_LE(r3.errorRate, r1.errorRate);
+}
+
+TEST(CovertChannel, ThreeBitVariantWorksOnLru)
+{
+    CovertChannelConfig cfg = ssConfig(12);
+    cfg.bitsPerSymbol = 3;
+    CovertChannel ch(cfg);
+    Rng rng(12);
+    const BitString msg = randomBits(rng, 384);
+    EXPECT_EQ(ch.transmit(msg).errorRate, 0.0);
+}
+
+TEST(CovertChannel, RejectsOversizedSymbolAlphabet)
+{
+    CovertChannelConfig cfg = ssConfig(4);
+    cfg.bitsPerSymbol = 3;  // 8 candidates in a 4-way set
+    EXPECT_THROW(CovertChannel ch(cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace autocat

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Unit and property tests for the replacement policies: exact LRU
+ * semantics, PLRU tree behavior, SRRIP aging, random-policy bounds,
+ * and cross-policy invariants (victim validity, lock respect).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+namespace {
+
+std::vector<bool>
+allTrue(unsigned n)
+{
+    return std::vector<bool>(n, true);
+}
+
+std::vector<bool>
+allFalse(unsigned n)
+{
+    return std::vector<bool>(n, false);
+}
+
+TEST(ReplPolicyNames, RoundTrip)
+{
+    for (auto p : {ReplPolicy::Lru, ReplPolicy::TreePlru, ReplPolicy::Rrip,
+                   ReplPolicy::Random}) {
+        EXPECT_EQ(replPolicyFromString(replPolicyName(p)), p);
+    }
+    EXPECT_THROW(replPolicyFromString("nonsense"), std::invalid_argument);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruReplacement lru(4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onFill(w);
+    // Way 0 is oldest.
+    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 0);
+    lru.onHit(0);  // promote 0; now way 1 is oldest
+    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 1);
+}
+
+TEST(Lru, HitPromotionIsExact)
+{
+    LruReplacement lru(4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onFill(w);
+    lru.onHit(1);
+    lru.onHit(0);
+    // Ages oldest -> newest now: 2, 3, 1, 0.
+    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 2);
+    lru.onHit(2);
+    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 3);
+}
+
+TEST(Lru, RespectsLocks)
+{
+    LruReplacement lru(4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onFill(w);
+    std::vector<bool> locked = allFalse(4);
+    locked[0] = true;  // the LRU way is locked
+    EXPECT_EQ(lru.victimWay(allTrue(4), locked), 1);
+}
+
+TEST(Lru, AllLockedReturnsMinusOne)
+{
+    LruReplacement lru(2);
+    lru.onFill(0);
+    lru.onFill(1);
+    EXPECT_EQ(lru.victimWay(allTrue(2), allTrue(2)), -1);
+}
+
+TEST(Lru, InvalidateMakesWayOldest)
+{
+    LruReplacement lru(4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.onFill(w);
+    lru.onInvalidate(3);  // newest way invalidated
+    // Among the remaining, way 3 should be preferred victim.
+    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 3);
+}
+
+TEST(Lru, SnapshotReflectsAges)
+{
+    LruReplacement lru(3);
+    lru.onFill(0);
+    lru.onFill(1);
+    lru.onFill(2);
+    const auto ages = lru.stateSnapshot();
+    EXPECT_EQ(ages[2], 0u);  // most recent
+    EXPECT_EQ(ages[0], 2u);  // oldest
+}
+
+TEST(Plru, RequiresPowerOfTwo)
+{
+    EXPECT_THROW(TreePlruReplacement(3), std::invalid_argument);
+    EXPECT_NO_THROW(TreePlruReplacement(8));
+}
+
+TEST(Plru, VictimIsNeverTheJustTouchedWay)
+{
+    TreePlruReplacement plru(8);
+    for (unsigned w = 0; w < 8; ++w)
+        plru.onFill(w);
+    for (unsigned w = 0; w < 8; ++w) {
+        plru.onHit(w);
+        EXPECT_NE(plru.victimWay(allTrue(8), allFalse(8)),
+                  static_cast<int>(w));
+    }
+}
+
+TEST(Plru, FillsInSequenceThenEvictsFirst)
+{
+    TreePlruReplacement plru(4);
+    for (unsigned w = 0; w < 4; ++w)
+        plru.onFill(w);
+    // After touching 0..3 in order, the tree points back at way 0.
+    EXPECT_EQ(plru.victimWay(allTrue(4), allFalse(4)), 0);
+}
+
+TEST(Plru, ApproximatesLruOnSequentialTouch)
+{
+    // Tree-PLRU and true LRU agree on a strict sequential pattern.
+    TreePlruReplacement plru(8);
+    LruReplacement lru(8);
+    for (unsigned w = 0; w < 8; ++w) {
+        plru.onFill(w);
+        lru.onFill(w);
+    }
+    EXPECT_EQ(plru.victimWay(allTrue(8), allFalse(8)),
+              lru.victimWay(allTrue(8), allFalse(8)));
+}
+
+TEST(Plru, LockedVictimFallsBackToUnlockedWay)
+{
+    TreePlruReplacement plru(4);
+    for (unsigned w = 0; w < 4; ++w)
+        plru.onFill(w);
+    std::vector<bool> locked = allFalse(4);
+    locked[0] = true;
+    const int v = plru.victimWay(allTrue(4), locked);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+}
+
+TEST(Rrip, InsertAtTwoPromoteToZero)
+{
+    RripReplacement rrip(4);
+    rrip.onFill(0);
+    EXPECT_EQ(rrip.stateSnapshot()[0], RripReplacement::insertRrpv);
+    rrip.onHit(0);
+    EXPECT_EQ(rrip.stateSnapshot()[0], 0u);
+}
+
+TEST(Rrip, EvictsHighestRrpvAfterAging)
+{
+    RripReplacement rrip(4);
+    for (unsigned w = 0; w < 4; ++w)
+        rrip.onFill(w);  // all at RRPV=2
+    rrip.onHit(1);       // way 1 at RRPV=0
+    const int victim = rrip.victimWay(allTrue(4), allFalse(4));
+    EXPECT_NE(victim, 1);
+    // Aging happened: some way must now be at max.
+    EXPECT_EQ(rrip.stateSnapshot()[victim], RripReplacement::maxRrpv);
+}
+
+TEST(Rrip, HitProtectsAgainstOneEvictionRound)
+{
+    RripReplacement rrip(2);
+    rrip.onFill(0);
+    rrip.onFill(1);
+    rrip.onHit(0);
+    EXPECT_EQ(rrip.victimWay(allTrue(2), allFalse(2)), 1);
+}
+
+TEST(Rrip, InvalidateSetsMaxRrpv)
+{
+    RripReplacement rrip(2);
+    rrip.onFill(0);
+    rrip.onFill(1);
+    rrip.onInvalidate(0);
+    EXPECT_EQ(rrip.stateSnapshot()[0], RripReplacement::maxRrpv);
+}
+
+TEST(RandomPolicy, RequiresRng)
+{
+    EXPECT_THROW(makeReplacementPolicy(ReplPolicy::Random, 4, nullptr),
+                 std::invalid_argument);
+}
+
+TEST(RandomPolicy, VictimIsAlwaysValidUnlocked)
+{
+    Rng rng(5);
+    RandomReplacement rp(8, &rng);
+    std::vector<bool> valid = allTrue(8);
+    std::vector<bool> locked = allFalse(8);
+    locked[2] = locked[5] = true;
+    for (int i = 0; i < 500; ++i) {
+        const int v = rp.victimWay(valid, locked);
+        ASSERT_GE(v, 0);
+        EXPECT_TRUE(valid[v]);
+        EXPECT_FALSE(locked[v]);
+    }
+}
+
+TEST(RandomPolicy, CoversAllCandidates)
+{
+    Rng rng(6);
+    RandomReplacement rp(4, &rng);
+    std::set<int> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rp.victimWay(allTrue(4), allFalse(4)));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+// Cross-policy invariants.
+class PolicyInvariants : public ::testing::TestWithParam<ReplPolicy>
+{
+  protected:
+    Rng rng_{42};
+};
+
+TEST_P(PolicyInvariants, VictimAlwaysValidAndUnlocked)
+{
+    auto policy = makeReplacementPolicy(GetParam(), 8, &rng_);
+    for (unsigned w = 0; w < 8; ++w)
+        policy->onFill(w);
+
+    Rng stim(17);
+    std::vector<bool> valid = allTrue(8);
+    for (int step = 0; step < 2000; ++step) {
+        std::vector<bool> locked(8, false);
+        const unsigned nlock = stim.uniformInt(8);
+        for (unsigned i = 0; i < nlock; ++i)
+            locked[stim.uniformInt(8)] = true;
+
+        const int v = policy->victimWay(valid, locked);
+        bool any_unlocked = false;
+        for (unsigned w = 0; w < 8; ++w)
+            any_unlocked |= !locked[w];
+        if (any_unlocked) {
+            ASSERT_GE(v, 0);
+            EXPECT_FALSE(locked[v]);
+        } else {
+            EXPECT_EQ(v, -1);
+        }
+
+        // Random touch keeps the metadata churning.
+        if (stim.bernoulli(0.5))
+            policy->onHit(stim.uniformInt(8));
+        else
+            policy->onFill(stim.uniformInt(8));
+    }
+}
+
+TEST_P(PolicyInvariants, ResetIsReproducible)
+{
+    auto p1 = makeReplacementPolicy(GetParam(), 4, &rng_);
+    auto p2 = makeReplacementPolicy(GetParam(), 4, &rng_);
+    for (unsigned w = 0; w < 4; ++w) {
+        p1->onFill(w);
+        p2->onFill(w);
+    }
+    p1->onHit(2);
+    p1->reset();
+    for (unsigned w = 0; w < 4; ++w)
+        p1->onFill(w);
+    EXPECT_EQ(p1->stateSnapshot(), p2->stateSnapshot());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,
+                         ::testing::Values(ReplPolicy::Lru,
+                                           ReplPolicy::TreePlru,
+                                           ReplPolicy::Rrip,
+                                           ReplPolicy::Random));
+
+} // namespace
+} // namespace autocat
