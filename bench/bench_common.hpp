@@ -14,12 +14,30 @@
 #include <cstdio>
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "core/autocat.hpp"
+#include "env/env_registry.hpp"
 
 namespace autocat {
 namespace bench {
+
+/**
+ * Build a guessing game through the scenario registry (benches name
+ * the scenario instead of a concrete Environment class).
+ */
+inline std::unique_ptr<CacheGuessingGame>
+makeGame(const EnvConfig &cfg)
+{
+    std::unique_ptr<Environment> env = makeEnv("guessing_game", cfg);
+    auto *game = dynamic_cast<CacheGuessingGame *>(env.get());
+    if (!game)
+        throw std::logic_error(
+            "makeGame: scenario did not produce a CacheGuessingGame");
+    env.release();
+    return std::unique_ptr<CacheGuessingGame>(game);
+}
 
 /** Print the standard bench banner. */
 inline void
@@ -162,7 +180,8 @@ evaluateWithDetector(
  * single-secret episodes, then repetition on short multi-secret
  * episodes, then the full 160-step channel. All three environments
  * must share observation/action dimensions (same address ranges and
- * window).
+ * window). Each stage runs as a 1-stream VecEnv so detector state
+ * attached to the specific instances stays observable to the caller.
  *
  * @return trainer bound to @p multi_full at the end
  */

@@ -80,31 +80,31 @@ main()
     // Textbook.
     TrainCapture textbook;
     {
-        CacheGuessingGame env(multiSecretEnv());
+        auto env = makeGame(multiSecretEnv());
         auto det = std::make_shared<AutocorrDetector>(kMaxLag, 0.75, 0.0);
-        env.attachDetector(det, DetectorMode::Penalize);
-        TextbookPrimeProbeAgent agent(env);
-        textbook = capture(env, scriptedActFn(agent), *det,
+        env->attachDetector(det, DetectorMode::Penalize);
+        TextbookPrimeProbeAgent agent(*env);
+        textbook = capture(*env, scriptedActFn(agent), *det,
                            [&] { agent.onEpisodeStart(); });
     }
 
     // RL baseline and RL autocor (curriculum-trained).
     auto trained = [&](double penalty, std::uint64_t seed) {
-        CacheGuessingGame single(singleSecretStage());
-        CacheGuessingGame multi_short(shortChannelStage());
-        CacheGuessingGame env(multiSecretEnv());
-        multi_short.attachDetector(
+        auto single = makeGame(singleSecretStage());
+        auto multi_short = makeGame(shortChannelStage());
+        auto env = makeGame(multiSecretEnv());
+        multi_short->attachDetector(
             std::make_shared<AutocorrDetector>(kMaxLag, 0.75, penalty),
             DetectorMode::Penalize);
         auto det =
             std::make_shared<AutocorrDetector>(kMaxLag, 0.75, penalty);
-        env.attachDetector(det, DetectorMode::Penalize);
+        env->attachDetector(det, DetectorMode::Penalize);
         PpoConfig ppo;
         ppo.seed = seed;
-        auto trainer = trainChannelAgent(single, multi_short, env, ppo,
+        auto trainer = trainChannelAgent(*single, *multi_short, *env, ppo,
                                          byMode(12, 60, 80),
                                          byMode(4, 25, 40), train_epochs);
-        return capture(env, policyActFn(trainer->policy()), *det, {});
+        return capture(*env, policyActFn(trainer->policy()), *det, {});
     };
     const TrainCapture baseline = trained(0.0, 57);
     const TrainCapture autocor = trained(-30.0, 58);

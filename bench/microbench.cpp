@@ -1,18 +1,42 @@
 /**
  * @file
  * google-benchmark microbenchmarks for the core substrates: cache
- * access, environment stepping, policy inference, PPO updates, the
- * detector hot paths, and covert-channel rounds. These bound the
- * training throughput reported in the table benches and serve as the
- * observation-encoding ablation (window-only vs window+summary cost).
+ * access, environment stepping (single and vectorized), policy
+ * inference, PPO updates, the detector hot paths, and covert-channel
+ * rounds. These bound the training throughput reported in the table
+ * benches and serve as the observation-encoding ablation (window-only
+ * vs window+summary cost).
+ *
+ * For the perf trajectory, emit machine-readable results with e.g.
+ *
+ *   ./microbench --benchmark_filter='VecEnv|PolicyForward' \
+ *                --benchmark_out=perf.json --benchmark_out_format=json
  */
 
 #include <benchmark/benchmark.h>
 
 #include "core/autocat.hpp"
+#include "env/env_registry.hpp"
 
 namespace autocat {
 namespace {
+
+/** The Table V-style environment the stepping benches run. */
+EnvConfig
+benchEnvConfig()
+{
+    EnvConfig cfg;
+    cfg.cache.numSets = 1;
+    cfg.cache.numWays = 4;
+    cfg.cache.addressSpaceSize = 8;
+    cfg.attackAddrS = 0;
+    cfg.attackAddrE = 4;
+    cfg.victimAddrS = 0;
+    cfg.victimAddrE = 0;
+    cfg.victimNoAccessEnable = true;
+    cfg.windowSize = 16;
+    return cfg;
+}
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -56,29 +80,53 @@ BENCHMARK(BM_TwoLevelAccess);
 void
 BM_EnvStep(benchmark::State &state)
 {
-    EnvConfig cfg;
-    cfg.cache.numSets = 1;
-    cfg.cache.numWays = 4;
-    cfg.cache.addressSpaceSize = 8;
-    cfg.attackAddrS = 0;
-    cfg.attackAddrE = 4;
-    cfg.victimAddrS = 0;
-    cfg.victimAddrE = 0;
-    cfg.victimNoAccessEnable = true;
-    cfg.windowSize = 16;
-    CacheGuessingGame env(cfg);
-    env.reset();
+    auto env = makeEnv("guessing_game", benchEnvConfig());
+    env->reset();
     Rng rng(1);
     for (auto _ : state) {
-        const std::size_t action = rng.uniformInt(env.numActions());
-        const StepResult sr = env.step(action);
+        const std::size_t action = rng.uniformInt(env->numActions());
+        const StepResult sr = env->step(action);
         if (sr.done)
-            env.reset();
+            env->reset();
         benchmark::DoNotOptimize(sr.reward);
     }
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EnvStep);
+
+/**
+ * Env-steps/sec through a VecEnv at 1/2/4/8 streams, sync vs
+ * threaded. Arg0 = stream count, Arg1 = 1 for ThreadedVecEnv. The
+ * items/sec rate IS the environment throughput; on a multi-core host
+ * the threaded variant should scale with the stream count while sync
+ * stays flat.
+ */
+void
+BM_VecEnvThroughput(benchmark::State &state)
+{
+    const auto streams = static_cast<std::size_t>(state.range(0));
+    const bool threaded = state.range(1) != 0;
+    auto vec = makeVecEnv("guessing_game", benchEnvConfig(), streams,
+                          threaded);
+    vec->resetAll();
+    Rng rng(1);
+    std::vector<std::size_t> actions(streams);
+    for (auto _ : state) {
+        for (auto &a : actions)
+            a = rng.uniformInt(vec->numActions());
+        const VecStepResult vr = vec->stepAll(actions);
+        benchmark::DoNotOptimize(vr.rewards.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(streams));
+    state.counters["env_steps_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(streams),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VecEnvThroughput)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"streams", "threaded"});
 
 void
 BM_PolicyForward(benchmark::State &state)
@@ -93,29 +141,46 @@ BM_PolicyForward(benchmark::State &state)
 }
 BENCHMARK(BM_PolicyForward)->Arg(64)->Arg(256)->Arg(1024);
 
+/**
+ * Batched policy forward: one N x obs_dim matmul for N streams vs N
+ * single-observation passes (the vectorized trainer's win over the
+ * old per-env loop).
+ */
+void
+BM_PolicyForwardBatch(benchmark::State &state)
+{
+    Rng rng(2);
+    const auto streams = static_cast<std::size_t>(state.range(0));
+    const std::size_t obs_dim = 256;
+    ActorCritic net(obs_dim, 8, 128, 2, rng);
+    Matrix obs(streams, obs_dim);
+    for (std::size_t i = 0; i < obs.size(); ++i)
+        obs.data()[i] = 0.1f;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.forward(obs).values.data());
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(streams));
+}
+BENCHMARK(BM_PolicyForwardBatch)->Arg(1)->Arg(4)->Arg(8);
+
 void
 BM_PpoEpoch(benchmark::State &state)
 {
-    EnvConfig cfg;
-    cfg.cache.numSets = 1;
-    cfg.cache.numWays = 4;
-    cfg.cache.addressSpaceSize = 8;
-    cfg.attackAddrS = 0;
-    cfg.attackAddrE = 4;
-    cfg.victimAddrS = 0;
-    cfg.victimAddrE = 0;
-    cfg.victimNoAccessEnable = true;
-    cfg.windowSize = 16;
-    CacheGuessingGame env(cfg);
+    const auto streams = static_cast<std::size_t>(state.range(0));
+    auto vec = makeVecEnv("guessing_game", benchEnvConfig(), streams);
     PpoConfig ppo;
     ppo.stepsPerEpoch = 512;
     ppo.minibatchSize = 128;
-    PpoTrainer trainer(env, ppo);
+    PpoTrainer trainer(*vec, ppo);
     for (auto _ : state)
         benchmark::DoNotOptimize(trainer.runEpoch().epoch);
     state.SetItemsProcessed(state.iterations() * 512);
 }
-BENCHMARK(BM_PpoEpoch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PpoEpoch)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgNames({"streams"})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_Autocorrelation(benchmark::State &state)

@@ -26,12 +26,12 @@ DetectorEvalStats
 evalTextbook(int episodes)
 {
     EnvConfig env_cfg = multiSecretEnv();
-    CacheGuessingGame env(env_cfg);
+    auto env = makeGame(env_cfg);
     auto detector = std::make_shared<AutocorrDetector>(
         kMaxLag, kThreshold, 0.0 /* measurement only */);
-    env.attachDetector(detector, DetectorMode::Penalize);
-    TextbookPrimeProbeAgent agent(env);
-    return evaluateWithDetector(env, scriptedActFn(agent), episodes,
+    env->attachDetector(detector, DetectorMode::Penalize);
+    TextbookPrimeProbeAgent agent(*env);
+    return evaluateWithDetector(*env, scriptedActFn(agent), episodes,
                                 detector.get(),
                                 [&] { agent.onEpisodeStart(); });
 }
@@ -42,25 +42,25 @@ evalTrained(double penalty_coef, int channel_epochs, int episodes,
 {
     // Curriculum: one-shot attack -> short channel -> full channel.
     // The autocorrelation penalty applies in the channel stages.
-    CacheGuessingGame single(singleSecretStage());
-    CacheGuessingGame multi_short(shortChannelStage());
-    CacheGuessingGame multi(multiSecretEnv());
+    auto single = makeGame(singleSecretStage());
+    auto multi_short = makeGame(shortChannelStage());
+    auto multi = makeGame(multiSecretEnv());
 
     auto make_detector = [&] {
         return std::make_shared<AutocorrDetector>(kMaxLag, kThreshold,
                                                   penalty_coef);
     };
-    multi_short.attachDetector(make_detector(), DetectorMode::Penalize);
+    multi_short->attachDetector(make_detector(), DetectorMode::Penalize);
     auto detector = make_detector();
-    multi.attachDetector(detector, DetectorMode::Penalize);
+    multi->attachDetector(detector, DetectorMode::Penalize);
 
     PpoConfig ppo;
     ppo.seed = seed;
-    auto trainer = trainChannelAgent(single, multi_short, multi, ppo,
+    auto trainer = trainChannelAgent(*single, *multi_short, *multi, ppo,
                                      byMode(12, 60, 80),
                                      byMode(4, 25, 40), channel_epochs);
 
-    return evaluateWithDetector(multi, policyActFn(trainer->policy()),
+    return evaluateWithDetector(*multi, policyActFn(trainer->policy()),
                                 episodes, detector.get());
 }
 

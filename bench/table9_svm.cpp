@@ -65,13 +65,13 @@ main()
 
     // Textbook agent.
     {
-        CacheGuessingGame env(multiSecretEnv());
-        env.attachDetector(std::make_shared<CycloneDetector>(
-                               4, kIntervalSteps, svm, 0.0),
-                           DetectorMode::Penalize);
-        TextbookPrimeProbeAgent agent(env);
+        auto env = makeGame(multiSecretEnv());
+        env->attachDetector(std::make_shared<CycloneDetector>(
+                                4, kIntervalSteps, svm, 0.0),
+                            DetectorMode::Penalize);
+        TextbookPrimeProbeAgent agent(*env);
         const DetectorEvalStats stats = evaluateWithDetector(
-            env, scriptedActFn(agent), eval_episodes, nullptr,
+            *env, scriptedActFn(agent), eval_episodes, nullptr,
             [&] { agent.onEpisodeStart(); });
         table.addRow({"Textbook", TextTable::fmt(stats.bitRate, 4),
                       TextTable::fmt(stats.guessAccuracy, 3),
@@ -81,22 +81,22 @@ main()
     // RL agents with and without the detection penalty in training
     // (curriculum: one-shot attack -> short channel -> full channel).
     auto trained = [&](double penalty, std::uint64_t seed) {
-        CacheGuessingGame single(singleSecretStage());
-        CacheGuessingGame multi_short(shortChannelStage());
-        CacheGuessingGame multi(multiSecretEnv());
-        multi_short.attachDetector(
+        auto single = makeGame(singleSecretStage());
+        auto multi_short = makeGame(shortChannelStage());
+        auto multi = makeGame(multiSecretEnv());
+        multi_short->attachDetector(
             std::make_shared<CycloneDetector>(4, kIntervalSteps, svm,
                                               penalty),
             DetectorMode::Penalize);
-        multi.attachDetector(std::make_shared<CycloneDetector>(
-                                 4, kIntervalSteps, svm, penalty),
-                             DetectorMode::Penalize);
+        multi->attachDetector(std::make_shared<CycloneDetector>(
+                                  4, kIntervalSteps, svm, penalty),
+                              DetectorMode::Penalize);
         PpoConfig ppo;
         ppo.seed = seed;
-        auto trainer = trainChannelAgent(single, multi_short, multi, ppo,
+        auto trainer = trainChannelAgent(*single, *multi_short, *multi, ppo,
                                          byMode(12, 60, 80),
                                          byMode(4, 25, 40), train_epochs);
-        return evaluateWithDetector(multi,
+        return evaluateWithDetector(*multi,
                                     policyActFn(trainer->policy()),
                                     eval_episodes, nullptr);
     };

@@ -56,7 +56,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const ExplorationResult r = explore(cfg);
+    ExplorationResult r;
+    try {
+        r = explore(cfg);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
     std::cout << (r.converged ? "converged" : "NOT converged")
               << "  epochs=" << r.epochsToConverge
               << "  accuracy=" << r.finalAccuracy

@@ -34,8 +34,15 @@ main()
     cfg.env.windowSize = 16;
     cfg.maxEpochs = 120;
 
+    // Collect experience from 4 environment streams at once (stream i
+    // is seeded env.seed + i); the policy forward pass is batched
+    // across the streams. Set threadedEnvs = true to step them on a
+    // worker pool on multi-core hosts.
+    cfg.numStreams = 4;
+
     std::cout << "Training PPO on the cache guessing game "
-                 "(one epoch = 3000 env steps)...\n";
+                 "(one epoch = 3000 env steps across "
+              << cfg.numStreams << " streams)...\n";
     const ExplorationResult result = explore(cfg);
 
     if (!result.converged) {

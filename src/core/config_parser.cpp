@@ -150,6 +150,14 @@ parseExplorationConfig(std::istream &in)
         {"hidden",
          [&](const std::string &v) { cfg.ppo.hidden = std::stoul(v); }},
         // ----- exploration control
+        {"scenario",
+         [&](const std::string &v) { cfg.scenario = v; }},
+        {"num_streams",
+         [&](const std::string &v) { cfg.numStreams = std::stoi(v); }},
+        {"threaded_envs",
+         [&](const std::string &v) {
+             cfg.threadedEnvs = parseBool(v, "threaded_envs");
+         }},
         {"max_epochs",
          [&](const std::string &v) { cfg.maxEpochs = std::stoi(v); }},
         {"target_accuracy",
@@ -252,6 +260,10 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << "\n"
         << "detection_reward = " << cfg.env.detectionReward << "\n"
         << "seed = " << cfg.env.seed << "\n"
+        << "scenario = " << cfg.scenario << "\n"
+        << "num_streams = " << cfg.numStreams << "\n"
+        << "threaded_envs = " << (cfg.threadedEnvs ? "true" : "false")
+        << "\n"
         << "ppo_seed = " << cfg.ppo.seed << "\n"
         << "steps_per_epoch = " << cfg.ppo.stepsPerEpoch << "\n"
         << "learning_rate = " << cfg.ppo.lr << "\n"

@@ -1,5 +1,8 @@
 #include "core/explore.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "util/logging.hpp"
 
 namespace autocat {
@@ -42,13 +45,37 @@ ExplorationResult
 explore(const ExplorationConfig &config,
         std::unique_ptr<MemorySystem> memory, const EnvDecorator &decorate)
 {
-    std::unique_ptr<MemorySystem> mem =
-        memory ? std::move(memory) : makeMemorySystem(config.env);
-    CacheGuessingGame env(config.env, std::move(mem));
-    if (decorate)
-        decorate(env);
+    const auto decorate_stream = [&](Environment &env) {
+        if (!decorate)
+            return;
+        auto *game = dynamic_cast<CacheGuessingGame *>(&env);
+        if (!game)
+            throw std::invalid_argument(
+                "explore: the decorator requires a CacheGuessingGame "
+                "scenario");
+        decorate(*game);
+    };
 
-    PpoTrainer trainer(env, config.ppo);
+    std::unique_ptr<VecEnv> vec;
+    if (memory) {
+        // An externally-built memory system exists exactly once, so it
+        // can back exactly one stream.
+        std::vector<std::unique_ptr<Environment>> envs;
+        envs.push_back(
+            makeEnv(config.scenario, config.env, std::move(memory)));
+        decorate_stream(*envs.front());
+        if (config.threadedEnvs)
+            vec = std::make_unique<ThreadedVecEnv>(std::move(envs));
+        else
+            vec = std::make_unique<SyncVecEnv>(std::move(envs));
+    } else {
+        vec = makeVecEnv(
+            config.scenario, config.env,
+            static_cast<std::size_t>(std::max(1, config.numStreams)),
+            config.threadedEnvs, decorate_stream);
+    }
+
+    PpoTrainer trainer(*vec, config.ppo);
 
     ExplorationResult result;
     const PpoTrainer::EpochCallback log_cb =
@@ -77,9 +104,13 @@ explore(const ExplorationConfig &config,
     result.bitRate = final_eval.bitRate;
     result.detectionRate = final_eval.detectionRate;
 
-    result.sequence =
-        extractSequence(env, trainer.policy(), &result.finalGuess);
-    result.category = classifyAttack(result.sequence, config.env);
+    // Sequence extraction needs guessing-game introspection; scenarios
+    // that are not guessing games report metrics only.
+    if (auto *game = dynamic_cast<CacheGuessingGame *>(&vec->env(0))) {
+        result.sequence =
+            extractSequence(*game, trainer.policy(), &result.finalGuess);
+        result.category = classifyAttack(result.sequence, config.env);
+    }
     return result;
 }
 

@@ -18,8 +18,10 @@
 #include "cache/memory_system.hpp"
 #include "detect/detector.hpp"
 #include "env/env_config.hpp"
+#include "env/env_registry.hpp"
 #include "env/guessing_game.hpp"
 #include "rl/ppo.hpp"
+#include "rl/vec_env.hpp"
 
 namespace autocat {
 
@@ -28,6 +30,21 @@ struct ExplorationConfig
 {
     EnvConfig env;
     PpoConfig ppo;
+
+    /**
+     * Scenario registry name the training environments are built from
+     * (see env/env_registry.hpp).
+     */
+    std::string scenario = "guessing_game";
+
+    /**
+     * Environment streams to collect with. Stream i is seeded
+     * env.seed + i; 1 reproduces the classic single-worker loop.
+     */
+    int numStreams = 1;
+
+    /** Step the streams on a worker pool (ThreadedVecEnv). */
+    bool threadedEnvs = false;
 
     /** Give up after this many epochs (paper: 1 epoch = 3000 steps). */
     int maxEpochs = 150;
@@ -69,10 +86,18 @@ using EnvDecorator = std::function<void(CacheGuessingGame &)>;
 /**
  * Run one exploration.
  *
+ * Training environments are built from the scenario registry
+ * (config.scenario) as a config.numStreams-stream VecEnv; the
+ * decorator runs on every stream. Passing a decorator with a scenario
+ * that does not produce CacheGuessingGame environments is an error
+ * (std::invalid_argument) — detectors cannot be attached silently
+ * nowhere.
+ *
  * @param config    exploration description
  * @param memory    optional externally-built memory system (e.g. a
- *                  SimulatedHardwareTarget); defaults to the one the
- *                  EnvConfig describes
+ *                  SimulatedHardwareTarget); forces a single stream
+ *                  since only one instance exists. Defaults to the one
+ *                  the EnvConfig describes.
  * @param decorate  optional detector attachment hook
  */
 ExplorationResult explore(const ExplorationConfig &config,

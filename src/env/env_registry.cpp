@@ -1,0 +1,111 @@
+#include "env/env_registry.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "env/guessing_game.hpp"
+
+namespace autocat {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, EnvFactory> factories;
+};
+
+/**
+ * The registry singleton. Built-ins are installed on first access so
+ * static-library linking cannot drop the registrations.
+ */
+Registry &
+registry()
+{
+    static Registry *r = [] {
+        auto *init = new Registry;
+        init->factories["guessing_game"] =
+            [](const EnvConfig &cfg, std::unique_ptr<MemorySystem> memory)
+            -> std::unique_ptr<Environment> {
+            if (!memory)
+                memory = makeMemorySystem(cfg);
+            return std::make_unique<CacheGuessingGame>(cfg,
+                                                       std::move(memory));
+        };
+        return init;
+    }();
+    return *r;
+}
+
+} // namespace
+
+bool
+registerScenario(const std::string &name, EnvFactory factory)
+{
+    if (!factory)
+        throw std::invalid_argument("registerScenario: empty factory");
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.factories.insert_or_assign(name, std::move(factory)).second;
+}
+
+bool
+hasScenario(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.factories.count(name) != 0;
+}
+
+std::vector<std::string>
+scenarioNames()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.factories.size());
+    for (const auto &entry : r.factories)
+        names.push_back(entry.first);
+    return names;
+}
+
+std::unique_ptr<Environment>
+makeEnv(const std::string &name, const EnvConfig &config,
+        std::unique_ptr<MemorySystem> memory)
+{
+    EnvFactory factory;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        auto it = r.factories.find(name);
+        if (it == r.factories.end())
+            throw std::out_of_range("makeEnv: unknown scenario \"" + name +
+                                    "\"");
+        factory = it->second;
+    }
+    return factory(config, std::move(memory));
+}
+
+std::unique_ptr<VecEnv>
+makeVecEnv(const std::string &name, const EnvConfig &config,
+           std::size_t num_streams, bool threaded,
+           const std::function<void(Environment &)> &decorate)
+{
+    if (num_streams == 0)
+        throw std::invalid_argument("makeVecEnv: need at least one stream");
+    std::vector<std::unique_ptr<Environment>> envs;
+    envs.reserve(num_streams);
+    for (std::size_t i = 0; i < num_streams; ++i) {
+        EnvConfig stream_cfg = config;
+        stream_cfg.seed = config.seed + i;
+        envs.push_back(makeEnv(name, stream_cfg));
+        if (decorate)
+            decorate(*envs.back());
+    }
+    if (threaded)
+        return std::make_unique<ThreadedVecEnv>(std::move(envs));
+    return std::make_unique<SyncVecEnv>(std::move(envs));
+}
+
+} // namespace autocat

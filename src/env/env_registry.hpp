@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Scenario registry: construct environments by name.
+ *
+ * Benches, examples, and the exploration pipeline build their training
+ * environments through this registry instead of naming a concrete
+ * Environment subclass, so new cache scenarios (different simulators,
+ * hardware targets, future workloads) plug in without touching any
+ * call site. A scenario is a factory from an EnvConfig (plus an
+ * optional externally-built MemorySystem) to an Environment.
+ *
+ * The built-in scenario is "guessing_game" — the paper's cache
+ * guessing game (CacheGuessingGame).
+ */
+
+#ifndef AUTOCAT_ENV_ENV_REGISTRY_HPP
+#define AUTOCAT_ENV_ENV_REGISTRY_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/memory_system.hpp"
+#include "env/env_config.hpp"
+#include "rl/env_interface.hpp"
+#include "rl/vec_env.hpp"
+
+namespace autocat {
+
+/**
+ * Scenario factory. @p memory may be null, in which case the factory
+ * builds the memory system the EnvConfig describes (if it needs one).
+ */
+using EnvFactory = std::function<std::unique_ptr<Environment>(
+    const EnvConfig &, std::unique_ptr<MemorySystem> memory)>;
+
+/**
+ * Register a scenario under @p name, replacing any previous factory
+ * with that name.
+ *
+ * @return true if the name was new, false if it replaced an entry
+ */
+bool registerScenario(const std::string &name, EnvFactory factory);
+
+/** True if a scenario named @p name is registered. */
+bool hasScenario(const std::string &name);
+
+/** Sorted names of all registered scenarios. */
+std::vector<std::string> scenarioNames();
+
+/**
+ * Build one environment from the scenario registry.
+ *
+ * @throws std::out_of_range for an unknown scenario name
+ */
+std::unique_ptr<Environment>
+makeEnv(const std::string &name, const EnvConfig &config,
+        std::unique_ptr<MemorySystem> memory = nullptr);
+
+/**
+ * Build an N-stream vectorized environment from the registry. Stream i
+ * is constructed with `config.seed + i` so runs are reproducible and
+ * streams are decorrelated; a SyncVecEnv over the same seeds produces
+ * bitwise-identical trajectories to N sequential single-env runs.
+ *
+ * @param name        scenario name
+ * @param config      shared configuration (seed becomes the base seed)
+ * @param num_streams N >= 1
+ * @param threaded    step streams on a worker pool (ThreadedVecEnv)
+ *                    instead of sequentially (SyncVecEnv)
+ * @param decorate    optional per-stream hook (detectors, forced state)
+ *                    run on each environment right after construction
+ */
+std::unique_ptr<VecEnv>
+makeVecEnv(const std::string &name, const EnvConfig &config,
+           std::size_t num_streams, bool threaded = false,
+           const std::function<void(Environment &)> &decorate = {});
+
+} // namespace autocat
+
+#endif // AUTOCAT_ENV_ENV_REGISTRY_HPP

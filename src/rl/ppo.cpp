@@ -8,76 +8,115 @@
 
 namespace autocat {
 
-PpoTrainer::PpoTrainer(Environment &env, const PpoConfig &config)
-    : env_(&env),
-      config_(config),
-      rng_(config.seed),
-      buffer_(static_cast<std::size_t>(config.stepsPerEpoch),
-              env.observationSize())
+PpoTrainer::PpoTrainer(VecEnv &envs, const PpoConfig &config)
+    : envs_(&envs), config_(config), rng_(config.seed)
 {
-    Rng init_rng(config.seed ^ 0x5eedf00dull);
-    net_ = std::make_unique<ActorCritic>(env.observationSize(),
-                                         env.numActions(), config.hidden,
-                                         config.layers, init_rng);
+    init();
+}
+
+PpoTrainer::PpoTrainer(Environment &env, const PpoConfig &config)
+    : owned_env_(std::make_unique<SyncVecEnv>(env)),
+      envs_(owned_env_.get()),
+      config_(config),
+      rng_(config.seed)
+{
+    init();
+}
+
+void
+PpoTrainer::init()
+{
+    Rng init_rng(config_.seed ^ 0x5eedf00dull);
+    net_ = std::make_unique<ActorCritic>(envs_->observationSize(),
+                                         envs_->numActions(),
+                                         config_.hidden, config_.layers,
+                                         init_rng);
     auto blocks = net_->paramBlocks();
-    adam_ = std::make_unique<Adam>(blocks, config.lr);
+    adam_ = std::make_unique<Adam>(blocks, config_.lr);
+    rebuildBuffer();
+}
+
+void
+PpoTrainer::rebuildBuffer()
+{
+    const std::size_t n = envs_->numEnvs();
+    const std::size_t steps_per_stream =
+        (static_cast<std::size_t>(config_.stepsPerEpoch) + n - 1) / n;
+    buffer_ = std::make_unique<RolloutBuffer>(steps_per_stream, n,
+                                              envs_->observationSize());
+    running_return_.assign(n, 0.0);
+    running_len_.assign(n, 0.0);
+    collection_active_ = false;
 }
 
 void
 PpoTrainer::collect()
 {
-    buffer_.clear();
+    const std::size_t n = envs_->numEnvs();
+    buffer_->clear();
     collect_return_sum_ = 0.0;
     collect_len_sum_ = 0.0;
     collect_episodes_ = 0;
 
-    if (!episode_active_) {
-        current_obs_ = env_->reset();
-        episode_active_ = true;
-        running_return_ = 0.0;
-        running_len_ = 0.0;
+    if (!collection_active_) {
+        current_obs_ = envs_->resetAll();
+        collection_active_ = true;
+        running_return_.assign(n, 0.0);
+        running_len_.assign(n, 0.0);
     }
 
-    double last_value = 0.0;
-    while (!buffer_.full()) {
-        const AcOutput out = net_->forwardOne(current_obs_);
-        const std::size_t action = net_->sample(out.logits, 0, rng_);
-        const double logp = ActorCritic::logProb(out.logits, 0, action);
-        const double value = out.values[0];
+    std::vector<std::size_t> actions(n);
+    std::vector<double> values(n), log_probs(n);
+    std::vector<std::uint8_t> last_dones(n, 0);
 
-        StepResult sr = env_->step(action);
-        ++total_env_steps_;
-        running_return_ += sr.reward;
-        running_len_ += 1.0;
-
-        buffer_.add(current_obs_, action, sr.reward, sr.done, value, logp);
-
-        if (sr.done) {
-            collect_return_sum_ += running_return_;
-            collect_len_sum_ += running_len_;
-            ++collect_episodes_;
-            current_obs_ = env_->reset();
-            running_return_ = 0.0;
-            running_len_ = 0.0;
-        } else {
-            current_obs_ = std::move(sr.obs);
+    while (!buffer_->full()) {
+        // One batched forward over the N current observations.
+        const AcOutput out = net_->forward(current_obs_);
+        for (std::size_t s = 0; s < n; ++s) {
+            actions[s] = net_->sample(out.logits, s, rng_);
+            log_probs[s] = ActorCritic::logProb(out.logits, s, actions[s]);
+            values[s] = out.values[s];
         }
 
-        if (buffer_.full() && !sr.done) {
-            // Bootstrap the value of the state we stopped in.
-            const AcOutput boot = net_->forwardOne(current_obs_);
-            last_value = boot.values[0];
+        VecStepResult vr = envs_->stepAll(actions);
+        total_env_steps_ += static_cast<long long>(n);
+
+        for (std::size_t s = 0; s < n; ++s) {
+            running_return_[s] += vr.rewards[s];
+            running_len_[s] += 1.0;
+            if (vr.dones[s]) {
+                collect_return_sum_ += running_return_[s];
+                collect_len_sum_ += running_len_[s];
+                ++collect_episodes_;
+                running_return_[s] = 0.0;
+                running_len_[s] = 0.0;
+            }
         }
+
+        buffer_->addStep(std::move(current_obs_), actions, vr.rewards,
+                         vr.dones, values, log_probs);
+        last_dones = vr.dones;
+        current_obs_ = std::move(vr.obs);
     }
 
-    buffer_.computeAdvantages(config_.gamma, config_.lambda, last_value);
-    buffer_.normalizeAdvantages();
+    // Bootstrap the value of the state each stream stopped in; streams
+    // whose final transition ended an episode bootstrap from 0 (their
+    // current observation is already the next episode's start).
+    std::vector<double> last_values(n, 0.0);
+    const AcOutput boot = net_->forward(current_obs_);
+    for (std::size_t s = 0; s < n; ++s) {
+        if (!last_dones[s])
+            last_values[s] = boot.values[s];
+    }
+
+    buffer_->computeAdvantages(config_.gamma, config_.lambda, last_values);
+    buffer_->normalizeAdvantages();
 }
 
 void
 PpoTrainer::update(EpochStats &stats)
 {
-    const std::size_t n = buffer_.size();
+    const std::size_t n = buffer_->size();
     std::vector<std::size_t> order(n);
     std::iota(order.begin(), order.end(), 0);
 
@@ -94,7 +133,7 @@ PpoTrainer::update(EpochStats &stats)
                                                order.begin() + end);
             const std::size_t bsz = idx.size();
 
-            const Matrix obs = buffer_.gatherObs(idx);
+            const Matrix obs = buffer_->gatherObs(idx);
             AcOutput out = net_->forward(obs);
 
             Matrix dlogits(bsz, net_->numActions());
@@ -103,10 +142,10 @@ PpoTrainer::update(EpochStats &stats)
 
             for (std::size_t r = 0; r < bsz; ++r) {
                 const std::size_t i = idx[r];
-                const std::size_t act = buffer_.actions()[i];
-                const double adv = buffer_.advantages()[i];
-                const double old_logp = buffer_.logProbs()[i];
-                const double ret = buffer_.returns()[i];
+                const std::size_t act = buffer_->actions()[i];
+                const double adv = buffer_->advantages()[i];
+                const double old_logp = buffer_->logProbs()[i];
+                const double ret = buffer_->returns()[i];
 
                 const std::vector<double> p =
                     ActorCritic::softmaxRow(out.logits, r);
@@ -195,9 +234,11 @@ PpoTrainer::evaluate(int episodes, bool greedy)
     long long steps = 0;
     double return_sum = 0.0;
     std::size_t detected_episodes = 0;
+    const std::size_t n = envs_->numEnvs();
 
     for (int e = 0; e < episodes; ++e) {
-        std::vector<float> obs = env_->reset();
+        Environment &env = envs_->env(static_cast<std::size_t>(e) % n);
+        std::vector<float> obs = env.reset();
         bool done = false;
         bool detected = false;
         double ep_return = 0.0;
@@ -207,7 +248,7 @@ PpoTrainer::evaluate(int episodes, bool greedy)
             const std::size_t action =
                 greedy ? net_->argmax(out.logits, 0)
                        : net_->sample(out.logits, 0, rng_);
-            StepResult sr = env_->step(action);
+            StepResult sr = env.step(action);
             ep_return += sr.reward;
             ++ep_steps;
             if (sr.info.guessMade) {
@@ -227,7 +268,7 @@ PpoTrainer::evaluate(int episodes, bool greedy)
     }
 
     // The trainer's persistent episode state is stale after evaluation.
-    episode_active_ = false;
+    collection_active_ = false;
 
     stats.meanReturn = return_sum / std::max(1, episodes);
     stats.meanEpisodeLength =
@@ -265,15 +306,29 @@ PpoTrainer::trainUntil(double target_accuracy, int max_epochs,
 }
 
 void
+PpoTrainer::setVecEnv(VecEnv &envs)
+{
+    if (envs.observationSize() != envs_->observationSize() ||
+        envs.numActions() != envs_->numActions()) {
+        throw std::invalid_argument(
+            "setVecEnv: observation/action dimensions must match");
+    }
+    envs_ = &envs;
+    owned_env_.reset();
+    rebuildBuffer();
+}
+
+void
 PpoTrainer::setEnvironment(Environment &env)
 {
-    if (env.observationSize() != env_->observationSize() ||
-        env.numActions() != env_->numActions()) {
+    if (env.observationSize() != envs_->observationSize() ||
+        env.numActions() != envs_->numActions()) {
         throw std::invalid_argument(
             "setEnvironment: observation/action dimensions must match");
     }
-    env_ = &env;
-    episode_active_ = false;
+    owned_env_ = std::make_unique<SyncVecEnv>(env);
+    envs_ = owned_env_.get();
+    rebuildBuffer();
 }
 
 } // namespace autocat

@@ -2,15 +2,21 @@
  * @file
  * Proximal Policy Optimization (Schulman et al., 2017).
  *
- * Synchronous single-worker PPO with the clipped surrogate objective,
- * GAE advantages, entropy bonus, and value regression — the algorithm
- * the paper trains AutoCAT with (Section IV-C; the paper uses the
+ * Synchronous PPO with the clipped surrogate objective, GAE
+ * advantages, entropy bonus, and value regression — the algorithm the
+ * paper trains AutoCAT with (Section IV-C; the paper uses the
  * non-distributed synchronous variant for real-hardware experiments,
  * which is what we implement).
  *
+ * Collection is vectorized: the trainer consumes a VecEnv of N
+ * streams, runs one batched policy forward pass per timestep (a single
+ * N x obs_dim matmul instead of N vector passes), and tracks episode
+ * boundaries per stream for GAE. N = 1 over a single environment
+ * reproduces the classic single-worker loop exactly.
+ *
  * One "epoch" is paper-aligned: 3000 environment steps of collection
- * followed by minibatch updates (Table V footnote: "One epoch is 3000
- * training steps").
+ * (across all streams) followed by minibatch updates (Table V
+ * footnote: "One epoch is 3000 training steps").
  */
 
 #ifndef AUTOCAT_RL_PPO_HPP
@@ -25,6 +31,7 @@
 #include "rl/adam.hpp"
 #include "rl/env_interface.hpp"
 #include "rl/rollout.hpp"
+#include "rl/vec_env.hpp"
 #include "util/rng.hpp"
 
 namespace autocat {
@@ -32,7 +39,8 @@ namespace autocat {
 /** Hyper-parameters of the PPO trainer. */
 struct PpoConfig
 {
-    int stepsPerEpoch = 3000;   ///< paper: one epoch = 3000 steps
+    int stepsPerEpoch = 3000;   ///< paper: one epoch = 3000 steps,
+                                ///< summed across all streams
     int updatePasses = 6;       ///< optimization passes per epoch
     int minibatchSize = 500;
     double gamma = 0.99;
@@ -79,13 +87,20 @@ struct EpochStats
     EvalStats eval;
 };
 
-/** PPO trainer bound to one environment. */
+/** PPO trainer bound to a vectorized environment. */
 class PpoTrainer
 {
   public:
     /** Observer invoked after every epoch (may be empty). */
     using EpochCallback = std::function<void(const EpochStats &)>;
 
+    /** Train through @p envs (N streams, batched forward passes). */
+    PpoTrainer(VecEnv &envs, const PpoConfig &config);
+
+    /**
+     * Single-environment shorthand: wraps @p env in an internal
+     * 1-stream SyncVecEnv. @p env must outlive the trainer.
+     */
     PpoTrainer(Environment &env, const PpoConfig &config);
 
     /** Collect stepsPerEpoch transitions and run the PPO update. */
@@ -102,7 +117,10 @@ class PpoTrainer
                    int eval_episodes = 100,
                    const EpochCallback &callback = {});
 
-    /** Evaluate the current policy over @p episodes fresh episodes. */
+    /**
+     * Evaluate the current policy over @p episodes fresh episodes,
+     * distributed round-robin across the streams.
+     */
     EvalStats evaluate(int episodes, bool greedy = true);
 
     /** The policy network (for replay / extraction). */
@@ -111,34 +129,45 @@ class PpoTrainer
     /** Total environment steps taken during training so far. */
     long long totalEnvSteps() const { return total_env_steps_; }
 
+    /** Stream count the trainer collects with. */
+    std::size_t numStreams() const { return envs_->numEnvs(); }
+
     /**
-     * Rebind the trainer to another environment with identical
-     * observation and action dimensions (curriculum training: e.g.
-     * single-secret episodes first, then the multi-secret channel).
+     * Rebind the trainer to another vectorized environment with
+     * identical observation and action dimensions (curriculum
+     * training: e.g. single-secret episodes first, then the
+     * multi-secret channel). The stream count may change.
      */
+    void setVecEnv(VecEnv &envs);
+
+    /** Single-environment shorthand for setVecEnv(). */
     void setEnvironment(Environment &env);
 
   private:
     void collect();
     void update(EpochStats &stats);
+    void init();
+    void rebuildBuffer();
 
-    Environment *env_;
+    std::unique_ptr<SyncVecEnv> owned_env_;  ///< single-env shorthand
+    VecEnv *envs_;
     PpoConfig config_;
     Rng rng_;
     std::unique_ptr<ActorCritic> net_;
     std::unique_ptr<Adam> adam_;
-    RolloutBuffer buffer_;
+    std::unique_ptr<RolloutBuffer> buffer_;
 
-    // Persistent episode state so collection can span epoch boundaries.
-    std::vector<float> current_obs_;
-    bool episode_active_ = false;
+    // Persistent per-stream episode state so collection can span epoch
+    // boundaries.
+    Matrix current_obs_;               ///< N x obs_dim
+    bool collection_active_ = false;
+    std::vector<double> running_return_;
+    std::vector<double> running_len_;
 
     // Collection-phase episode telemetry.
     double collect_return_sum_ = 0.0;
     double collect_len_sum_ = 0.0;
     std::size_t collect_episodes_ = 0;
-    double running_return_ = 0.0;
-    double running_len_ = 0.0;
 
     long long total_env_steps_ = 0;
     int epoch_ = 0;

@@ -3,13 +3,22 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 
 namespace autocat {
 
 RolloutBuffer::RolloutBuffer(std::size_t capacity, std::size_t obs_dim)
-    : capacity_(capacity), obs_dim_(obs_dim)
+    : RolloutBuffer(capacity, 1, obs_dim)
 {
-    obs_.resize(capacity * obs_dim);
+}
+
+RolloutBuffer::RolloutBuffer(std::size_t steps, std::size_t streams,
+                             std::size_t obs_dim)
+    : steps_(steps), streams_(streams), obs_dim_(obs_dim)
+{
+    assert(streams_ > 0);
+    const std::size_t capacity = steps_ * streams_;
+    obs_steps_.reserve(steps_);
     actions_.reserve(capacity);
     rewards_.reserve(capacity);
     dones_.reserve(capacity);
@@ -21,22 +30,40 @@ void
 RolloutBuffer::add(const std::vector<float> &obs, std::size_t action,
                    double reward, bool done, double value, double log_prob)
 {
-    assert(size_ < capacity_);
+    assert(streams_ == 1);
     assert(obs.size() == obs_dim_);
-    std::memcpy(obs_.data() + size_ * obs_dim_, obs.data(),
-                obs_dim_ * sizeof(float));
-    actions_.push_back(action);
-    rewards_.push_back(reward);
-    dones_.push_back(done);
-    values_.push_back(value);
-    log_probs_.push_back(log_prob);
-    ++size_;
+    Matrix row(1, obs_dim_);
+    std::memcpy(row.data(), obs.data(), obs_dim_ * sizeof(float));
+    addStep(std::move(row), {action}, {reward},
+            {static_cast<std::uint8_t>(done ? 1 : 0)}, {value}, {log_prob});
+}
+
+void
+RolloutBuffer::addStep(Matrix &&obs, const std::vector<std::size_t> &actions,
+                       const std::vector<double> &rewards,
+                       const std::vector<std::uint8_t> &dones,
+                       const std::vector<double> &values,
+                       const std::vector<double> &log_probs)
+{
+    assert(steps_added_ < steps_);
+    assert(obs.rows() == streams_ && obs.cols() == obs_dim_);
+    assert(actions.size() == streams_ && rewards.size() == streams_ &&
+           dones.size() == streams_ && values.size() == streams_ &&
+           log_probs.size() == streams_);
+    obs_steps_.push_back(std::move(obs));
+    actions_.insert(actions_.end(), actions.begin(), actions.end());
+    rewards_.insert(rewards_.end(), rewards.begin(), rewards.end());
+    dones_.insert(dones_.end(), dones.begin(), dones.end());
+    values_.insert(values_.end(), values.begin(), values.end());
+    log_probs_.insert(log_probs_.end(), log_probs.begin(), log_probs.end());
+    ++steps_added_;
 }
 
 void
 RolloutBuffer::clear()
 {
-    size_ = 0;
+    steps_added_ = 0;
+    obs_steps_.clear();
     actions_.clear();
     rewards_.clear();
     dones_.clear();
@@ -48,37 +75,54 @@ RolloutBuffer::clear()
 
 void
 RolloutBuffer::computeAdvantages(double gamma, double lambda,
+                                 const std::vector<double> &last_values)
+{
+    if (last_values.size() != streams_)
+        throw std::invalid_argument(
+            "computeAdvantages: one bootstrap value per stream required");
+
+    const std::size_t n = size();
+    advantages_.assign(n, 0.0);
+    returns_.assign(n, 0.0);
+
+    for (std::size_t s = 0; s < streams_; ++s) {
+        double adv = 0.0;
+        double next_value = last_values[s];
+        for (std::size_t t = steps_added_; t-- > 0;) {
+            const std::size_t i = t * streams_ + s;
+            const double not_done = dones_[i] ? 0.0 : 1.0;
+            const double delta =
+                rewards_[i] + gamma * next_value * not_done - values_[i];
+            adv = delta + gamma * lambda * not_done * adv;
+            advantages_[i] = adv;
+            returns_[i] = adv + values_[i];
+            next_value = values_[i];
+        }
+    }
+}
+
+void
+RolloutBuffer::computeAdvantages(double gamma, double lambda,
                                  double last_value)
 {
-    advantages_.assign(size_, 0.0);
-    returns_.assign(size_, 0.0);
-
-    double adv = 0.0;
-    double next_value = last_value;
-    for (std::size_t i = size_; i-- > 0;) {
-        const double not_done = dones_[i] ? 0.0 : 1.0;
-        const double delta =
-            rewards_[i] + gamma * next_value * not_done - values_[i];
-        adv = delta + gamma * lambda * not_done * adv;
-        advantages_[i] = adv;
-        returns_[i] = adv + values_[i];
-        next_value = values_[i];
-    }
+    computeAdvantages(gamma, lambda,
+                      std::vector<double>(streams_, last_value));
 }
 
 void
 RolloutBuffer::normalizeAdvantages()
 {
-    if (size_ < 2)
+    const std::size_t n = size();
+    if (n < 2)
         return;
     double mean = 0.0;
     for (double a : advantages_)
         mean += a;
-    mean /= static_cast<double>(size_);
+    mean /= static_cast<double>(n);
     double var = 0.0;
     for (double a : advantages_)
         var += (a - mean) * (a - mean);
-    var /= static_cast<double>(size_);
+    var /= static_cast<double>(n);
     const double sd = std::sqrt(var) + 1e-8;
     for (double &a : advantages_)
         a = (a - mean) / sd;
@@ -89,8 +133,10 @@ RolloutBuffer::gatherObs(const std::vector<std::size_t> &indices) const
 {
     Matrix m(indices.size(), obs_dim_);
     for (std::size_t r = 0; r < indices.size(); ++r) {
-        assert(indices[r] < size_);
-        std::memcpy(m.rowPtr(r), obs_.data() + indices[r] * obs_dim_,
+        assert(indices[r] < size());
+        const std::size_t t = indices[r] / streams_;
+        const std::size_t s = indices[r] % streams_;
+        std::memcpy(m.rowPtr(r), obs_steps_[t].rowPtr(s),
                     obs_dim_ * sizeof(float));
     }
     return m;

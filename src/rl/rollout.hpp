@@ -1,12 +1,20 @@
 /**
  * @file
- * Rollout storage and generalized advantage estimation (GAE).
+ * Rollout storage and generalized advantage estimation (GAE) for
+ * vectorized collection.
+ *
+ * Transitions are stored time-major across N streams: flat index
+ * t * numStreams + s addresses the step the trainer took at time t in
+ * stream s. GAE runs independently per stream, so episode boundaries
+ * in one stream never leak into another; each stream bootstraps from
+ * its own final value.
  */
 
 #ifndef AUTOCAT_RL_ROLLOUT_HPP
 #define AUTOCAT_RL_ROLLOUT_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "rl/mat.hpp"
@@ -17,54 +25,88 @@ namespace autocat {
 class RolloutBuffer
 {
   public:
-    /** @param capacity steps per epoch, @param obs_dim observation size */
+    /**
+     * Single-stream buffer.
+     * @param capacity steps per epoch, @param obs_dim observation size
+     */
     RolloutBuffer(std::size_t capacity, std::size_t obs_dim);
 
-    /** Append one transition. */
+    /**
+     * Multi-stream buffer.
+     * @param steps   timesteps per stream per epoch
+     * @param streams stream count N
+     * @param obs_dim observation size
+     */
+    RolloutBuffer(std::size_t steps, std::size_t streams,
+                  std::size_t obs_dim);
+
+    /** Append one transition (single-stream buffers only). */
     void add(const std::vector<float> &obs, std::size_t action,
              double reward, bool done, double value, double log_prob);
 
-    /** Number of stored transitions. */
-    std::size_t size() const { return size_; }
+    /**
+     * Append one timestep across all streams. Row s of @p obs is the
+     * observation stream s acted from; the matrix is moved into the
+     * buffer, not copied.
+     */
+    void addStep(Matrix &&obs, const std::vector<std::size_t> &actions,
+                 const std::vector<double> &rewards,
+                 const std::vector<std::uint8_t> &dones,
+                 const std::vector<double> &values,
+                 const std::vector<double> &log_probs);
+
+    /** Number of stored transitions (timesteps x streams). */
+    std::size_t size() const { return steps_added_ * streams_; }
+
+    /** Stream count N. */
+    std::size_t numStreams() const { return streams_; }
 
     /** True when at capacity. */
-    bool full() const { return size_ == capacity_; }
+    bool full() const { return steps_added_ == steps_; }
 
     /** Clear for the next epoch. */
     void clear();
 
     /**
-     * Compute GAE advantages and returns.
+     * Compute GAE advantages and returns, independently per stream.
      *
-     * @param gamma      discount factor
-     * @param lambda     GAE mixing factor
-     * @param last_value bootstrap value of the state following the final
-     *                   stored transition (0 when that transition ended
-     *                   an episode)
+     * @param gamma       discount factor
+     * @param lambda      GAE mixing factor
+     * @param last_values per-stream bootstrap value of the state
+     *                    following the final stored transition (0 for
+     *                    streams whose final transition ended an
+     *                    episode); size numStreams()
      */
+    void computeAdvantages(double gamma, double lambda,
+                           const std::vector<double> &last_values);
+
+    /** Single-stream shorthand for computeAdvantages(). */
     void computeAdvantages(double gamma, double lambda, double last_value);
 
     /** Normalize advantages to zero mean / unit variance. */
     void normalizeAdvantages();
 
-    /** Observation matrix restricted to @p indices. */
+    /** Observation matrix restricted to flat @p indices. */
     Matrix gatherObs(const std::vector<std::size_t> &indices) const;
 
     const std::vector<std::size_t> &actions() const { return actions_; }
     const std::vector<double> &rewards() const { return rewards_; }
     const std::vector<double> &logProbs() const { return log_probs_; }
     const std::vector<double> &values() const { return values_; }
+    const std::vector<std::uint8_t> &dones() const { return dones_; }
     const std::vector<double> &advantages() const { return advantages_; }
     const std::vector<double> &returns() const { return returns_; }
 
   private:
-    std::size_t capacity_;
+    std::size_t steps_;        ///< timesteps per stream
+    std::size_t streams_;      ///< stream count N
     std::size_t obs_dim_;
-    std::size_t size_ = 0;
-    std::vector<float> obs_;  ///< capacity x obs_dim, row major
+    std::size_t steps_added_ = 0;
+    std::vector<Matrix> obs_steps_;  ///< one N x obs_dim matrix per step
     std::vector<std::size_t> actions_;
     std::vector<double> rewards_;
-    std::vector<bool> dones_;
+    std::vector<std::uint8_t> dones_;  ///< plain bytes: no bit-packed
+                                       ///< proxy churn in the GAE loop
     std::vector<double> values_;
     std::vector<double> log_probs_;
     std::vector<double> advantages_;

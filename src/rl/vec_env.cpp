@@ -1,0 +1,237 @@
+#include "rl/vec_env.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace autocat {
+
+namespace {
+
+/** Check non-null streams with identical dimensions. */
+void
+validateStreams(const std::vector<Environment *> &envs)
+{
+    if (envs.empty())
+        throw std::invalid_argument("VecEnv: need at least one stream");
+    for (const Environment *e : envs) {
+        if (!e)
+            throw std::invalid_argument("VecEnv: null environment");
+        if (e->observationSize() != envs.front()->observationSize() ||
+            e->numActions() != envs.front()->numActions()) {
+            throw std::invalid_argument(
+                "VecEnv: streams must share observation/action dimensions");
+        }
+    }
+}
+
+/** Step one stream with auto-reset; write outputs at index @p i. */
+void
+stepStream(Environment &env, std::size_t action, std::size_t i,
+           Matrix &obs_out, std::vector<double> &rewards,
+           std::vector<std::uint8_t> &dones, std::vector<StepInfo> &infos)
+{
+    StepResult sr = env.step(action);
+    rewards[i] = sr.reward;
+    dones[i] = sr.done ? 1 : 0;
+    infos[i] = sr.info;
+    const std::vector<float> obs = sr.done ? env.reset() : std::move(sr.obs);
+    assert(obs.size() == obs_out.cols());
+    std::memcpy(obs_out.rowPtr(i), obs.data(), obs.size() * sizeof(float));
+}
+
+} // namespace
+
+// ------------------------------------------------------------ SyncVecEnv
+
+SyncVecEnv::SyncVecEnv(std::vector<std::unique_ptr<Environment>> envs)
+    : owned_(std::move(envs))
+{
+    envs_.reserve(owned_.size());
+    for (auto &e : owned_)
+        envs_.push_back(e.get());
+    validateStreams(envs_);
+}
+
+SyncVecEnv::SyncVecEnv(const std::vector<Environment *> &envs) : envs_(envs)
+{
+    validateStreams(envs_);
+}
+
+SyncVecEnv::SyncVecEnv(Environment &env) : envs_{&env} {}
+
+std::size_t
+SyncVecEnv::observationSize() const
+{
+    return envs_.front()->observationSize();
+}
+
+std::size_t
+SyncVecEnv::numActions() const
+{
+    return envs_.front()->numActions();
+}
+
+Matrix
+SyncVecEnv::resetAll()
+{
+    Matrix obs(envs_.size(), observationSize());
+    for (std::size_t i = 0; i < envs_.size(); ++i) {
+        const std::vector<float> row = envs_[i]->reset();
+        std::memcpy(obs.rowPtr(i), row.data(), row.size() * sizeof(float));
+    }
+    return obs;
+}
+
+VecStepResult
+SyncVecEnv::stepAll(const std::vector<std::size_t> &actions)
+{
+    assert(actions.size() == envs_.size());
+    VecStepResult r;
+    r.obs.resize(envs_.size(), observationSize());
+    r.rewards.resize(envs_.size());
+    r.dones.resize(envs_.size());
+    r.infos.resize(envs_.size());
+    for (std::size_t i = 0; i < envs_.size(); ++i)
+        stepStream(*envs_[i], actions[i], i, r.obs, r.rewards, r.dones,
+                   r.infos);
+    return r;
+}
+
+// -------------------------------------------------------- ThreadedVecEnv
+
+ThreadedVecEnv::ThreadedVecEnv(
+    std::vector<std::unique_ptr<Environment>> envs, std::size_t num_threads)
+    : envs_(std::move(envs))
+{
+    std::vector<Environment *> raw;
+    raw.reserve(envs_.size());
+    for (auto &e : envs_)
+        raw.push_back(e.get());
+    validateStreams(raw);
+    obs_dim_ = envs_.front()->observationSize();
+    num_actions_ = envs_.front()->numActions();
+
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    std::size_t threads = num_threads ? num_threads : hw;
+    threads = std::min(threads, envs_.size());
+    threads = std::max<std::size_t>(threads, 1);
+
+    // Contiguous, near-equal stream slices per worker.
+    bounds_.resize(threads + 1);
+    for (std::size_t w = 0; w <= threads; ++w)
+        bounds_[w] = w * envs_.size() / threads;
+
+    workers_.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadedVecEnv::~ThreadedVecEnv()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        op_ = Op::Quit;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadedVecEnv::workerLoop(std::size_t worker_index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Op op;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] { return generation_ != seen; });
+            seen = generation_;
+            op = op_;
+        }
+        if (op == Op::Quit)
+            return;
+
+        try {
+            for (std::size_t i = bounds_[worker_index];
+                 i < bounds_[worker_index + 1]; ++i) {
+                if (op == Op::Reset) {
+                    const std::vector<float> row = envs_[i]->reset();
+                    std::memcpy(obs_out_.rowPtr(i), row.data(),
+                                row.size() * sizeof(float));
+                } else {
+                    stepStream(*envs_[i], (*actions_)[i], i, obs_out_,
+                               rewards_out_, dones_out_, infos_out_);
+                }
+            }
+        } catch (...) {
+            // Keep only the first failure; the batch still completes
+            // so the caller is never left waiting.
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+
+        bool last = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            last = --remaining_ == 0;
+        }
+        if (last)
+            done_cv_.notify_one();
+    }
+}
+
+void
+ThreadedVecEnv::runBatch(Op op)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        op_ = op;
+        remaining_ = workers_.size();
+        error_ = nullptr;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    if (error_) {
+        // Same semantics as SyncVecEnv: environment exceptions reach
+        // the caller instead of terminating the worker.
+        std::exception_ptr e = std::move(error_);
+        error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+Matrix
+ThreadedVecEnv::resetAll()
+{
+    obs_out_.resize(envs_.size(), obs_dim_);
+    runBatch(Op::Reset);
+    return std::move(obs_out_);
+}
+
+VecStepResult
+ThreadedVecEnv::stepAll(const std::vector<std::size_t> &actions)
+{
+    assert(actions.size() == envs_.size());
+    obs_out_.resize(envs_.size(), obs_dim_);
+    rewards_out_.assign(envs_.size(), 0.0);
+    dones_out_.assign(envs_.size(), 0);
+    infos_out_.assign(envs_.size(), StepInfo{});
+    actions_ = &actions;
+    runBatch(Op::Step);
+    VecStepResult r;
+    r.obs = std::move(obs_out_);
+    r.rewards = std::move(rewards_out_);
+    r.dones = std::move(dones_out_);
+    r.infos = std::move(infos_out_);
+    return r;
+}
+
+} // namespace autocat

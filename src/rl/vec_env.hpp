@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Vectorized environment abstraction.
+ *
+ * A VecEnv steps N homogeneous environments ("streams") in lock-step
+ * behind a batched interface: resetAll() yields an N x obs_dim
+ * observation matrix and stepAll() advances every stream by one action.
+ * Streams auto-reset: when a stream's episode ends, its row in the
+ * returned observation batch is already the first observation of the
+ * next episode (the done flag and step info still describe the step
+ * that ended the episode).
+ *
+ * Two adapters are provided: SyncVecEnv steps the streams sequentially
+ * on the calling thread (zero overhead, deterministic), ThreadedVecEnv
+ * fans the per-stream work out to a persistent worker pool (same
+ * semantics, higher env-steps/sec once per-step work dominates dispatch
+ * cost). Both produce bitwise-identical trajectories because each
+ * stream owns its state and RNG; thread scheduling cannot reorder
+ * anything observable.
+ */
+
+#ifndef AUTOCAT_RL_VEC_ENV_HPP
+#define AUTOCAT_RL_VEC_ENV_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rl/env_interface.hpp"
+#include "rl/mat.hpp"
+
+namespace autocat {
+
+/** Result of stepping every stream once. */
+struct VecStepResult
+{
+    /**
+     * N x obs_dim next observations. For a stream whose episode ended
+     * this step, the row is the fresh observation after auto-reset.
+     */
+    Matrix obs;
+    std::vector<double> rewards;        ///< per-stream step reward
+    std::vector<std::uint8_t> dones;    ///< 1 where the episode ended
+    std::vector<StepInfo> infos;        ///< per-stream step metadata
+};
+
+/** Batched Gym-like interface over N environment streams. */
+class VecEnv
+{
+  public:
+    virtual ~VecEnv() = default;
+
+    /** Number of streams. */
+    virtual std::size_t numEnvs() const = 0;
+
+    /** Dimension of the flat observation vector (shared by streams). */
+    virtual std::size_t observationSize() const = 0;
+
+    /** Size of the discrete action space (shared by streams). */
+    virtual std::size_t numActions() const = 0;
+
+    /** Reset every stream; returns the N x obs_dim initial batch. */
+    virtual Matrix resetAll() = 0;
+
+    /**
+     * Step every stream with its action (size numEnvs()). Streams whose
+     * episodes end are reset automatically; see VecStepResult::obs.
+     */
+    virtual VecStepResult stepAll(const std::vector<std::size_t> &actions) = 0;
+
+    /**
+     * Direct access to stream @p i — for decoration (detectors),
+     * inspection, and sequential evaluation. Must not be used
+     * concurrently with resetAll()/stepAll().
+     */
+    virtual Environment &env(std::size_t i) = 0;
+};
+
+/** Sequential adapter: steps the streams one by one on the caller. */
+class SyncVecEnv : public VecEnv
+{
+  public:
+    /** Own the given environments (all non-null, same dimensions). */
+    explicit SyncVecEnv(std::vector<std::unique_ptr<Environment>> envs);
+
+    /** Borrow externally-owned environments (must outlive the adapter). */
+    explicit SyncVecEnv(const std::vector<Environment *> &envs);
+
+    /** Borrow a single environment (1-stream shorthand). */
+    explicit SyncVecEnv(Environment &env);
+
+    std::size_t numEnvs() const override { return envs_.size(); }
+    std::size_t observationSize() const override;
+    std::size_t numActions() const override;
+    Matrix resetAll() override;
+    VecStepResult stepAll(const std::vector<std::size_t> &actions) override;
+    Environment &env(std::size_t i) override { return *envs_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Environment>> owned_;
+    std::vector<Environment *> envs_;
+};
+
+/**
+ * Worker-pool adapter: stepAll()/resetAll() dispatch each stream to a
+ * persistent thread pool and block until the batch is complete.
+ * Trajectories are bitwise-identical to SyncVecEnv over the same
+ * environments.
+ */
+class ThreadedVecEnv : public VecEnv
+{
+  public:
+    /**
+     * @param envs        owned streams (all non-null, same dimensions)
+     * @param num_threads worker count; 0 selects
+     *                    min(numEnvs, hardware_concurrency)
+     */
+    explicit ThreadedVecEnv(std::vector<std::unique_ptr<Environment>> envs,
+                            std::size_t num_threads = 0);
+    ~ThreadedVecEnv() override;
+
+    ThreadedVecEnv(const ThreadedVecEnv &) = delete;
+    ThreadedVecEnv &operator=(const ThreadedVecEnv &) = delete;
+
+    std::size_t numEnvs() const override { return envs_.size(); }
+    std::size_t observationSize() const override { return obs_dim_; }
+    std::size_t numActions() const override { return num_actions_; }
+    Matrix resetAll() override;
+    VecStepResult stepAll(const std::vector<std::size_t> &actions) override;
+    Environment &env(std::size_t i) override { return *envs_[i]; }
+
+    /** Worker threads actually running. */
+    std::size_t numThreads() const { return workers_.size(); }
+
+  private:
+    enum class Op { None, Reset, Step, Quit };
+
+    void workerLoop(std::size_t worker_index);
+    void runBatch(Op op);
+
+    std::vector<std::unique_ptr<Environment>> envs_;
+    std::size_t obs_dim_ = 0;
+    std::size_t num_actions_ = 0;
+
+    // Batch command state, published under mutex_ before each batch.
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   ///< workers wait for a batch
+    std::condition_variable done_cv_;   ///< caller waits for completion
+    Op op_ = Op::None;
+    std::uint64_t generation_ = 0;      ///< bumped per dispatched batch
+    std::size_t remaining_ = 0;         ///< workers yet to finish
+    const std::vector<std::size_t> *actions_ = nullptr;
+    std::exception_ptr error_;  ///< first env exception of the batch;
+                                ///< rethrown on the calling thread
+
+    // Output staging, written by workers at disjoint stream indices.
+    Matrix obs_out_;
+    std::vector<double> rewards_out_;
+    std::vector<std::uint8_t> dones_out_;
+    std::vector<StepInfo> infos_out_;
+
+    std::vector<std::thread> workers_;
+    // Stream ranges per worker: worker w owns [bounds_[w], bounds_[w+1]).
+    std::vector<std::size_t> bounds_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_VEC_ENV_HPP

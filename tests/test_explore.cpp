@@ -53,6 +53,25 @@ TEST(Explore, TinyConfigConvergesAndClassifies)
     EXPECT_LE(result.finalEpisodeLength, 9.0);
 }
 
+TEST(Explore, ConvergesWithFourThreadedStreams)
+{
+    ExplorationConfig cfg = tinyConfig();
+    cfg.numStreams = 4;
+    cfg.threadedEnvs = true;
+    const ExplorationResult result = explore(cfg);
+    ASSERT_TRUE(result.converged)
+        << "accuracy " << result.finalAccuracy;
+    EXPECT_GE(result.finalAccuracy, 0.97);
+    EXPECT_FALSE(result.sequence.empty());
+}
+
+TEST(Explore, UnknownScenarioIsRejected)
+{
+    ExplorationConfig cfg = tinyConfig();
+    cfg.scenario = "definitely_not_registered";
+    EXPECT_THROW(explore(cfg), std::out_of_range);
+}
+
 TEST(Explore, VersionStringMentionsLibrary)
 {
     EXPECT_NE(std::string(versionString()).find("autocat"),

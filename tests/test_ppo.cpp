@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "rl/ppo.hpp"
+#include "rl/vec_env.hpp"
 #include "util/rng.hpp"
 
 namespace autocat {
@@ -17,6 +20,8 @@ namespace {
 class BanditEnv : public Environment
 {
   public:
+    explicit BanditEnv(std::uint64_t seed = 42) : rng_(seed) {}
+
     std::size_t observationSize() const override { return 2; }
     std::size_t numActions() const override { return 2; }
 
@@ -48,9 +53,20 @@ class BanditEnv : public Environment
         return o;
     }
 
-    Rng rng_{42};
+    Rng rng_;
     std::size_t bit_ = 0;
 };
+
+/** A VecEnv of @p n independently-seeded bandits. */
+template <typename Adapter>
+std::unique_ptr<Adapter>
+makeBanditVec(std::size_t n, std::uint64_t base_seed)
+{
+    std::vector<std::unique_ptr<Environment>> envs;
+    for (std::size_t i = 0; i < n; ++i)
+        envs.push_back(std::make_unique<BanditEnv>(base_seed + i));
+    return std::make_unique<Adapter>(std::move(envs));
+}
 
 /**
  * Probe-then-guess: the hidden bit is only visible after taking the
@@ -177,6 +193,60 @@ TEST(Ppo, DeterministicAcrossIdenticalRuns)
     const EpochStats s2 = t2.runEpoch();
     EXPECT_DOUBLE_EQ(s1.meanReturn, s2.meanReturn);
     EXPECT_DOUBLE_EQ(s1.policyLoss, s2.policyLoss);
+}
+
+TEST(Ppo, TrainsThroughFourStreamVecEnv)
+{
+    auto vec = makeBanditVec<SyncVecEnv>(4, 100);
+    PpoConfig cfg;
+    cfg.seed = 13;
+    cfg.stepsPerEpoch = 2000;
+    PpoTrainer trainer(*vec, cfg);
+    EXPECT_EQ(trainer.numStreams(), 4u);
+    const int epoch = trainer.trainUntil(0.99, 10, 200);
+    EXPECT_GT(epoch, 0) << "4-stream bandit did not converge";
+    // One epoch splits its 2000 steps across the 4 streams.
+    EXPECT_EQ(trainer.totalEnvSteps() % 2000, 0);
+}
+
+TEST(Ppo, ThreadedCollectionMatchesSync)
+{
+    PpoConfig cfg;
+    cfg.seed = 15;
+    cfg.stepsPerEpoch = 800;
+
+    auto sync_vec = makeBanditVec<SyncVecEnv>(4, 300);
+    auto threaded_vec = makeBanditVec<ThreadedVecEnv>(4, 300);
+    PpoTrainer sync_trainer(*sync_vec, cfg);
+    PpoTrainer threaded_trainer(*threaded_vec, cfg);
+
+    for (int e = 0; e < 3; ++e) {
+        const EpochStats a = sync_trainer.runEpoch();
+        const EpochStats b = threaded_trainer.runEpoch();
+        EXPECT_DOUBLE_EQ(a.meanReturn, b.meanReturn);
+        EXPECT_DOUBLE_EQ(a.policyLoss, b.policyLoss);
+        EXPECT_DOUBLE_EQ(a.valueLoss, b.valueLoss);
+    }
+}
+
+TEST(Ppo, CurriculumAcrossVecEnvs)
+{
+    auto stage1 = makeBanditVec<SyncVecEnv>(2, 500);
+    auto stage2 = makeBanditVec<SyncVecEnv>(4, 600);
+    PpoConfig cfg;
+    cfg.seed = 17;
+    cfg.stepsPerEpoch = 400;
+    PpoTrainer trainer(*stage1, cfg);
+    trainer.runEpoch();
+    trainer.setVecEnv(*stage2);
+    EXPECT_EQ(trainer.numStreams(), 4u);
+    const EpochStats stats = trainer.runEpoch();
+    EXPECT_GT(stats.entropy, 0.0);
+
+    // Dimension mismatches are rejected.
+    ProbeEnv probe;
+    SyncVecEnv probe_vec(probe);
+    EXPECT_THROW(trainer.setVecEnv(probe_vec), std::invalid_argument);
 }
 
 } // namespace

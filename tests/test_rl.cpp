@@ -333,6 +333,52 @@ TEST(Rollout, GatherObsSelectsRows)
     EXPECT_FLOAT_EQ(m(1, 1), 2.0f);
 }
 
+TEST(Rollout, MultiStreamGaeMatchesIndependentStreams)
+{
+    // Two interleaved streams must produce exactly the advantages of
+    // two single-stream buffers: episode boundaries and bootstraps in
+    // one stream may not leak into the other.
+    const double gamma = 0.9, lambda = 0.8;
+    RolloutBuffer s0(3, 1), s1(3, 1);
+    s0.add({0.0f}, 0, 1.0, false, 0.5, -0.1);
+    s0.add({0.0f}, 0, 2.0, true, 0.4, -0.1);
+    s0.add({0.0f}, 0, 0.5, false, 0.3, -0.1);
+    s1.add({1.0f}, 1, -1.0, false, 0.2, -0.2);
+    s1.add({1.0f}, 1, 0.0, false, 0.1, -0.2);
+    s1.add({1.0f}, 1, 3.0, true, 0.6, -0.2);
+    s0.computeAdvantages(gamma, lambda, 0.7);
+    s1.computeAdvantages(gamma, lambda, 0.0);
+
+    RolloutBuffer both(3, 2, 1);
+    const std::vector<std::vector<double>> rewards{
+        {1.0, -1.0}, {2.0, 0.0}, {0.5, 3.0}};
+    const std::vector<std::vector<std::uint8_t>> dones{
+        {0, 0}, {1, 0}, {0, 1}};
+    const std::vector<std::vector<double>> values{
+        {0.5, 0.2}, {0.4, 0.1}, {0.3, 0.6}};
+    for (std::size_t t = 0; t < 3; ++t) {
+        Matrix obs(2, 1);
+        obs(1, 0) = 1.0f;
+        both.addStep(std::move(obs), {0, 1}, rewards[t], dones[t],
+                     values[t], {-0.1, -0.2});
+    }
+    both.computeAdvantages(gamma, lambda, std::vector<double>{0.7, 0.0});
+
+    for (std::size_t t = 0; t < 3; ++t) {
+        EXPECT_NEAR(both.advantages()[t * 2 + 0], s0.advantages()[t],
+                    1e-12);
+        EXPECT_NEAR(both.advantages()[t * 2 + 1], s1.advantages()[t],
+                    1e-12);
+        EXPECT_NEAR(both.returns()[t * 2 + 0], s0.returns()[t], 1e-12);
+        EXPECT_NEAR(both.returns()[t * 2 + 1], s1.returns()[t], 1e-12);
+    }
+
+    // gatherObs addresses flat time-major (t * streams + s) indices.
+    const Matrix m = both.gatherObs({1, 2});
+    EXPECT_FLOAT_EQ(m(0, 0), 1.0f);  // t=0, stream 1
+    EXPECT_FLOAT_EQ(m(1, 0), 0.0f);  // t=1, stream 0
+}
+
 // ------------------------------------------------------------ search --
 
 /** Toy oracle: a sequence distinguishes iff it contains 0 then 1. */
