@@ -18,7 +18,7 @@ stateString(const Cache &cache)
 {
     const CacheSet &set = cache.set(0);
     const auto resident = set.residentAddrs();
-    const auto ages = set.policyState();
+    const auto ages = cache.policyState(0);
     std::string out = "{";
     bool first = true;
     // residentAddrs is in way order; ages align with ways for LRU.

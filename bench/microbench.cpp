@@ -15,6 +15,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/autocat.hpp"
 #include "env/env_registry.hpp"
 
@@ -57,25 +62,69 @@ BM_CacheAccess(benchmark::State &state)
 }
 BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(16)->Arg(256);
 
-void
-BM_TwoLevelAccess(benchmark::State &state)
+/** Cache geometry shared by BM_CacheAccess/16 and the depth-1 check. */
+CacheConfig
+hierBenchLevel(unsigned sets, unsigned ways)
 {
-    TwoLevelConfig cfg;
-    cfg.l1.numSets = 8;
-    cfg.l1.numWays = 2;
-    cfg.l1.addressSpaceSize = 128;
-    cfg.l2.numSets = 16;
-    cfg.l2.numWays = 4;
-    cfg.l2.addressSpaceSize = 128;
-    TwoLevelMemory mem(cfg);
+    CacheConfig cfg;
+    cfg.numSets = sets;
+    cfg.numWays = ways;
+    cfg.policy = ReplPolicy::Lru;
+    cfg.addressSpaceSize = 4 * cfg.numBlocks();
+    return cfg;
+}
+
+/**
+ * Build the depth-N hierarchy the hierarchy benches run: outermost
+ * level 16x8 (the BM_CacheAccess/16 geometry), inner levels private
+ * and progressively smaller.
+ */
+HierarchyConfig
+hierBenchConfig(unsigned depth, InclusionPolicy outer)
+{
+    HierarchyConfig cfg;
+    cfg.numCores = 2;
+    if (depth >= 3)
+        cfg.levels.push_back({hierBenchLevel(4, 2),
+                              InclusionPolicy::Inclusive, false});
+    if (depth >= 2)
+        cfg.levels.push_back({hierBenchLevel(8, 2),
+                              InclusionPolicy::Inclusive, false});
+    cfg.levels.push_back({hierBenchLevel(16, 8), outer, true});
+    // Depth 1 keeps a single shared level (no per-core replication).
+    if (depth == 1)
+        cfg.numCores = 1;
+    for (auto &lvl : cfg.levels)
+        lvl.cache.addressSpaceSize = 4 * 16 * 8;
+    return cfg;
+}
+
+/**
+ * MemorySystem access rate through a CacheHierarchy at depth 1/2/3,
+ * inclusive vs exclusive outermost level. Arg0 = depth, Arg1 = 1 for
+ * an exclusive outer level. Depth 1 must match BM_CacheAccess/16
+ * within noise — checked by the self-test the harness main() runs
+ * before the benchmarks (the flattened replacement metadata is what
+ * keeps the walk free of per-set pointer chasing).
+ */
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    const auto depth = static_cast<unsigned>(state.range(0));
+    const bool exclusive = state.range(1) != 0;
+    CacheHierarchy mem(hierBenchConfig(
+        depth, exclusive ? InclusionPolicy::Exclusive
+                         : InclusionPolicy::Inclusive));
     std::uint64_t addr = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(mem.access(addr, Domain::Attacker));
-        addr = (addr * 2654435761u + 1) % 128;
+        addr = (addr * 2654435761u + 1) % 512;
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TwoLevelAccess);
+BENCHMARK(BM_HierarchyAccess)
+    ->ArgsProduct({{1, 2, 3}, {0, 1}})
+    ->ArgNames({"depth", "exclusive"});
 
 void
 BM_EnvStep(benchmark::State &state)
@@ -228,7 +277,69 @@ BM_CovertChannelRound(benchmark::State &state)
 }
 BENCHMARK(BM_CovertChannelRound)->Arg(8)->Arg(12);
 
+/**
+ * Harness self-test: a depth-1 CacheHierarchy must cost the same as a
+ * bare Cache within noise — the hierarchy walk adds one virtual call
+ * and a loop bound, nothing per-set. Measures both with identical
+ * access streams and fails the harness when the ratio exceeds a
+ * noise-tolerant bound (best of five rounds; set
+ * AUTOCAT_SKIP_SELFTEST=1 to report without failing, e.g. on heavily
+ * loaded shared runners).
+ */
+bool
+checkDepth1MatchesCacheAccess()
+{
+    constexpr int kIters = 400000;
+    constexpr double kMaxRatio = 1.6;
+
+    const auto run = [](auto &target) {
+        std::uint64_t addr = 0;
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < kIters; ++i) {
+            benchmark::DoNotOptimize(target.access(addr,
+                                                   Domain::Attacker));
+            addr = (addr * 2654435761u + 1) % 512;
+        }
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    double best_ratio = 1e9;
+    for (int round = 0; round < 5; ++round) {
+        Cache cache(hierBenchLevel(16, 8));
+        CacheHierarchy hier(
+            hierBenchConfig(1, InclusionPolicy::Inclusive));
+        const double cache_s = run(cache);
+        const double hier_s = run(hier);
+        best_ratio = std::min(best_ratio, hier_s / cache_s);
+    }
+    std::fprintf(stderr,
+                 "hierarchy depth-1 self-test: %.2fx of raw cache "
+                 "access (bound %.2fx)\n",
+                 best_ratio, kMaxRatio);
+    const char *skip = std::getenv("AUTOCAT_SKIP_SELFTEST");
+    if (skip && skip[0] == '1')
+        return true;
+    return best_ratio <= kMaxRatio;
+}
+
 } // namespace
 } // namespace autocat
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    if (!autocat::checkDepth1MatchesCacheAccess()) {
+        std::fprintf(stderr,
+                     "FAIL: depth-1 CacheHierarchy is slower than a "
+                     "bare Cache beyond noise\n");
+        return 1;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -27,6 +27,7 @@ struct ConfigRow
     const char *expected;
     EnvConfig env;
     bool heavy = false;  ///< only run with AUTOCAT_FULL=1
+    const char *scenario = "guessing_game";  ///< registry name
 };
 
 EnvConfig
@@ -108,31 +109,22 @@ allRows()
                     make(4, 2, 0, 3, 4, 11, false, false)});
     // 16: two-level (private DM L1s + shared 2x4 L2) -> PP (heavy)
     {
+        // The l1l2_private scenario synthesizes the hierarchy from the
+        // attacked-level config: DM L1s over the same sets, shared
+        // inclusive L2 = cfg.cache.
         EnvConfig cfg = make(4, 2, 0, 3, 4, 11, false, false);
-        cfg.twoLevel = true;
-        cfg.twoLevelCfg.numCores = 2;
-        cfg.twoLevelCfg.l1.numSets = 4;
-        cfg.twoLevelCfg.l1.numWays = 1;
-        cfg.twoLevelCfg.l1.addressSpaceSize = 12;
-        cfg.twoLevelCfg.l2.numSets = 4;
-        cfg.twoLevelCfg.l2.numWays = 2;
-        cfg.twoLevelCfg.l2.addressSpaceSize = 12;
+        cfg.cache.addressSpaceSize = 12;
         cfg.windowSize = 40;
-        rows.push_back({16, "2-level SA 2x4", "PP", cfg, true});
+        rows.push_back({16, "2-level SA 2x4", "PP", cfg, true,
+                        "l1l2_private"});
     }
     // 17: two-level, L2 2x8, victim 0-7, attacker 8-23 (heavy)
     {
         EnvConfig cfg = make(8, 2, 0, 7, 8, 23, false, false);
-        cfg.twoLevel = true;
-        cfg.twoLevelCfg.numCores = 2;
-        cfg.twoLevelCfg.l1.numSets = 8;
-        cfg.twoLevelCfg.l1.numWays = 1;
-        cfg.twoLevelCfg.l1.addressSpaceSize = 24;
-        cfg.twoLevelCfg.l2.numSets = 8;
-        cfg.twoLevelCfg.l2.numWays = 2;
-        cfg.twoLevelCfg.l2.addressSpaceSize = 24;
+        cfg.cache.addressSpaceSize = 24;
         cfg.windowSize = 56;
-        rows.push_back({17, "2-level SA 2x8", "PP", cfg, true});
+        rows.push_back({17, "2-level SA 2x8", "PP", cfg, true,
+                        "l1l2_private"});
     }
     return rows;
 }
@@ -160,6 +152,7 @@ main()
         }
         ExplorationConfig cfg;
         cfg.env = row.env;
+        cfg.scenario = row.scenario;
         cfg.ppo.seed = 19 + row.no;
         cfg.maxEpochs = max_epochs;
         const ExplorationResult r = explore(cfg);

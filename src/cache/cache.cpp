@@ -6,15 +6,26 @@
 
 namespace autocat {
 
-Cache::Cache(const CacheConfig &config)
-    : config_(config), rng_(config.seed)
-{
-    if (config_.numSets == 0 || config_.numWays == 0)
-        throw std::invalid_argument("cache: sets and ways must be > 0");
+namespace {
 
+const CacheConfig &
+validated(const CacheConfig &config)
+{
+    if (config.numSets == 0 || config.numWays == 0)
+        throw std::invalid_argument("cache: sets and ways must be > 0");
+    return config;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(validated(config)),
+      rng_(config_.seed),
+      repl_(config_.policy, config_.numSets, config_.numWays, &rng_)
+{
     sets_.reserve(config_.numSets);
     for (unsigned s = 0; s < config_.numSets; ++s)
-        sets_.emplace_back(config_.numWays, config_.policy, &rng_);
+        sets_.emplace_back(config_.numWays, s);
 
     if (config_.randomSetMapping) {
         // Balanced random permutation: every set index appears the same
@@ -47,6 +58,13 @@ Cache::set(std::uint64_t index) const
     return sets_[index];
 }
 
+std::vector<unsigned>
+Cache::policyState(std::uint64_t setIndex) const
+{
+    assert(setIndex < sets_.size());
+    return repl_.stateSnapshot(setIndex);
+}
+
 void
 Cache::emit(const CacheEvent &ev)
 {
@@ -58,7 +76,7 @@ AccessResult
 Cache::accessInternal(std::uint64_t addr, Domain domain, CacheOp op)
 {
     const std::uint64_t idx = setIndexOf(addr);
-    const AccessResult res = sets_[idx].access(addr, domain);
+    const AccessResult res = sets_[idx].access(repl_, addr, domain);
 
     CacheEvent ev;
     ev.op = op;
@@ -90,11 +108,17 @@ Cache::access(std::uint64_t addr, Domain domain)
     return res;
 }
 
+AccessResult
+Cache::install(std::uint64_t addr, Domain domain)
+{
+    return accessInternal(addr, domain, CacheOp::VictimFill);
+}
+
 bool
 Cache::flush(std::uint64_t addr, Domain domain)
 {
     const std::uint64_t idx = setIndexOf(addr);
-    const bool dropped = sets_[idx].invalidate(addr);
+    const bool dropped = sets_[idx].invalidate(repl_, addr);
 
     CacheEvent ev;
     ev.op = CacheOp::Flush;
@@ -114,9 +138,9 @@ Cache::contains(std::uint64_t addr) const
 }
 
 bool
-Cache::lockLine(std::uint64_t addr, Domain domain)
+Cache::lockLine(std::uint64_t addr, Domain domain, AccessResult *fill)
 {
-    return sets_[setIndexOf(addr)].lockLine(addr, domain);
+    return sets_[setIndexOf(addr)].lockLine(repl_, addr, domain, fill);
 }
 
 bool
@@ -134,14 +158,14 @@ Cache::isLocked(std::uint64_t addr) const
 bool
 Cache::backInvalidate(std::uint64_t addr)
 {
-    return sets_[setIndexOf(addr)].invalidate(addr);
+    return sets_[setIndexOf(addr)].invalidate(repl_, addr);
 }
 
 void
 Cache::reset()
 {
     for (auto &set : sets_)
-        set.reset();
+        set.reset(repl_);
     if (prefetcher_)
         prefetcher_->reset();
 }

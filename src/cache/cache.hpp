@@ -7,6 +7,10 @@
  * line locking, hardware prefetching, and a fixed random address-to-set
  * permutation. All observable activity is reported to an optional event
  * listener for the detector subsystems.
+ *
+ * Replacement metadata for every set lives in one flat ReplacementState
+ * owned by the cache (no per-set policy objects), so the access and
+ * reset hot paths stay on contiguous memory.
  */
 
 #ifndef AUTOCAT_CACHE_CACHE_HPP
@@ -31,6 +35,12 @@ class Cache
     /** Build a cache from @p config. */
     explicit Cache(const CacheConfig &config);
 
+    // The flat ReplacementState points at the cache-owned RNG; copying
+    // or moving would leave that pointer dangling. Hierarchies hold
+    // caches behind unique_ptr instead.
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
     /** The configuration this cache was built with. */
     const CacheConfig &config() const { return config_; }
 
@@ -45,14 +55,27 @@ class Cache
      */
     AccessResult access(std::uint64_t addr, Domain domain);
 
+    /**
+     * Install @p addr without a demand lookup: used by an exclusive
+     * outer level absorbing a line evicted from an inner level. No
+     * prefetches are triggered; the event is tagged CacheOp::VictimFill.
+     * A no-op (reported as a hit) when the line is already resident.
+     */
+    AccessResult install(std::uint64_t addr, Domain domain);
+
     /** clflush: invalidate @p addr everywhere; true if it was cached. */
     bool flush(std::uint64_t addr, Domain domain);
 
     /** True when @p addr is resident. */
     bool contains(std::uint64_t addr) const;
 
-    /** PL cache: install (if needed) and lock @p addr. */
-    bool lockLine(std::uint64_t addr, Domain domain);
+    /**
+     * PL cache: install (if needed) and lock @p addr. @p fill, when
+     * non-null, receives the install's AccessResult so a hierarchy can
+     * handle the eviction the install may cause.
+     */
+    bool lockLine(std::uint64_t addr, Domain domain,
+                  AccessResult *fill = nullptr);
 
     /** PL cache: unlock @p addr. */
     bool unlockLine(std::uint64_t addr);
@@ -68,6 +91,12 @@ class Cache
 
     /** Access to a set for inspection (tests / Fig. 4 visualization). */
     const CacheSet &set(std::uint64_t index) const;
+
+    /**
+     * Replacement-metadata snapshot of one set (policy-specific; see
+     * ReplacementState::stateSnapshot).
+     */
+    std::vector<unsigned> policyState(std::uint64_t setIndex) const;
 
     /** Drop all contents and metadata; keeps the random mapping fixed. */
     void reset();
@@ -85,6 +114,7 @@ class Cache
 
     CacheConfig config_;
     Rng rng_;
+    ReplacementState repl_;
     std::vector<CacheSet> sets_;
     std::vector<std::uint64_t> setMap_;
     std::unique_ptr<Prefetcher> prefetcher_;

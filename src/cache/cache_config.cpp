@@ -1,0 +1,30 @@
+#include "cache/cache_config.hpp"
+
+#include <stdexcept>
+
+namespace autocat {
+
+InclusionPolicy
+inclusionFromString(const std::string &name)
+{
+    if (name == "inclusive")
+        return InclusionPolicy::Inclusive;
+    if (name == "exclusive")
+        return InclusionPolicy::Exclusive;
+    if (name == "nine")
+        return InclusionPolicy::Nine;
+    throw std::invalid_argument("unknown inclusion policy: " + name);
+}
+
+const char *
+inclusionName(InclusionPolicy p)
+{
+    switch (p) {
+      case InclusionPolicy::Inclusive: return "inclusive";
+      case InclusionPolicy::Exclusive: return "exclusive";
+      case InclusionPolicy::Nine: return "nine";
+    }
+    return "?";
+}
+
+} // namespace autocat

@@ -4,7 +4,8 @@
  *
  * Mirrors the "Cache configs in cache simulator" block of Table II in the
  * paper: total blocks, associativity, replacement policy, plus the
- * prefetcher and address-mapping options exercised by Table IV.
+ * prefetcher and address-mapping options exercised by Table IV, and the
+ * declarative hierarchy description behind multi-level scenarios.
  */
 
 #ifndef AUTOCAT_CACHE_CACHE_CONFIG_HPP
@@ -12,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cache/replacement.hpp"
 
@@ -65,17 +67,86 @@ struct CacheConfig
     unsigned numBlocks() const { return numSets * numWays; }
 };
 
-/** Configuration of a two-level hierarchy (Table IV configs 16/17). */
-struct TwoLevelConfig
+/**
+ * How a cache level relates to the levels inside it.
+ *
+ * The attribute describes the level itself: an Inclusive L2 guarantees
+ * every L1-resident line is also L2-resident (evicting from L2
+ * back-invalidates every inner copy — the contention channel behind
+ * cross-core prime+probe); an Exclusive level holds only lines the inner
+ * levels evicted (a victim cache: an inner hit pulls the line out of it);
+ * Nine (non-inclusive non-exclusive) fills on the demand path like an
+ * inclusive level but never back-invalidates. The attribute of the
+ * innermost level is ignored — there is nothing inside it to relate to.
+ */
+enum class InclusionPolicy : std::uint8_t { Inclusive, Exclusive, Nine };
+
+/** Parse "inclusive" / "exclusive" / "nine" (throws on unknown). */
+InclusionPolicy inclusionFromString(const std::string &name);
+
+/** Canonical lowercase name of an inclusion policy. */
+const char *inclusionName(InclusionPolicy p);
+
+/** One level of a cache hierarchy. */
+struct HierarchyLevelConfig
 {
-    /** Number of cores, each with a private L1. */
+    /** Geometry / policy of this level. */
+    CacheConfig cache;
+
+    /** Relationship to the inner levels (ignored for the innermost). */
+    InclusionPolicy inclusion = InclusionPolicy::Inclusive;
+
+    /**
+     * Shared across all cores, or replicated per core. Private level
+     * instance c derives its seed as cache.seed + level*numCores + c + 1
+     * so per-core random state is decorrelated but reproducible.
+     */
+    bool shared = true;
+};
+
+/**
+ * Declarative description of an N-level hierarchy: an ordered list of
+ * level configs, innermost (L1) first. The paper's two-level shared-L2
+ * setup (Table IV configs 16/17) is a two-entry list with a private L1
+ * and a shared inclusive L2.
+ *
+ * Domain-to-core mapping: the attacker runs on core 0, the victim on
+ * core 1 (paper: "the victim program and the attack program each run on
+ * one core").
+ */
+struct HierarchyConfig
+{
+    /** Number of cores; private levels get one instance per core. */
     unsigned numCores = 2;
 
-    /** Private L1 configuration (replicated per core). */
-    CacheConfig l1;
+    /** Level configs, levels[0] = L1 (innermost). Empty = unset. */
+    std::vector<HierarchyLevelConfig> levels;
 
-    /** Shared inclusive L2 configuration. */
-    CacheConfig l2;
+    /** Number of levels. */
+    unsigned depth() const { return static_cast<unsigned>(levels.size()); }
+
+    /** Single-level hierarchy over @p cache. */
+    static HierarchyConfig
+    singleLevel(const CacheConfig &cache)
+    {
+        HierarchyConfig cfg;
+        cfg.numCores = 1;
+        cfg.levels.push_back({cache, InclusionPolicy::Inclusive, true});
+        return cfg;
+    }
+
+    /** Private-L1 / shared-L2 hierarchy (the classic two-level shape). */
+    static HierarchyConfig
+    twoLevel(const CacheConfig &l1, const CacheConfig &l2,
+             InclusionPolicy l2Inclusion = InclusionPolicy::Inclusive,
+             bool sharedL1 = false, unsigned numCores = 2)
+    {
+        HierarchyConfig cfg;
+        cfg.numCores = numCores;
+        cfg.levels.push_back({l1, InclusionPolicy::Inclusive, sharedL1});
+        cfg.levels.push_back({l2, l2Inclusion, true});
+        return cfg;
+    }
 };
 
 } // namespace autocat

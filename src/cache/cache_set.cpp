@@ -4,13 +4,13 @@
 
 namespace autocat {
 
-CacheSet::CacheSet(unsigned ways, ReplPolicy policy, Rng *rng)
+CacheSet::CacheSet(unsigned ways, std::uint64_t setIndex)
     : ways_(ways),
+      index_(setIndex),
       tags_(ways, 0),
-      valid_(ways, false),
-      locked_(ways, false),
-      owner_(ways, Domain::Attacker),
-      policy_(makeReplacementPolicy(policy, ways, rng))
+      valid_(ways, 0),
+      locked_(ways, 0),
+      owner_(ways, Domain::Attacker)
 {
 }
 
@@ -35,7 +35,7 @@ CacheSet::findInvalidWay() const
 }
 
 AccessResult
-CacheSet::access(std::uint64_t addr, Domain domain)
+CacheSet::access(ReplacementState &repl, std::uint64_t addr, Domain domain)
 {
     AccessResult result;
 
@@ -44,13 +44,13 @@ CacheSet::access(std::uint64_t addr, Domain domain)
         result.hit = true;
         result.hitLevel = 1;
         owner_[hit_way] = domain;
-        policy_->onHit(static_cast<unsigned>(hit_way));
+        repl.onHit(index_, static_cast<unsigned>(hit_way));
         return result;
     }
 
     int way = findInvalidWay();
     if (way < 0) {
-        way = policy_->victimWay(valid_, locked_);
+        way = repl.victimWay(index_, valid_.data(), locked_.data());
         if (way < 0) {
             // Every valid way is locked: PL cache serves the access
             // without caching it and without perturbing any state.
@@ -63,22 +63,22 @@ CacheSet::access(std::uint64_t addr, Domain domain)
     }
 
     tags_[way] = addr;
-    valid_[way] = true;
-    locked_[way] = false;
+    valid_[way] = 1;
+    locked_[way] = 0;
     owner_[way] = domain;
-    policy_->onFill(static_cast<unsigned>(way));
+    repl.onFill(index_, static_cast<unsigned>(way));
     return result;
 }
 
 bool
-CacheSet::invalidate(std::uint64_t addr)
+CacheSet::invalidate(ReplacementState &repl, std::uint64_t addr)
 {
     const int way = findWay(addr);
     if (way < 0)
         return false;
-    valid_[way] = false;
-    locked_[way] = false;
-    policy_->onInvalidate(static_cast<unsigned>(way));
+    valid_[way] = 0;
+    locked_[way] = 0;
+    repl.onInvalidate(index_, static_cast<unsigned>(way));
     return true;
 }
 
@@ -89,17 +89,20 @@ CacheSet::contains(std::uint64_t addr) const
 }
 
 bool
-CacheSet::lockLine(std::uint64_t addr, Domain domain)
+CacheSet::lockLine(ReplacementState &repl, std::uint64_t addr,
+                   Domain domain, AccessResult *fill)
 {
     int way = findWay(addr);
     if (way < 0) {
-        const AccessResult res = access(addr, domain);
+        const AccessResult res = access(repl, addr, domain);
+        if (fill)
+            *fill = res;
         if (res.servedUncached)
             return false;
         way = findWay(addr);
         assert(way >= 0);
     }
-    locked_[way] = true;
+    locked_[way] = 1;
     return true;
 }
 
@@ -109,7 +112,7 @@ CacheSet::unlockLine(std::uint64_t addr)
     const int way = findWay(addr);
     if (way < 0)
         return false;
-    locked_[way] = false;
+    locked_[way] = 0;
     return true;
 }
 
@@ -121,12 +124,12 @@ CacheSet::isLocked(std::uint64_t addr) const
 }
 
 void
-CacheSet::reset()
+CacheSet::reset(ReplacementState &repl)
 {
-    valid_.assign(ways_, false);
-    locked_.assign(ways_, false);
+    valid_.assign(ways_, 0);
+    locked_.assign(ways_, 0);
     owner_.assign(ways_, Domain::Attacker);
-    policy_->reset();
+    repl.resetSet(index_);
 }
 
 std::vector<std::uint64_t>
@@ -146,12 +149,6 @@ CacheSet::ownerOf(std::uint64_t addr) const
     const int way = findWay(addr);
     assert(way >= 0);
     return owner_[way];
-}
-
-std::vector<unsigned>
-CacheSet::policyState() const
-{
-    return policy_->stateSnapshot();
 }
 
 } // namespace autocat

@@ -1,14 +1,18 @@
 /**
  * @file
  * One set of a set-associative cache: tags, valid bits, PL-cache lock
- * bits, per-line owner domains, and the attached replacement policy.
+ * bits, and per-line owner domains.
+ *
+ * Replacement metadata is NOT stored here: the owning Cache keeps one
+ * flat ReplacementState for all its sets (contiguous, no per-set heap
+ * objects) and passes it into the mutating operations together with
+ * this set's index.
  */
 
 #ifndef AUTOCAT_CACHE_CACHE_SET_HPP
 #define AUTOCAT_CACHE_CACHE_SET_HPP
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "cache/events.hpp"
@@ -21,11 +25,11 @@ class CacheSet
 {
   public:
     /**
-     * @param ways   associativity
-     * @param policy which replacement algorithm
-     * @param rng    PRNG for the random policy (may be null otherwise)
+     * @param ways     associativity
+     * @param setIndex index of this set inside the owning cache (keys
+     *                 this set's slice of the ReplacementState)
      */
-    CacheSet(unsigned ways, ReplPolicy policy, Rng *rng);
+    CacheSet(unsigned ways, std::uint64_t setIndex);
 
     /** Associativity. */
     unsigned numWays() const { return ways_; }
@@ -37,19 +41,23 @@ class CacheSet
      * accesses to locked lines, which is exactly the leak the PL-cache
      * attack in Section V-D exploits.
      */
-    AccessResult access(std::uint64_t addr, Domain domain);
+    AccessResult access(ReplacementState &repl, std::uint64_t addr,
+                        Domain domain);
 
     /** Invalidate @p addr if present; true when a line was dropped. */
-    bool invalidate(std::uint64_t addr);
+    bool invalidate(ReplacementState &repl, std::uint64_t addr);
 
     /** True when @p addr is currently cached in this set. */
     bool contains(std::uint64_t addr) const;
 
     /**
      * PL cache: lock @p addr, installing it first if absent.
+     * @param fill receives the install's AccessResult when non-null
+     *             (hierarchies must see the eviction it may cause)
      * @return false when installation failed (all other ways locked).
      */
-    bool lockLine(std::uint64_t addr, Domain domain);
+    bool lockLine(ReplacementState &repl, std::uint64_t addr,
+                  Domain domain, AccessResult *fill = nullptr);
 
     /** PL cache: clear the lock bit of @p addr; true if it was present. */
     bool unlockLine(std::uint64_t addr);
@@ -58,7 +66,7 @@ class CacheSet
     bool isLocked(std::uint64_t addr) const;
 
     /** Drop all lines, locks, and replacement metadata. */
-    void reset();
+    void reset(ReplacementState &repl);
 
     /** Valid-line addresses in way order (invalid ways skipped). */
     std::vector<std::uint64_t> residentAddrs() const;
@@ -66,19 +74,16 @@ class CacheSet
     /** Owner domain of @p addr; only meaningful when contains(addr). */
     Domain ownerOf(std::uint64_t addr) const;
 
-    /** Replacement-policy metadata snapshot (see policy docs). */
-    std::vector<unsigned> policyState() const;
-
   private:
     int findWay(std::uint64_t addr) const;
     int findInvalidWay() const;
 
     unsigned ways_;
+    std::uint64_t index_;
     std::vector<std::uint64_t> tags_;
-    std::vector<bool> valid_;
-    std::vector<bool> locked_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> locked_;
     std::vector<Domain> owner_;
-    std::unique_ptr<SetReplacementPolicy> policy_;
 };
 
 } // namespace autocat

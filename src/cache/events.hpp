@@ -27,13 +27,14 @@ enum class CacheOp : std::uint8_t {
     DemandAccess,  ///< load issued by a program
     Prefetch,      ///< access injected by a hardware prefetcher
     Flush,         ///< clflush-style invalidation
+    VictimFill,    ///< exclusive outer level absorbing an inner eviction
 };
 
 /** Result of a single cache access as seen by the accessor. */
 struct AccessResult
 {
     bool hit = false;           ///< line was present
-    int hitLevel = 0;           ///< 1-based cache level of the hit; 0 = memory
+    int hitLevel = 0;           ///< level-k hit (1-based); 0 = memory
     bool evicted = false;       ///< a valid line was displaced
     std::uint64_t evictedAddr = 0;  ///< address of the displaced line
     Domain evictedOwner = Domain::Attacker;  ///< last toucher of that line

@@ -1,6 +1,7 @@
 #include "cache/memory_system.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace autocat {
 
@@ -33,6 +34,7 @@ SingleLevelMemory::access(std::uint64_t addr, Domain domain)
     MemoryAccessResult out;
     out.hit = res.hit;
     out.hitLevel = res.hit ? 1 : 0;
+    out.servedUncached = res.servedUncached;
     out.victimMissed = domain == Domain::Victim && !res.hit &&
                        !res.servedUncached;
     return out;
@@ -80,90 +82,266 @@ SingleLevelMemory::numBlocks() const
     return cache_.numBlocks();
 }
 
-// ----------------------------------------------------- TwoLevelMemory --
+// ----------------------------------------------------- CacheHierarchy --
 
-TwoLevelMemory::TwoLevelMemory(const TwoLevelConfig &config)
-    : config_(config), l2_(config.l2)
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : config_(config)
 {
-    assert(config.numCores >= 2);
-    l1s_.reserve(config.numCores);
-    for (unsigned c = 0; c < config.numCores; ++c) {
-        CacheConfig l1cfg = config.l1;
-        l1cfg.seed = config.l1.seed + c + 1;
-        l1s_.emplace_back(l1cfg);
+    if (config_.levels.empty())
+        throw std::invalid_argument(
+            "hierarchy: at least one level is required");
+    if (config_.numCores == 0)
+        throw std::invalid_argument("hierarchy: numCores must be > 0");
+
+    bool any_private = false;
+    for (const auto &lvl : config_.levels)
+        any_private |= !lvl.shared;
+    if (any_private && config_.numCores < 2) {
+        throw std::invalid_argument(
+            "hierarchy: private levels need one core per domain "
+            "(numCores >= 2)");
+    }
+
+    levels_.reserve(config_.levels.size());
+    for (unsigned k = 0; k < config_.levels.size(); ++k) {
+        const HierarchyLevelConfig &lvl = config_.levels[k];
+        Level level;
+        level.inclusion = lvl.inclusion;
+        level.shared = lvl.shared;
+        const unsigned instances = lvl.shared ? 1 : config_.numCores;
+        for (unsigned c = 0; c < instances; ++c) {
+            CacheConfig cache_cfg = lvl.cache;
+            if (!lvl.shared) {
+                // Decorrelate per-core random state, reproducibly.
+                cache_cfg.seed = lvl.cache.seed +
+                                 k * config_.numCores + c + 1;
+            }
+            level.instances.push_back(std::make_unique<Cache>(cache_cfg));
+        }
+        levels_.push_back(std::move(level));
     }
 }
 
 unsigned
-TwoLevelMemory::coreOf(Domain domain)
+CacheHierarchy::coreOf(Domain domain)
 {
     return domain == Domain::Attacker ? 0 : 1;
 }
 
+Cache &
+CacheHierarchy::instanceFor(unsigned level, unsigned core)
+{
+    Level &l = levels_[level];
+    return *l.instances[l.shared ? 0 : core];
+}
+
+const Cache &
+CacheHierarchy::level(unsigned level, unsigned core) const
+{
+    assert(level < levels_.size());
+    const Level &l = levels_[level];
+    return *l.instances[l.shared ? 0 : core];
+}
+
+void
+CacheHierarchy::backInvalidateInner(unsigned level, std::uint64_t addr,
+                                    unsigned core)
+{
+    // A shared level backs every core's inner caches, so its eviction
+    // invalidates them all (the cross-core contention channel). A
+    // private level backs only its own core's path — other cores'
+    // private caches are untouched (no cross-core artifact); an inner
+    // shared level sits on that path and must still drop its copy.
+    const bool evicting_shared = levels_[level].shared;
+    for (unsigned k = 0; k < level; ++k) {
+        if (evicting_shared || levels_[k].shared) {
+            for (auto &cache : levels_[k].instances)
+                cache->backInvalidate(addr);
+        } else {
+            instanceFor(k, core).backInvalidate(addr);
+        }
+    }
+}
+
+void
+CacheHierarchy::spillVictim(unsigned level, std::uint64_t addr,
+                            Domain owner, unsigned core)
+{
+    // Offer an evicted line to consecutive exclusive levels starting
+    // at @p level; it vanishes to memory at the first non-absorber.
+    for (unsigned k = level;
+         k < depth() && levels_[k].inclusion == InclusionPolicy::Exclusive;
+         ++k) {
+        const AccessResult fill = instanceFor(k, core).install(addr, owner);
+        if (!fill.evicted)
+            return;
+        addr = fill.evictedAddr;
+        owner = fill.evictedOwner;
+    }
+}
+
 MemoryAccessResult
-TwoLevelMemory::access(std::uint64_t addr, Domain domain)
+CacheHierarchy::access(std::uint64_t addr, Domain domain)
 {
     const unsigned core = coreOf(domain);
     MemoryAccessResult out;
 
-    const AccessResult l1res = l1s_[core].access(addr, domain);
-    if (l1res.hit) {
-        out.hit = true;
-        out.hitLevel = 1;
-        return out;
+    // Whether some level now holds the line (false only while every
+    // probed level served it uncached — the PL all-ways-locked path).
+    bool resident = false;
+    // A line evicted at the previous level, awaiting an exclusive
+    // absorber; dropped (written back to memory) at any other level.
+    bool have_victim = false;
+    std::uint64_t victim_addr = 0;
+    Domain victim_owner = Domain::Attacker;
+
+    for (unsigned k = 0; k < depth(); ++k) {
+        Level &lvl = levels_[k];
+        Cache &cache = instanceFor(k, core);
+        bool hit_here = false;
+
+        if (lvl.inclusion == InclusionPolicy::Exclusive && k > 0) {
+            // Exclusive level: no demand fill. On a hit the line moves
+            // inward — the inner miss path just installed it, so drop
+            // the copy here to keep single residency (unless no inner
+            // level could take it, i.e. all ways locked).
+            if (cache.contains(addr)) {
+                if (resident)
+                    cache.backInvalidate(addr);
+                hit_here = true;
+            }
+            // Absorb the inner level's victim; our own eviction spills
+            // outward to the next exclusive level on the next iteration.
+            if (have_victim) {
+                const AccessResult fill =
+                    cache.install(victim_addr, victim_owner);
+                have_victim = fill.evicted;
+                victim_addr = fill.evictedAddr;
+                victim_owner = fill.evictedOwner;
+            }
+        } else {
+            const AccessResult res = cache.access(addr, domain);
+            if (!res.servedUncached)
+                resident = true;
+            hit_here = res.hit;
+            have_victim = res.evicted;
+            victim_addr = res.evictedAddr;
+            victim_owner = res.evictedOwner;
+            if (res.evicted &&
+                lvl.inclusion == InclusionPolicy::Inclusive && k > 0) {
+                // Inclusive level: its eviction removes the line from
+                // the inner instances it backs (the back-invalidation
+                // channel).
+                backInvalidateInner(k, res.evictedAddr, core);
+            }
+        }
+
+        if (hit_here) {
+            out.hit = true;
+            out.hitLevel = static_cast<int>(k) + 1;
+            // A victim still in flight (evicted by this exclusive
+            // level's absorb above) spills outward even though the
+            // demand walk stops here.
+            if (have_victim)
+                spillVictim(k + 1, victim_addr, victim_owner, core);
+            break;
+        }
     }
 
-    // L1 fill already happened inside Cache::access (it installs on
-    // miss); the L1 eviction it may have caused is private and harmless
-    // for inclusion. Now consult the shared L2.
-    const AccessResult l2res = l2_.access(addr, domain);
-    if (l2res.evicted) {
-        // Inclusive hierarchy: an L2 eviction removes the line from
-        // every private L1.
-        for (auto &l1 : l1s_)
-            l1.backInvalidate(l2res.evictedAddr);
-    }
-
-    out.hit = l2res.hit;
-    out.hitLevel = l2res.hit ? 2 : 0;
-    out.victimMissed = domain == Domain::Victim && !l2res.hit;
+    out.servedUncached = !out.hit && !resident;
+    out.victimMissed =
+        domain == Domain::Victim && !out.hit && resident;
     return out;
 }
 
 void
-TwoLevelMemory::flush(std::uint64_t addr, Domain domain)
+CacheHierarchy::flush(std::uint64_t addr, Domain domain)
 {
-    for (auto &l1 : l1s_)
-        l1.backInvalidate(addr);
-    l2_.flush(addr, domain);
+    // Inner copies drop silently; the outermost level emits the Flush
+    // event the detectors observe.
+    for (unsigned k = 0; k + 1 < depth(); ++k) {
+        for (auto &cache : levels_[k].instances)
+            cache->backInvalidate(addr);
+    }
+    for (auto &cache : levels_.back().instances)
+        cache->flush(addr, domain);
 }
 
 bool
-TwoLevelMemory::contains(std::uint64_t addr) const
+CacheHierarchy::contains(std::uint64_t addr) const
 {
-    return l2_.contains(addr);
+    for (const auto &lvl : levels_) {
+        for (const auto &cache : lvl.instances) {
+            if (cache->contains(addr))
+                return true;
+        }
+    }
+    return false;
 }
 
 void
-TwoLevelMemory::reset()
+CacheHierarchy::reset()
 {
-    for (auto &l1 : l1s_)
-        l1.reset();
-    l2_.reset();
+    for (auto &lvl : levels_) {
+        for (auto &cache : lvl.instances)
+            cache->reset();
+    }
 }
 
 void
-TwoLevelMemory::setEventListener(CacheEventListener listener)
+CacheHierarchy::setEventListener(CacheEventListener listener)
 {
-    // Detectors watch the shared level, where cross-domain contention
-    // happens.
-    l2_.setEventListener(std::move(listener));
+    // Detectors watch the outermost level, where cross-domain
+    // contention happens.
+    listener_ = std::move(listener);
+    for (auto &cache : levels_.back().instances)
+        cache->setEventListener(listener_);
+}
+
+bool
+CacheHierarchy::lockLine(std::uint64_t addr, Domain domain)
+{
+    // Lock along the issuing core's path. Locking an inclusive outer
+    // copy too keeps inclusion valid (a locked outer line is never
+    // evicted, so it never back-invalidates the locked inner copy).
+    // Exclusive levels hold no demand-path copy to lock.
+    const unsigned core = coreOf(domain);
+    bool ok = true;
+    for (unsigned k = 0; k < depth(); ++k) {
+        if (levels_[k].inclusion == InclusionPolicy::Exclusive && k > 0)
+            continue;
+        AccessResult fill;
+        ok = instanceFor(k, core).lockLine(addr, domain, &fill) && ok;
+        // The lock-install is a fill like any other: its eviction must
+        // back-invalidate inner copies (inclusion) and spill into an
+        // exclusive outer neighbor, or stale inner lines would survive.
+        if (fill.evicted) {
+            if (levels_[k].inclusion == InclusionPolicy::Inclusive &&
+                k > 0) {
+                backInvalidateInner(k, fill.evictedAddr, core);
+            }
+            spillVictim(k + 1, fill.evictedAddr, fill.evictedOwner,
+                        core);
+        }
+    }
+    return ok;
+}
+
+bool
+CacheHierarchy::unlockLine(std::uint64_t addr)
+{
+    bool any = false;
+    for (auto &lvl : levels_) {
+        for (auto &cache : lvl.instances)
+            any = cache->unlockLine(addr) || any;
+    }
+    return any;
 }
 
 unsigned
-TwoLevelMemory::numBlocks() const
+CacheHierarchy::numBlocks() const
 {
-    return l2_.numBlocks();
+    return levels_.back().instances.front()->numBlocks();
 }
 
 } // namespace autocat

@@ -5,8 +5,8 @@
  *
  * The RL engine is deliberately agnostic to the cache implementation
  * behind this interface (Section III-A): a single-level simulator, a
- * two-level hierarchy, or the simulated "real hardware" target in
- * src/hw all plug in here unchanged.
+ * composable N-level hierarchy, or the simulated "real hardware" target
+ * in src/hw all plug in here unchanged.
  */
 
 #ifndef AUTOCAT_CACHE_MEMORY_SYSTEM_HPP
@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/cache_config.hpp"
@@ -21,12 +22,22 @@
 
 namespace autocat {
 
-/** What a program observes for one memory operation. */
+/**
+ * What a program observes for one memory operation.
+ *
+ * hitLevel generalizes to any hierarchy depth: k means the access hit
+ * at level k (1-based, 1 = innermost/L1), 0 means it was served from
+ * memory. victimMissed is set by every MemorySystem the same way: the
+ * victim issued the access, no cache level hit, and the line was
+ * actually refilled from memory (a PL-cache uncached serve does not
+ * count) — the signal miss-based detection keys on.
+ */
 struct MemoryAccessResult
 {
     bool hit = false;          ///< any-level cache hit
-    int hitLevel = 0;          ///< 1 = L1, 2 = L2, 0 = served from memory
-    bool victimMissed = false; ///< bookkeeping for miss-based detection
+    int hitLevel = 0;          ///< level-k hit (1-based); 0 = memory
+    bool victimMissed = false; ///< victim demand miss refilled from memory
+    bool servedUncached = false; ///< PL cache: no level could install
 };
 
 /** Memory-system abstraction used by environments and attack replays. */
@@ -84,40 +95,73 @@ class SingleLevelMemory : public MemorySystem
 };
 
 /**
- * Two-level hierarchy: per-core private L1 caches and a shared,
- * inclusive L2. Evicting a line from L2 back-invalidates it from every
- * L1 (inclusion), which is what makes cross-core prime+probe through the
- * shared L2 possible (Table IV configs 16/17).
+ * Composable N-level hierarchy built from a declarative HierarchyConfig:
+ * each level has its own geometry, an inclusion policy (inclusive with
+ * back-invalidation, exclusive, or NINE), and a private-per-core vs
+ * shared flag. The paper's two-level setup — per-core private L1s and a
+ * shared inclusive L2 whose evictions back-invalidate every L1 (the
+ * mechanism behind cross-core prime+probe, Table IV configs 16/17) — is
+ * just a two-entry config.
  *
- * Domain-to-core mapping: the attacker runs on core 0, the victim on
- * core 1 (paper: "the victim program and the attack program each run on
- * one core").
+ * Walk semantics: a demand access probes levels innermost-out and stops
+ * at the first hit. Inclusive/NINE levels install the line on their
+ * miss path; an inclusive level's eviction removes the line from every
+ * inner instance. An exclusive level never fills on the demand path: it
+ * absorbs the lines its inner neighbor evicts (victim fills), and an
+ * exclusive hit moves the line inward (removes it from the exclusive
+ * level) so a line is resident in at most one place along an access
+ * path.
+ *
+ * Events: the listener observes the outermost level only — the shared
+ * level where cross-domain contention happens and where hardware
+ * detectors tap (same convention the old two-level system used).
  */
-class TwoLevelMemory : public MemorySystem
+class CacheHierarchy : public MemorySystem
 {
   public:
-    explicit TwoLevelMemory(const TwoLevelConfig &config);
+    explicit CacheHierarchy(const HierarchyConfig &config);
 
     MemoryAccessResult access(std::uint64_t addr, Domain domain) override;
     void flush(std::uint64_t addr, Domain domain) override;
     bool contains(std::uint64_t addr) const override;
     void reset() override;
     void setEventListener(CacheEventListener listener) override;
+    bool lockLine(std::uint64_t addr, Domain domain) override;
+    bool unlockLine(std::uint64_t addr) override;
     unsigned numBlocks() const override;
 
-    /** Core index a domain runs on. */
+    /** The configuration this hierarchy was built from. */
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Number of levels. */
+    unsigned depth() const { return static_cast<unsigned>(levels_.size()); }
+
+    /** Core index a domain runs on (attacker 0, victim 1). */
     static unsigned coreOf(Domain domain);
 
-    /** The shared L2 (tests). */
-    const Cache &l2() const { return l2_; }
-
-    /** Private L1 of @p core (tests). */
-    const Cache &l1(unsigned core) const { return l1s_[core]; }
+    /**
+     * Cache instance of @p level (0-based, 0 = L1) serving @p core;
+     * @p core is ignored for shared levels. Tests and state dumps.
+     */
+    const Cache &level(unsigned level, unsigned core = 0) const;
 
   private:
-    TwoLevelConfig config_;
-    std::vector<Cache> l1s_;
-    Cache l2_;
+    struct Level
+    {
+        InclusionPolicy inclusion;
+        bool shared;
+        /// One instance when shared, numCores instances when private.
+        std::vector<std::unique_ptr<Cache>> instances;
+    };
+
+    Cache &instanceFor(unsigned level, unsigned core);
+    void backInvalidateInner(unsigned level, std::uint64_t addr,
+                             unsigned core);
+    void spillVictim(unsigned level, std::uint64_t addr, Domain owner,
+                     unsigned core);
+
+    HierarchyConfig config_;
+    std::vector<Level> levels_;
     CacheEventListener listener_;
 };
 

@@ -1,6 +1,5 @@
 #include "cache/replacement.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -32,102 +31,6 @@ replPolicyName(ReplPolicy p)
     return "?";
 }
 
-std::unique_ptr<SetReplacementPolicy>
-makeReplacementPolicy(ReplPolicy policy, unsigned ways, Rng *rng)
-{
-    switch (policy) {
-      case ReplPolicy::Lru:
-        return std::make_unique<LruReplacement>(ways);
-      case ReplPolicy::TreePlru:
-        return std::make_unique<TreePlruReplacement>(ways);
-      case ReplPolicy::Rrip:
-        return std::make_unique<RripReplacement>(ways);
-      case ReplPolicy::Random:
-        if (!rng)
-            throw std::invalid_argument("random policy requires an Rng");
-        return std::make_unique<RandomReplacement>(ways, rng);
-    }
-    throw std::invalid_argument("unknown replacement policy enum");
-}
-
-// ---------------------------------------------------------------- LRU --
-
-LruReplacement::LruReplacement(unsigned ways) : ways_(ways)
-{
-    if (ways == 0)
-        throw std::invalid_argument("LRU: ways must be > 0");
-    reset();
-}
-
-void
-LruReplacement::touch(unsigned way)
-{
-    assert(way < ways_);
-    const unsigned old = age_[way];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (age_[w] < old)
-            ++age_[w];
-    }
-    age_[way] = 0;
-}
-
-void
-LruReplacement::onHit(unsigned way)
-{
-    touch(way);
-}
-
-void
-LruReplacement::onFill(unsigned way)
-{
-    touch(way);
-}
-
-void
-LruReplacement::onInvalidate(unsigned way)
-{
-    // Age the invalidated way to maximum so it is reused first.
-    const unsigned old = age_[way];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (age_[w] > old)
-            --age_[w];
-    }
-    age_[way] = ways_ - 1;
-}
-
-int
-LruReplacement::victimWay(const std::vector<bool> &valid,
-                          const std::vector<bool> &locked)
-{
-    int best = -1;
-    unsigned best_age = 0;
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (!valid[w] || locked[w])
-            continue;
-        if (best < 0 || age_[w] > best_age) {
-            best = static_cast<int>(w);
-            best_age = age_[w];
-        }
-    }
-    return best;
-}
-
-void
-LruReplacement::reset()
-{
-    age_.assign(ways_, 0);
-    for (unsigned w = 0; w < ways_; ++w)
-        age_[w] = ways_ - 1 - w;
-}
-
-std::vector<unsigned>
-LruReplacement::stateSnapshot() const
-{
-    return age_;
-}
-
-// --------------------------------------------------------------- PLRU --
-
 namespace {
 
 bool
@@ -138,214 +41,233 @@ isPowerOfTwo(unsigned x)
 
 } // namespace
 
-TreePlruReplacement::TreePlruReplacement(unsigned ways) : ways_(ways)
+ReplacementState::ReplacementState(ReplPolicy policy, std::uint64_t numSets,
+                                   unsigned ways, Rng *rng)
+    : policy_(policy), ways_(ways), rng_(rng)
 {
-    if (!isPowerOfTwo(ways))
-        throw std::invalid_argument("PLRU: ways must be a power of two");
-    levels_ = 0;
-    for (unsigned w = ways; w > 1; w >>= 1)
-        ++levels_;
+    if (ways == 0)
+        throw std::invalid_argument("replacement: ways must be > 0");
+    if (ways > 255)
+        throw std::invalid_argument(
+            "replacement: ways must fit 8-bit metadata (max 255)");
+    switch (policy) {
+      case ReplPolicy::Lru:
+      case ReplPolicy::Rrip:
+        stride_ = ways;
+        break;
+      case ReplPolicy::TreePlru:
+        if (!isPowerOfTwo(ways))
+            throw std::invalid_argument(
+                "PLRU: ways must be a power of two");
+        for (unsigned w = ways; w > 1; w >>= 1)
+            ++levels_;
+        // Heap-ordered tree bits live at entries [1, ways).
+        stride_ = ways;
+        break;
+      case ReplPolicy::Random:
+        if (!rng)
+            throw std::invalid_argument("random policy requires an Rng");
+        stride_ = 0;
+        break;
+      default:
+        throw std::invalid_argument("unknown replacement policy enum");
+    }
+    meta_.resize(numSets * stride_);
     reset();
 }
 
 void
-TreePlruReplacement::touch(unsigned way)
+ReplacementState::lruTouch(std::uint64_t set, unsigned way)
 {
     assert(way < ways_);
-    // Walk from the root; at each node record the direction *away* from
-    // the accessed way (bit = 1 means "victim search goes right").
+    std::uint8_t *age = meta_.data() + set * stride_;
+    const std::uint8_t old = age[way];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (age[w] < old)
+            ++age[w];
+    }
+    age[way] = 0;
+}
+
+void
+ReplacementState::plruPoint(std::uint64_t set, unsigned way, bool away)
+{
+    assert(way < ways_);
+    // Walk from the root; at each node record the direction away from
+    // (on hit/fill) or toward (on invalidate) the given way. Bit = 1
+    // means "victim search goes right".
+    std::uint8_t *bits = meta_.data() + set * stride_;
     unsigned node = 1;
     for (unsigned level = 0; level < levels_; ++level) {
         const unsigned shift = levels_ - 1 - level;
         const bool went_right = ((way >> shift) & 1u) != 0;
-        bits_[node] = !went_right;
+        bits[node] = static_cast<std::uint8_t>(away ? !went_right
+                                                    : went_right);
         node = node * 2 + (went_right ? 1 : 0);
     }
 }
 
 void
-TreePlruReplacement::onHit(unsigned way)
+ReplacementState::onInvalidate(std::uint64_t set, unsigned way)
 {
-    touch(way);
-}
-
-void
-TreePlruReplacement::onFill(unsigned way)
-{
-    touch(way);
-}
-
-void
-TreePlruReplacement::onInvalidate(unsigned way)
-{
-    // Point the tree toward the invalidated way so it is refilled first.
-    unsigned node = 1;
-    for (unsigned level = 0; level < levels_; ++level) {
-        const unsigned shift = levels_ - 1 - level;
-        const bool went_right = ((way >> shift) & 1u) != 0;
-        bits_[node] = went_right;
-        node = node * 2 + (went_right ? 1 : 0);
+    switch (policy_) {
+      case ReplPolicy::Lru: {
+        // Age the invalidated way to maximum so it is reused first.
+        std::uint8_t *age = meta_.data() + set * stride_;
+        const std::uint8_t old = age[way];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (age[w] > old)
+                --age[w];
+        }
+        age[way] = static_cast<std::uint8_t>(ways_ - 1);
+        break;
+      }
+      case ReplPolicy::TreePlru:
+        // Point the tree toward the invalidated way so it refills first.
+        plruPoint(set, way, /*away=*/false);
+        break;
+      case ReplPolicy::Rrip:
+        meta_[set * stride_ + way] = rripMax;
+        break;
+      case ReplPolicy::Random:
+        break;
     }
 }
 
 int
-TreePlruReplacement::victimWay(const std::vector<bool> &valid,
-                               const std::vector<bool> &locked)
+ReplacementState::victimWay(std::uint64_t set, const std::uint8_t *valid,
+                            const std::uint8_t *locked)
 {
-    // Follow the tree bits to the PLRU victim.
-    unsigned node = 1;
-    unsigned way = 0;
-    for (unsigned level = 0; level < levels_; ++level) {
-        const bool go_right = bits_[node];
-        way = (way << 1) | (go_right ? 1u : 0u);
-        node = node * 2 + (go_right ? 1 : 0);
-    }
-    if (valid[way] && !locked[way])
-        return static_cast<int>(way);
+    switch (policy_) {
+      case ReplPolicy::Lru: {
+        const std::uint8_t *age = meta_.data() + set * stride_;
+        int best = -1;
+        std::uint8_t best_age = 0;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!valid[w] || locked[w])
+                continue;
+            if (best < 0 || age[w] > best_age) {
+                best = static_cast<int>(w);
+                best_age = age[w];
+            }
+        }
+        return best;
+      }
 
-    // The tree-designated victim is locked (PL cache): fall back to the
-    // first unlocked valid way; hardware PLRU implementations use similar
-    // priority muxes when lock bits mask the tree choice.
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (valid[w] && !locked[w])
-            return static_cast<int>(w);
+      case ReplPolicy::TreePlru: {
+        // Follow the tree bits to the PLRU victim.
+        const std::uint8_t *bits = meta_.data() + set * stride_;
+        unsigned node = 1;
+        unsigned way = 0;
+        for (unsigned level = 0; level < levels_; ++level) {
+            const bool go_right = bits[node] != 0;
+            way = (way << 1) | (go_right ? 1u : 0u);
+            node = node * 2 + (go_right ? 1 : 0);
+        }
+        if (valid[way] && !locked[way])
+            return static_cast<int>(way);
+        // The tree-designated victim is locked (PL cache): fall back to
+        // the first unlocked valid way; hardware PLRU implementations
+        // use similar priority muxes when lock bits mask the tree choice.
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (valid[w] && !locked[w])
+                return static_cast<int>(w);
+        }
+        return -1;
+      }
+
+      case ReplPolicy::Rrip: {
+        std::uint8_t *rrpv = meta_.data() + set * stride_;
+        bool any_candidate = false;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (valid[w] && !locked[w])
+                any_candidate = true;
+        }
+        if (!any_candidate)
+            return -1;
+        // Age until some unlocked way reaches the maximum RRPV. Bounded
+        // by rripMax iterations since each pass increments candidates.
+        for (;;) {
+            for (unsigned w = 0; w < ways_; ++w) {
+                if (valid[w] && !locked[w] && rrpv[w] >= rripMax)
+                    return static_cast<int>(w);
+            }
+            for (unsigned w = 0; w < ways_; ++w) {
+                if (valid[w] && !locked[w] && rrpv[w] < rripMax)
+                    ++rrpv[w];
+            }
+        }
+      }
+
+      case ReplPolicy::Random: {
+        unsigned candidates = 0;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (valid[w] && !locked[w])
+                ++candidates;
+        }
+        if (candidates == 0)
+            return -1;
+        std::uint64_t pick = rng_->uniformInt(candidates);
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (valid[w] && !locked[w] && pick-- == 0)
+                return static_cast<int>(w);
+        }
+        break;
+      }
     }
     return -1;
 }
 
 void
-TreePlruReplacement::reset()
+ReplacementState::reset()
 {
-    bits_.assign(2 * ways_, false);
+    const std::uint64_t sets = stride_ ? meta_.size() / stride_ : 0;
+    for (std::uint64_t s = 0; s < sets; ++s)
+        resetSet(s);
+}
+
+void
+ReplacementState::resetSet(std::uint64_t set)
+{
+    std::uint8_t *slice = meta_.data() + set * stride_;
+    switch (policy_) {
+      case ReplPolicy::Lru:
+        // Way 0 is the power-on victim (oldest age).
+        for (unsigned w = 0; w < ways_; ++w)
+            slice[w] = static_cast<std::uint8_t>(ways_ - 1 - w);
+        break;
+      case ReplPolicy::TreePlru:
+        for (unsigned w = 0; w < ways_; ++w)
+            slice[w] = 0;
+        break;
+      case ReplPolicy::Rrip:
+        for (unsigned w = 0; w < ways_; ++w)
+            slice[w] = rripMax;
+        break;
+      case ReplPolicy::Random:
+        break;
+    }
 }
 
 std::vector<unsigned>
-TreePlruReplacement::stateSnapshot() const
+ReplacementState::stateSnapshot(std::uint64_t set) const
 {
+    const std::uint8_t *slice = meta_.data() + set * stride_;
     std::vector<unsigned> out;
-    for (unsigned i = 1; i < ways_; ++i)
-        out.push_back(bits_[i] ? 1 : 0);
+    switch (policy_) {
+      case ReplPolicy::Lru:
+      case ReplPolicy::Rrip:
+        out.assign(slice, slice + ways_);
+        break;
+      case ReplPolicy::TreePlru:
+        // Tree direction bits in heap order (entry 0 unused).
+        for (unsigned i = 1; i < ways_; ++i)
+            out.push_back(slice[i]);
+        break;
+      case ReplPolicy::Random:
+        break;
+    }
     return out;
-}
-
-// --------------------------------------------------------------- RRIP --
-
-RripReplacement::RripReplacement(unsigned ways) : ways_(ways)
-{
-    if (ways == 0)
-        throw std::invalid_argument("RRIP: ways must be > 0");
-    reset();
-}
-
-void
-RripReplacement::onHit(unsigned way)
-{
-    rrpv_[way] = 0;
-}
-
-void
-RripReplacement::onFill(unsigned way)
-{
-    rrpv_[way] = insertRrpv;
-}
-
-void
-RripReplacement::onInvalidate(unsigned way)
-{
-    rrpv_[way] = maxRrpv;
-}
-
-int
-RripReplacement::victimWay(const std::vector<bool> &valid,
-                           const std::vector<bool> &locked)
-{
-    bool any_candidate = false;
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (valid[w] && !locked[w])
-            any_candidate = true;
-    }
-    if (!any_candidate)
-        return -1;
-
-    // Age until some unlocked way reaches the maximum RRPV. Bounded by
-    // maxRrpv iterations since each pass increments candidates.
-    for (;;) {
-        for (unsigned w = 0; w < ways_; ++w) {
-            if (valid[w] && !locked[w] && rrpv_[w] >= maxRrpv)
-                return static_cast<int>(w);
-        }
-        for (unsigned w = 0; w < ways_; ++w) {
-            if (valid[w] && !locked[w] && rrpv_[w] < maxRrpv)
-                ++rrpv_[w];
-        }
-    }
-}
-
-void
-RripReplacement::reset()
-{
-    rrpv_.assign(ways_, maxRrpv);
-}
-
-std::vector<unsigned>
-RripReplacement::stateSnapshot() const
-{
-    return rrpv_;
-}
-
-// ------------------------------------------------------------- Random --
-
-RandomReplacement::RandomReplacement(unsigned ways, Rng *rng)
-    : ways_(ways), rng_(rng)
-{
-    if (ways == 0)
-        throw std::invalid_argument("random: ways must be > 0");
-    assert(rng != nullptr);
-}
-
-void
-RandomReplacement::onHit(unsigned way)
-{
-    (void)way;
-}
-
-void
-RandomReplacement::onFill(unsigned way)
-{
-    (void)way;
-}
-
-void
-RandomReplacement::onInvalidate(unsigned way)
-{
-    (void)way;
-}
-
-int
-RandomReplacement::victimWay(const std::vector<bool> &valid,
-                             const std::vector<bool> &locked)
-{
-    std::vector<unsigned> candidates;
-    candidates.reserve(ways_);
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (valid[w] && !locked[w])
-            candidates.push_back(w);
-    }
-    if (candidates.empty())
-        return -1;
-    return static_cast<int>(
-        candidates[rng_->uniformInt(candidates.size())]);
-}
-
-void
-RandomReplacement::reset()
-{
-}
-
-std::vector<unsigned>
-RandomReplacement::stateSnapshot() const
-{
-    return {};
 }
 
 } // namespace autocat

@@ -1,19 +1,21 @@
 /**
  * @file
- * Per-set cache replacement policies.
+ * Cache replacement policies over flattened per-cache metadata.
  *
  * The paper explores four policies (Section V-C): true LRU, tree-based
  * pseudo-LRU, SRRIP (2-bit re-reference interval prediction), and random.
- * Each policy tracks metadata for one cache set; the Cache owns one policy
- * instance per set. Lock bits (PL cache) constrain victim selection: a
- * locked way is never chosen for eviction.
+ * A single ReplacementState owns the metadata of every set of one cache
+ * in one contiguous array — the policy is chosen once per cache and
+ * dispatched by a branch, not through per-set virtual objects, so the
+ * access/reset hot paths touch no scattered heap allocations. Lock bits
+ * (PL cache) constrain victim selection: a locked way is never chosen
+ * for eviction.
  */
 
 #ifndef AUTOCAT_CACHE_REPLACEMENT_HPP
 #define AUTOCAT_CACHE_REPLACEMENT_HPP
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,164 +33,108 @@ ReplPolicy replPolicyFromString(const std::string &name);
 const char *replPolicyName(ReplPolicy p);
 
 /**
- * Replacement metadata for one cache set.
+ * Replacement metadata for every set of one cache, stored as one
+ * preallocated contiguous array (stride entries per set):
  *
- * The owning set reports hits, fills, and invalidations; the policy
- * answers victim-way queries. Implementations must respect @p locked in
- * victimWay(): a locked way must never be returned. When every valid way
- * is locked, victimWay() returns -1 and the access is served uncached
- * (PL-cache semantics from Wang & Lee, ISCA'07).
+ *  - LRU:   one age per way; 0 = most recently used
+ *  - PLRU:  ways-1 tree direction bits (heap order, entry 0 unused)
+ *  - SRRIP: one 2-bit re-reference prediction value per way
+ *  - random: no metadata
+ *
+ * The owning cache reports hits, fills, and invalidations; the state
+ * answers victim-way queries. victimWay() respects @p locked: a locked
+ * way is never returned. When every valid way is locked it returns -1
+ * and the access is served uncached (PL-cache semantics from
+ * Wang & Lee, ISCA'07).
  */
-class SetReplacementPolicy
+class ReplacementState
 {
   public:
-    virtual ~SetReplacementPolicy() = default;
+    /**
+     * @param policy  which algorithm (applies to every set)
+     * @param numSets number of sets metadata is kept for
+     * @param ways    associativity (max 255 — metadata entries are 8-bit)
+     * @param rng     PRNG used by the random policy (ignored by others);
+     *                must outlive this object
+     */
+    ReplacementState(ReplPolicy policy, std::uint64_t numSets,
+                     unsigned ways, Rng *rng);
 
-    /** Number of ways this policy instance manages. */
-    virtual unsigned numWays() const = 0;
+    /** The policy every set runs. */
+    ReplPolicy policy() const { return policy_; }
 
-    /** A cached line at @p way was re-referenced. */
-    virtual void onHit(unsigned way) = 0;
+    /** Associativity this state manages. */
+    unsigned numWays() const { return ways_; }
 
-    /** A new line was installed at @p way. */
-    virtual void onFill(unsigned way) = 0;
+    /** A cached line at (@p set, @p way) was re-referenced. */
+    void
+    onHit(std::uint64_t set, unsigned way)
+    {
+        switch (policy_) {
+          case ReplPolicy::Lru: lruTouch(set, way); break;
+          case ReplPolicy::TreePlru: plruPoint(set, way, /*away=*/true); break;
+          case ReplPolicy::Rrip: meta_[set * stride_ + way] = 0; break;
+          case ReplPolicy::Random: break;
+        }
+    }
 
-    /** The line at @p way was invalidated (flush or back-invalidation). */
-    virtual void onInvalidate(unsigned way) = 0;
+    /** A new line was installed at (@p set, @p way). */
+    void
+    onFill(std::uint64_t set, unsigned way)
+    {
+        switch (policy_) {
+          case ReplPolicy::Lru: lruTouch(set, way); break;
+          case ReplPolicy::TreePlru: plruPoint(set, way, /*away=*/true); break;
+          case ReplPolicy::Rrip:
+            meta_[set * stride_ + way] = rripInsert;
+            break;
+          case ReplPolicy::Random: break;
+        }
+    }
+
+    /** The line at (@p set, @p way) was invalidated (flush/back-inval). */
+    void onInvalidate(std::uint64_t set, unsigned way);
 
     /**
-     * Choose the way to evict.
+     * Choose the way to evict in @p set.
      *
-     * @param valid  per-way validity (invalid ways are filled before any
-     *               eviction happens, so all entries are normally true)
-     * @param locked per-way PL-cache lock bits
+     * @param valid  per-way validity, @p ways entries (invalid ways are
+     *               filled before any eviction happens, so all entries
+     *               are normally non-zero)
+     * @param locked per-way PL-cache lock bits, @p ways entries
      * @return way index, or -1 when no unlocked valid way exists
      */
-    virtual int victimWay(const std::vector<bool> &valid,
-                          const std::vector<bool> &locked) = 0;
+    int victimWay(std::uint64_t set, const std::uint8_t *valid,
+                  const std::uint8_t *locked);
 
-    /** Reset all metadata to the power-on state. */
-    virtual void reset() = 0;
+    /** Reset every set's metadata to the power-on state. */
+    void reset();
+
+    /** Reset one set's metadata to the power-on state. */
+    void resetSet(std::uint64_t set);
 
     /**
-     * Opaque snapshot of the metadata (for tests and the Fig. 4 cache
-     * state visualization); semantics are policy specific.
+     * Opaque snapshot of one set's metadata (for tests and the Fig. 4
+     * cache state visualization); semantics are policy specific (LRU
+     * ages / PLRU tree bits / RRPVs; empty for random).
      */
-    virtual std::vector<unsigned> stateSnapshot() const = 0;
-};
-
-/**
- * Create a policy instance.
- *
- * @param policy  which algorithm
- * @param ways    associativity of the set
- * @param rng     PRNG used by the random policy (ignored by others);
- *                must outlive the returned object
- */
-std::unique_ptr<SetReplacementPolicy>
-makeReplacementPolicy(ReplPolicy policy, unsigned ways, Rng *rng);
-
-/** True LRU: exact age ordering, evicts the oldest way. */
-class LruReplacement : public SetReplacementPolicy
-{
-  public:
-    explicit LruReplacement(unsigned ways);
-
-    unsigned numWays() const override { return ways_; }
-    void onHit(unsigned way) override;
-    void onFill(unsigned way) override;
-    void onInvalidate(unsigned way) override;
-    int victimWay(const std::vector<bool> &valid,
-                  const std::vector<bool> &locked) override;
-    void reset() override;
-    std::vector<unsigned> stateSnapshot() const override;
-
-  private:
-    void touch(unsigned way);
-
-    unsigned ways_;
-    std::vector<unsigned> age_;  ///< 0 = most recently used
-};
-
-/**
- * Tree-based pseudo-LRU.
- *
- * Maintains ways-1 direction bits arranged as a complete binary tree;
- * an access flips the bits on its root-to-leaf path to point away from
- * the accessed way, and the victim is found by following the bits.
- * Associativity must be a power of two.
- */
-class TreePlruReplacement : public SetReplacementPolicy
-{
-  public:
-    explicit TreePlruReplacement(unsigned ways);
-
-    unsigned numWays() const override { return ways_; }
-    void onHit(unsigned way) override;
-    void onFill(unsigned way) override;
-    void onInvalidate(unsigned way) override;
-    int victimWay(const std::vector<bool> &valid,
-                  const std::vector<bool> &locked) override;
-    void reset() override;
-    std::vector<unsigned> stateSnapshot() const override;
-
-  private:
-    void touch(unsigned way);
-
-    unsigned ways_;
-    unsigned levels_;
-    std::vector<bool> bits_;  ///< heap-ordered tree, bits_[0] unused
-};
-
-/**
- * SRRIP with 2-bit re-reference prediction values.
- *
- * Fills install at RRPV = 2 (long re-reference), hits promote to RRPV = 0,
- * and the victim is a way with RRPV = 3, aging all ways until one exists
- * (Jaleel et al., ISCA'10; matches the paper's Section V-C description).
- */
-class RripReplacement : public SetReplacementPolicy
-{
-  public:
-    explicit RripReplacement(unsigned ways);
-
-    unsigned numWays() const override { return ways_; }
-    void onHit(unsigned way) override;
-    void onFill(unsigned way) override;
-    void onInvalidate(unsigned way) override;
-    int victimWay(const std::vector<bool> &valid,
-                  const std::vector<bool> &locked) override;
-    void reset() override;
-    std::vector<unsigned> stateSnapshot() const override;
+    std::vector<unsigned> stateSnapshot(std::uint64_t set) const;
 
     /** RRPV assigned on fill. */
-    static constexpr unsigned insertRrpv = 2;
+    static constexpr std::uint8_t rripInsert = 2;
 
     /** Maximum RRPV (2-bit). */
-    static constexpr unsigned maxRrpv = 3;
+    static constexpr std::uint8_t rripMax = 3;
 
   private:
+    void lruTouch(std::uint64_t set, unsigned way);
+    void plruPoint(std::uint64_t set, unsigned way, bool away);
+
+    ReplPolicy policy_;
     unsigned ways_;
-    std::vector<unsigned> rrpv_;
-};
-
-/** Uniform-random victim selection among unlocked valid ways. */
-class RandomReplacement : public SetReplacementPolicy
-{
-  public:
-    RandomReplacement(unsigned ways, Rng *rng);
-
-    unsigned numWays() const override { return ways_; }
-    void onHit(unsigned way) override;
-    void onFill(unsigned way) override;
-    void onInvalidate(unsigned way) override;
-    int victimWay(const std::vector<bool> &valid,
-                  const std::vector<bool> &locked) override;
-    void reset() override;
-    std::vector<unsigned> stateSnapshot() const override;
-
-  private:
-    unsigned ways_;
+    unsigned levels_ = 0;  ///< PLRU tree depth (log2 ways)
+    unsigned stride_;      ///< metadata entries per set
+    std::vector<std::uint8_t> meta_;
     Rng *rng_;
 };
 

@@ -31,6 +31,70 @@ parseBool(const std::string &v, const std::string &key)
                                 v);
 }
 
+/** Hierarchy depth cap for the config surface (sanity bound). */
+constexpr unsigned kMaxHierarchyLevels = 8;
+
+/**
+ * Apply a "hierarchy." key: either hierarchy.num_cores or a
+ * hierarchy.levels[K].field entry, where field is one of num_sets /
+ * num_ways / rep_policy / prefetcher / random_set_mapping /
+ * address_space / seed / inclusion / shared. The levels list grows on
+ * demand so levels may be configured in any order.
+ */
+void
+applyHierarchyKey(ExplorationConfig &cfg, const std::string &key,
+                  const std::string &value)
+{
+    HierarchyConfig &h = cfg.env.hierarchy;
+    if (key == "hierarchy.num_cores") {
+        h.numCores = static_cast<unsigned>(std::stoul(value));
+        return;
+    }
+
+    const std::string prefix = "hierarchy.levels[";
+    const auto close = key.find(']');
+    if (key.compare(0, prefix.size(), prefix) != 0 ||
+        close == std::string::npos || close + 1 >= key.size() ||
+        key[close + 1] != '.') {
+        throw std::invalid_argument("config: unknown option '" + key +
+                                    "'");
+    }
+
+    const unsigned idx = static_cast<unsigned>(
+        std::stoul(key.substr(prefix.size(), close - prefix.size())));
+    if (idx >= kMaxHierarchyLevels) {
+        throw std::invalid_argument(
+            "config: hierarchy level index out of range in '" + key +
+            "'");
+    }
+    if (h.levels.size() <= idx)
+        h.levels.resize(idx + 1);
+    HierarchyLevelConfig &lvl = h.levels[idx];
+
+    const std::string field = key.substr(close + 2);
+    if (field == "num_sets")
+        lvl.cache.numSets = static_cast<unsigned>(std::stoul(value));
+    else if (field == "num_ways")
+        lvl.cache.numWays = static_cast<unsigned>(std::stoul(value));
+    else if (field == "rep_policy")
+        lvl.cache.policy = replPolicyFromString(value);
+    else if (field == "prefetcher")
+        lvl.cache.prefetcher = prefetcherFromString(value);
+    else if (field == "random_set_mapping")
+        lvl.cache.randomSetMapping = parseBool(value, key);
+    else if (field == "address_space")
+        lvl.cache.addressSpaceSize = std::stoull(value);
+    else if (field == "seed")
+        lvl.cache.seed = std::stoull(value);
+    else if (field == "inclusion")
+        lvl.inclusion = inclusionFromString(value);
+    else if (field == "shared")
+        lvl.shared = parseBool(value, key);
+    else
+        throw std::invalid_argument("config: unknown hierarchy field '" +
+                                    field + "' in '" + key + "'");
+}
+
 } // namespace
 
 ExplorationConfig
@@ -188,12 +252,21 @@ parseExplorationConfig(std::istream &in)
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
         const auto it = setters.find(key);
-        if (it == setters.end()) {
+        if (it != setters.end()) {
+            it->second(value);
+        } else if (key.compare(0, 10, "hierarchy.") == 0) {
+            try {
+                applyHierarchyKey(cfg, key, value);
+            } catch (const std::invalid_argument &e) {
+                throw std::invalid_argument(std::string(e.what()) +
+                                            " on line " +
+                                            std::to_string(lineno));
+            }
+        } else {
             throw std::invalid_argument("config: unknown option '" + key +
                                         "' on line " +
                                         std::to_string(lineno));
         }
-        it->second(value);
     }
 
     // Keep the address space large enough for the configured ranges.
@@ -201,6 +274,10 @@ parseExplorationConfig(std::istream &in)
         std::max(cfg.env.attackAddrE, cfg.env.victimAddrE) + 2;
     if (cfg.env.cache.addressSpaceSize < needed)
         cfg.env.cache.addressSpaceSize = needed;
+    for (auto &lvl : cfg.env.hierarchy.levels) {
+        if (lvl.cache.addressSpaceSize < needed)
+            lvl.cache.addressSpaceSize = needed;
+    }
     return cfg;
 }
 
@@ -244,7 +321,33 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << (cfg.env.detectionEnable ? "true" : "false") << "\n"
         << "pl_cache_lock_victim = "
         << (cfg.env.plCacheLockVictim ? "true" : "false") << "\n"
-        << "window_size = " << cfg.env.windowSize << "\n"
+        << "window_size = " << cfg.env.windowSize << "\n";
+    if (!cfg.env.hierarchy.levels.empty()) {
+        out << "hierarchy.num_cores = " << cfg.env.hierarchy.numCores
+            << "\n";
+        for (std::size_t k = 0; k < cfg.env.hierarchy.levels.size();
+             ++k) {
+            const HierarchyLevelConfig &lvl = cfg.env.hierarchy.levels[k];
+            const std::string p =
+                "hierarchy.levels[" + std::to_string(k) + "].";
+            out << p << "num_sets = " << lvl.cache.numSets << "\n"
+                << p << "num_ways = " << lvl.cache.numWays << "\n"
+                << p << "rep_policy = " << replPolicyName(lvl.cache.policy)
+                << "\n"
+                << p << "prefetcher = "
+                << prefetcherName(lvl.cache.prefetcher) << "\n"
+                << p << "random_set_mapping = "
+                << (lvl.cache.randomSetMapping ? "true" : "false") << "\n"
+                << p << "address_space = " << lvl.cache.addressSpaceSize
+                << "\n"
+                << p << "seed = " << lvl.cache.seed << "\n"
+                << p << "inclusion = " << inclusionName(lvl.inclusion)
+                << "\n"
+                << p << "shared = " << (lvl.shared ? "true" : "false")
+                << "\n";
+        }
+    }
+    out
         << "multi_secret = "
         << (cfg.env.multiSecret ? "true" : "false") << "\n"
         << "multi_secret_episode_steps = "

@@ -19,14 +19,19 @@ namespace autocat {
 struct EnvConfig
 {
     // ----- cache configs (Table II: "Cache configs in cache simulator")
-    /** Single-level cache configuration (used when !twoLevel). */
+    /**
+     * Single-level cache configuration, used when hierarchy.levels is
+     * empty. Hierarchy scenarios that synthesize their own levels treat
+     * this as the outermost (attacked) level's description.
+     */
     CacheConfig cache;
 
-    /** Use a two-level hierarchy instead of a single cache. */
-    bool twoLevel = false;
-
-    /** Two-level configuration (used when twoLevel). */
-    TwoLevelConfig twoLevelCfg;
+    /**
+     * Multi-level hierarchy description. Leave levels empty for the
+     * classic single cache; a non-empty list builds a CacheHierarchy
+     * (innermost level first — see cache/cache_config.hpp).
+     */
+    HierarchyConfig hierarchy;
 
     // ----- attack & victim program configuration (Table II)
     /** Attack program address range, inclusive. */
@@ -141,7 +146,9 @@ struct EnvConfig
     unsigned
     numBlocks() const
     {
-        return twoLevel ? twoLevelCfg.l2.numBlocks() : cache.numBlocks();
+        return hierarchy.levels.empty()
+                   ? cache.numBlocks()
+                   : hierarchy.levels.back().cache.numBlocks();
     }
 
     /** Resolved window size. */

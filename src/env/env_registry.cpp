@@ -1,5 +1,6 @@
 #include "env/env_registry.hpp"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -15,6 +16,67 @@ struct Registry
     std::mutex mutex;
     std::map<std::string, EnvFactory> factories;
 };
+
+/**
+ * Describes one built-in hierarchy scenario: how deep the synthesized
+ * hierarchy is and how its levels relate (see resolveHierarchy).
+ */
+struct HierarchyShape
+{
+    unsigned depth;
+    InclusionPolicy outerInclusion;
+    bool sharedL1;
+};
+
+/**
+ * Fill in cfg.hierarchy for a hierarchy scenario. A config that already
+ * carries explicit levels (e.g. from hierarchy.levels[N].* config keys)
+ * is trusted as-is; otherwise the levels are synthesized from
+ * cfg.cache, which describes the outermost (attacked) level:
+ *
+ *  - L1: same sets as cfg.cache, direct mapped, no prefetcher/mapping
+ *    tricks (those stay on the attacked level, as in Table IV 16/17)
+ *  - mid level (three_level only): half of cfg.cache's ways, private
+ *  - outermost: cfg.cache itself, shared
+ */
+EnvConfig
+resolveHierarchy(EnvConfig cfg, const HierarchyShape &shape)
+{
+    if (!cfg.hierarchy.levels.empty())
+        return cfg;
+
+    CacheConfig inner = cfg.cache;
+    inner.numWays = 1;
+    inner.prefetcher = PrefetcherKind::None;
+    inner.randomSetMapping = false;
+
+    cfg.hierarchy.numCores = 2;
+    cfg.hierarchy.levels.push_back(
+        {inner, InclusionPolicy::Inclusive, shape.sharedL1});
+    if (shape.depth >= 3) {
+        CacheConfig mid = inner;
+        mid.numWays = std::max(1u, cfg.cache.numWays / 2);
+        cfg.hierarchy.levels.push_back(
+            {mid, InclusionPolicy::Inclusive, /*shared=*/false});
+    }
+    cfg.hierarchy.levels.push_back(
+        {cfg.cache, shape.outerInclusion, /*shared=*/true});
+    return cfg;
+}
+
+EnvFactory
+hierarchyFactory(const HierarchyShape &shape)
+{
+    return [shape](const EnvConfig &cfg,
+                   std::unique_ptr<MemorySystem> memory)
+               -> std::unique_ptr<Environment> {
+        const EnvConfig resolved = resolveHierarchy(cfg, shape);
+        if (!memory)
+            memory = makeMemorySystem(resolved);
+        return std::make_unique<CacheGuessingGame>(resolved,
+                                                   std::move(memory));
+    };
+}
 
 /**
  * The registry singleton. Built-ins are installed on first access so
@@ -33,6 +95,16 @@ registry()
             return std::make_unique<CacheGuessingGame>(cfg,
                                                        std::move(memory));
         };
+        // Hierarchy scenarios: the guessing game over a CacheHierarchy
+        // (Table IV configs 16/17 and the shapes the ROADMAP calls for).
+        init->factories["l1l2_private"] = hierarchyFactory(
+            {2, InclusionPolicy::Inclusive, /*sharedL1=*/false});
+        init->factories["l1l2_shared"] = hierarchyFactory(
+            {2, InclusionPolicy::Inclusive, /*sharedL1=*/true});
+        init->factories["l2_exclusive"] = hierarchyFactory(
+            {2, InclusionPolicy::Exclusive, /*sharedL1=*/false});
+        init->factories["three_level"] = hierarchyFactory(
+            {3, InclusionPolicy::Inclusive, /*sharedL1=*/false});
         return init;
     }();
     return *r;

@@ -9,8 +9,17 @@
  * call site. A scenario is a factory from an EnvConfig (plus an
  * optional externally-built MemorySystem) to an Environment.
  *
- * The built-in scenario is "guessing_game" — the paper's cache
- * guessing game (CacheGuessingGame).
+ * Built-in scenarios:
+ *  - "guessing_game": the paper's cache guessing game over the memory
+ *    system the EnvConfig describes (single cache, or an explicit
+ *    hierarchy when EnvConfig::hierarchy is set)
+ *  - "l1l2_private": private per-core L1s + shared inclusive L2
+ *  - "l1l2_shared":  shared L1 + shared inclusive L2 (SMT-style)
+ *  - "l2_exclusive": private L1s + shared exclusive (victim) L2
+ *  - "three_level":  private L1 + private L2 + shared inclusive L3
+ * The hierarchy scenarios synthesize their levels from EnvConfig::cache
+ * (the attacked outermost level) unless EnvConfig::hierarchy already
+ * lists explicit levels.
  */
 
 #ifndef AUTOCAT_ENV_ENV_REGISTRY_HPP

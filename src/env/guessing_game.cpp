@@ -8,8 +8,8 @@ namespace autocat {
 std::unique_ptr<MemorySystem>
 makeMemorySystem(const EnvConfig &config)
 {
-    if (config.twoLevel)
-        return std::make_unique<TwoLevelMemory>(config.twoLevelCfg);
+    if (!config.hierarchy.levels.empty())
+        return std::make_unique<CacheHierarchy>(config.hierarchy);
     return std::make_unique<SingleLevelMemory>(config.cache);
 }
 

@@ -2,6 +2,18 @@
 
 namespace autocat {
 
+HierarchyConfig
+HardwareTargetPreset::hierarchy(std::uint64_t seed) const
+{
+    CacheConfig cfg;
+    cfg.numSets = 1;  // CacheQuery exposes one set at a time
+    cfg.numWays = ways;
+    cfg.policy = policy;
+    cfg.addressSpaceSize = attackAddrE + 2;
+    cfg.seed = seed;
+    return HierarchyConfig::singleLevel(cfg);
+}
+
 std::vector<HardwareTargetPreset>
 tableIIITargets()
 {

@@ -36,6 +36,14 @@ struct HardwareTargetPreset
     std::uint64_t attackAddrE = 15;  ///< attacker range is [0, attackAddrE]
     double obsNoise = 0.002;   ///< per-access latency misread probability
     double interference = 0.004;  ///< per-step stray-access probability
+
+    /**
+     * Hierarchy description of the exposed level: one single set of
+     * the target cache level, CacheQuery style. The simulated target
+     * (hw/target.hpp) is built from this instead of hand-plumbing its
+     * own cache level.
+     */
+    HierarchyConfig hierarchy(std::uint64_t seed) const;
 };
 
 /** The seven Table III rows. */

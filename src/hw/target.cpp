@@ -2,26 +2,11 @@
 
 namespace autocat {
 
-namespace {
-
-CacheConfig
-presetCacheConfig(const HardwareTargetPreset &preset, std::uint64_t seed)
-{
-    CacheConfig cfg;
-    cfg.numSets = 1;  // CacheQuery exposes one set at a time
-    cfg.numWays = preset.ways;
-    cfg.policy = preset.policy;
-    cfg.addressSpaceSize = preset.attackAddrE + 2;
-    cfg.seed = seed;
-    return cfg;
-}
-
-} // namespace
-
 SimulatedHardwareTarget::SimulatedHardwareTarget(
     const HardwareTargetPreset &preset, std::uint64_t seed)
     : preset_(preset),
-      cache_(presetCacheConfig(preset, seed)),
+      hier_(preset.hierarchy(seed)),
+      addressSpace_(preset.attackAddrE + 2),
       rng_(seed ^ 0x4a7dull)
 {
 }
@@ -31,52 +16,49 @@ SimulatedHardwareTarget::access(std::uint64_t addr, Domain domain)
 {
     // Stray system activity occasionally touches the set first.
     if (rng_.bernoulli(preset_.interference)) {
-        const std::uint64_t stray =
-            rng_.uniformInt(cache_.config().addressSpaceSize);
-        cache_.access(stray, domain);
+        const std::uint64_t stray = rng_.uniformInt(addressSpace_);
+        hier_.access(stray, domain);
     }
 
-    const AccessResult res = cache_.access(addr, domain);
+    MemoryAccessResult out = hier_.access(addr, domain);
 
-    bool observed_hit = res.hit;
-    if (rng_.bernoulli(preset_.obsNoise))
-        observed_hit = !observed_hit;
-
-    MemoryAccessResult out;
-    out.hit = observed_hit;
-    out.hitLevel = observed_hit ? 1 : 0;
-    out.victimMissed = domain == Domain::Victim && !res.hit;
+    // victimMissed stays tied to the true cache state (it feeds
+    // miss-based detection); only the observed latency is noisy.
+    if (rng_.bernoulli(preset_.obsNoise)) {
+        out.hit = !out.hit;
+        out.hitLevel = out.hit ? 1 : 0;
+    }
     return out;
 }
 
 void
 SimulatedHardwareTarget::flush(std::uint64_t addr, Domain domain)
 {
-    cache_.flush(addr, domain);
+    hier_.flush(addr, domain);
 }
 
 bool
 SimulatedHardwareTarget::contains(std::uint64_t addr) const
 {
-    return cache_.contains(addr);
+    return hier_.contains(addr);
 }
 
 void
 SimulatedHardwareTarget::reset()
 {
-    cache_.reset();
+    hier_.reset();
 }
 
 void
 SimulatedHardwareTarget::setEventListener(CacheEventListener listener)
 {
-    cache_.setEventListener(std::move(listener));
+    hier_.setEventListener(std::move(listener));
 }
 
 unsigned
 SimulatedHardwareTarget::numBlocks() const
 {
-    return cache_.numBlocks();
+    return hier_.numBlocks();
 }
 
 } // namespace autocat

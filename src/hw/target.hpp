@@ -3,9 +3,10 @@
  * Simulated black-box hardware target (the CacheQuery substitution).
  *
  * Presents the MemorySystem interface the environment consumes, backed
- * by a single cache set whose replacement policy is configured from a
- * HardwareTargetPreset but never exposed through the interface — the
- * RL agent must adapt to it exactly as it would to real silicon.
+ * by a CacheHierarchy built from the preset's hierarchy description —
+ * a single set of the exposed cache level whose replacement policy is
+ * never revealed through the interface; the RL agent must adapt to it
+ * exactly as it would to real silicon.
  *
  * Two noise processes model real-machine conditions:
  *  - observation noise: with probability obsNoise a latency
@@ -21,7 +22,6 @@
 #include <cstdint>
 #include <memory>
 
-#include "cache/cache.hpp"
 #include "cache/memory_system.hpp"
 #include "hw/machines.hpp"
 #include "util/rng.hpp"
@@ -51,7 +51,8 @@ class SimulatedHardwareTarget : public MemorySystem
 
   private:
     HardwareTargetPreset preset_;
-    Cache cache_;
+    CacheHierarchy hier_;
+    std::uint64_t addressSpace_;
     Rng rng_;
 };
 

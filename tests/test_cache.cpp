@@ -1,7 +1,9 @@
 /**
  * @file
  * Unit tests for CacheSet, Cache, prefetchers, and the memory-system
- * adapters (single-level and two-level inclusive hierarchy).
+ * adapters (single-level and the composable N-level hierarchy):
+ * inclusive back-invalidation, exclusive single-residency, flush
+ * through every level, and the PL-cache uncached-serve path.
  */
 
 #include <gtest/gtest.h>
@@ -42,81 +44,111 @@ dmConfig(unsigned sets)
 
 // ---------------------------------------------------------- CacheSet --
 
+/** A standalone set plus the flat metadata slice backing it. */
+struct TestSet
+{
+    explicit TestSet(unsigned ways, ReplPolicy policy = ReplPolicy::Lru)
+        : repl(policy, 1, ways, nullptr), set(ways, 0)
+    {
+    }
+
+    AccessResult
+    access(std::uint64_t addr, Domain domain)
+    {
+        return set.access(repl, addr, domain);
+    }
+
+    bool lockLine(std::uint64_t addr, Domain domain)
+    {
+        return set.lockLine(repl, addr, domain);
+    }
+
+    bool invalidate(std::uint64_t addr)
+    {
+        return set.invalidate(repl, addr);
+    }
+
+    void reset() { set.reset(repl); }
+
+    ReplacementState repl;
+    CacheSet set;
+};
+
 TEST(CacheSet, MissThenHit)
 {
-    CacheSet set(2, ReplPolicy::Lru, nullptr);
-    EXPECT_FALSE(set.access(5, Domain::Attacker).hit);
-    EXPECT_TRUE(set.access(5, Domain::Attacker).hit);
+    TestSet s(2);
+    EXPECT_FALSE(s.access(5, Domain::Attacker).hit);
+    EXPECT_TRUE(s.access(5, Domain::Attacker).hit);
 }
 
 TEST(CacheSet, FillsInvalidWaysBeforeEvicting)
 {
-    CacheSet set(3, ReplPolicy::Lru, nullptr);
-    EXPECT_FALSE(set.access(1, Domain::Attacker).evicted);
-    EXPECT_FALSE(set.access(2, Domain::Attacker).evicted);
-    EXPECT_FALSE(set.access(3, Domain::Attacker).evicted);
-    const AccessResult r = set.access(4, Domain::Attacker);
+    TestSet s(3);
+    EXPECT_FALSE(s.access(1, Domain::Attacker).evicted);
+    EXPECT_FALSE(s.access(2, Domain::Attacker).evicted);
+    EXPECT_FALSE(s.access(3, Domain::Attacker).evicted);
+    const AccessResult r = s.access(4, Domain::Attacker);
     EXPECT_TRUE(r.evicted);
     EXPECT_EQ(r.evictedAddr, 1u);
 }
 
 TEST(CacheSet, EvictedOwnerIsLastToucher)
 {
-    CacheSet set(1, ReplPolicy::Lru, nullptr);
-    set.access(1, Domain::Victim);
-    const AccessResult r = set.access(2, Domain::Attacker);
+    TestSet s(1);
+    s.access(1, Domain::Victim);
+    const AccessResult r = s.access(2, Domain::Attacker);
     ASSERT_TRUE(r.evicted);
     EXPECT_EQ(r.evictedOwner, Domain::Victim);
 }
 
 TEST(CacheSet, HitTransfersOwnership)
 {
-    CacheSet set(1, ReplPolicy::Lru, nullptr);
-    set.access(1, Domain::Victim);
-    set.access(1, Domain::Attacker);  // hit by the attacker
-    const AccessResult r = set.access(2, Domain::Victim);
+    TestSet s(1);
+    s.access(1, Domain::Victim);
+    s.access(1, Domain::Attacker);  // hit by the attacker
+    const AccessResult r = s.access(2, Domain::Victim);
     ASSERT_TRUE(r.evicted);
     EXPECT_EQ(r.evictedOwner, Domain::Attacker);
 }
 
 TEST(CacheSet, InvalidateRemovesLine)
 {
-    CacheSet set(2, ReplPolicy::Lru, nullptr);
-    set.access(7, Domain::Attacker);
-    EXPECT_TRUE(set.invalidate(7));
-    EXPECT_FALSE(set.contains(7));
-    EXPECT_FALSE(set.invalidate(7));  // already gone
+    TestSet s(2);
+    s.access(7, Domain::Attacker);
+    EXPECT_TRUE(s.invalidate(7));
+    EXPECT_FALSE(s.set.contains(7));
+    EXPECT_FALSE(s.invalidate(7));  // already gone
 }
 
 TEST(CacheSet, LockPreventsEviction)
 {
-    CacheSet set(2, ReplPolicy::Lru, nullptr);
-    ASSERT_TRUE(set.lockLine(0, Domain::Victim));
-    set.access(1, Domain::Attacker);
+    TestSet s(2);
+    ASSERT_TRUE(s.lockLine(0, Domain::Victim));
+    s.access(1, Domain::Attacker);
     // Fill pressure: 0 must survive all of it.
     for (std::uint64_t a = 2; a < 10; ++a)
-        set.access(a, Domain::Attacker);
-    EXPECT_TRUE(set.contains(0));
-    EXPECT_TRUE(set.isLocked(0));
+        s.access(a, Domain::Attacker);
+    EXPECT_TRUE(s.set.contains(0));
+    EXPECT_TRUE(s.set.isLocked(0));
 }
 
 TEST(CacheSet, AllLockedServesUncached)
 {
-    CacheSet set(2, ReplPolicy::Lru, nullptr);
-    set.lockLine(0, Domain::Victim);
-    set.lockLine(1, Domain::Victim);
-    const AccessResult r = set.access(9, Domain::Attacker);
+    TestSet s(2);
+    s.lockLine(0, Domain::Victim);
+    s.lockLine(1, Domain::Victim);
+    const AccessResult r = s.access(9, Domain::Attacker);
     EXPECT_FALSE(r.hit);
     EXPECT_TRUE(r.servedUncached);
-    EXPECT_FALSE(set.contains(9));
+    EXPECT_FALSE(s.set.contains(9));
 }
 
 TEST(CacheSet, UnlockRestoresEvictability)
 {
-    CacheSet set(1, ReplPolicy::Lru, nullptr);
-    set.lockLine(0, Domain::Victim);
-    EXPECT_TRUE(set.unlockLine(0));
-    const AccessResult r = set.access(1, Domain::Attacker);
+    TestSet s(1);
+    s.lockLine(0, Domain::Victim);
+    EXPECT_TRUE(s.set.unlockLine(0));
+    const AccessResult r = s.access(1, Domain::Attacker);
     EXPECT_TRUE(r.evicted);
     EXPECT_EQ(r.evictedAddr, 0u);
 }
@@ -125,28 +157,28 @@ TEST(CacheSet, LockedLineAccessStillUpdatesReplacementState)
 {
     // The PL-cache leak (Section V-D): a hit on a locked line moves
     // the replacement metadata even though the line can't be evicted.
-    CacheSet set(4, ReplPolicy::Lru, nullptr);
-    set.lockLine(0, Domain::Victim);
-    set.access(1, Domain::Attacker);
-    set.access(2, Domain::Attacker);
-    set.access(3, Domain::Attacker);
+    TestSet s(4);
+    s.lockLine(0, Domain::Victim);
+    s.access(1, Domain::Attacker);
+    s.access(2, Domain::Attacker);
+    s.access(3, Domain::Attacker);
     // LRU order: 0 (locked, oldest), 1, 2, 3.
-    set.access(0, Domain::Victim);  // hit on the locked line
+    s.access(0, Domain::Victim);  // hit on the locked line
     // Now 1 is the oldest unlocked line.
-    const AccessResult r = set.access(4, Domain::Attacker);
+    const AccessResult r = s.access(4, Domain::Attacker);
     ASSERT_TRUE(r.evicted);
     EXPECT_EQ(r.evictedAddr, 1u);
 }
 
 TEST(CacheSet, ResetClearsEverything)
 {
-    CacheSet set(2, ReplPolicy::Lru, nullptr);
-    set.lockLine(0, Domain::Victim);
-    set.access(1, Domain::Attacker);
-    set.reset();
-    EXPECT_FALSE(set.contains(0));
-    EXPECT_FALSE(set.contains(1));
-    EXPECT_TRUE(set.residentAddrs().empty());
+    TestSet s(2);
+    s.lockLine(0, Domain::Victim);
+    s.access(1, Domain::Attacker);
+    s.reset();
+    EXPECT_FALSE(s.set.contains(0));
+    EXPECT_FALSE(s.set.contains(1));
+    EXPECT_TRUE(s.set.residentAddrs().empty());
 }
 
 // ------------------------------------------------------------- Cache --
@@ -243,6 +275,18 @@ TEST(Cache, RandomPolicyIsSeedDeterministic)
         EXPECT_EQ(a.contains(addr), b.contains(addr));
 }
 
+TEST(Cache, PolicyStateExposesFlatMetadata)
+{
+    Cache cache(faConfig(3));
+    cache.access(0, Domain::Attacker);
+    cache.access(1, Domain::Attacker);
+    cache.access(2, Domain::Attacker);
+    const auto ages = cache.policyState(0);
+    ASSERT_EQ(ages.size(), 3u);
+    EXPECT_EQ(ages[2], 0u);  // most recent
+    EXPECT_EQ(ages[0], 2u);  // oldest
+}
+
 // ------------------------------------------------------- prefetchers --
 
 TEST(NextLinePrefetcher, PrefetchesNextAddressWithWraparound)
@@ -322,32 +366,52 @@ TEST(SingleLevelMemory, LockInterface)
     EXPECT_TRUE(mem.unlockLine(0));
 }
 
-TwoLevelConfig
-twoLevel()
+// ----------------------------------------------------- CacheHierarchy --
+
+CacheConfig
+levelConfig(unsigned sets, unsigned ways)
 {
-    TwoLevelConfig cfg;
-    cfg.numCores = 2;
-    cfg.l1.numSets = 4;
-    cfg.l1.numWays = 1;
-    cfg.l1.policy = ReplPolicy::Lru;
-    cfg.l1.addressSpaceSize = 32;
-    cfg.l2.numSets = 4;
-    cfg.l2.numWays = 2;
-    cfg.l2.policy = ReplPolicy::Lru;
-    cfg.l2.addressSpaceSize = 32;
+    CacheConfig cfg;
+    cfg.numSets = sets;
+    cfg.numWays = ways;
+    cfg.policy = ReplPolicy::Lru;
+    cfg.addressSpaceSize = 32;
     return cfg;
 }
 
-TEST(TwoLevelMemory, HitLevels)
+/** Private DM L1s (4x1) + shared L2 (4x2) — the old two-level shape. */
+HierarchyConfig
+l1l2(InclusionPolicy l2Inclusion = InclusionPolicy::Inclusive)
 {
-    TwoLevelMemory mem(twoLevel());
+    return HierarchyConfig::twoLevel(levelConfig(4, 1), levelConfig(4, 2),
+                                     l2Inclusion);
+}
+
+/** Private L1 (4x1) + private L2 (4x2) + shared L3 (4x4). */
+HierarchyConfig
+threeLevel()
+{
+    HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cfg.levels.push_back(
+        {levelConfig(4, 1), InclusionPolicy::Inclusive, false});
+    cfg.levels.push_back(
+        {levelConfig(4, 2), InclusionPolicy::Inclusive, false});
+    cfg.levels.push_back(
+        {levelConfig(4, 4), InclusionPolicy::Inclusive, true});
+    return cfg;
+}
+
+TEST(CacheHierarchy, HitLevels)
+{
+    CacheHierarchy mem(l1l2());
     EXPECT_EQ(mem.access(0, Domain::Attacker).hitLevel, 0);  // cold
     EXPECT_EQ(mem.access(0, Domain::Attacker).hitLevel, 1);  // L1 hit
 }
 
-TEST(TwoLevelMemory, L2HitAfterL1Conflict)
+TEST(CacheHierarchy, L2HitAfterL1Conflict)
 {
-    TwoLevelMemory mem(twoLevel());
+    CacheHierarchy mem(l1l2());
     mem.access(0, Domain::Attacker);
     // 4 maps to the same L1 set (4 % 4 == 0) but a different L2 way.
     mem.access(4, Domain::Attacker);
@@ -356,27 +420,27 @@ TEST(TwoLevelMemory, L2HitAfterL1Conflict)
     EXPECT_EQ(r.hitLevel, 2);
 }
 
-TEST(TwoLevelMemory, InclusionBackInvalidatesL1)
+TEST(CacheHierarchy, InclusionBackInvalidatesL1)
 {
-    TwoLevelMemory mem(twoLevel());
+    CacheHierarchy mem(l1l2());
     // Fill L2 set 0 (2 ways) from the attacker core: addrs 0, 4.
     mem.access(0, Domain::Attacker);
     mem.access(4, Domain::Attacker);
     // Victim core access to 8 (set 0) evicts one of them from L2; the
     // evicted line must also leave the attacker's L1 (inclusion).
     mem.access(8, Domain::Victim);
-    const bool l2_has_0 = mem.l2().contains(0);
-    const bool l1_has_0 = mem.l1(0).contains(0);
+    const bool l2_has_0 = mem.level(1).contains(0);
+    const bool l1_has_0 = mem.level(0, 0).contains(0);
     if (!l2_has_0)
         EXPECT_FALSE(l1_has_0) << "inclusion violated";
     // Exactly one of {0, 4} was displaced.
-    EXPECT_NE(mem.l2().contains(0), mem.l2().contains(4));
+    EXPECT_NE(mem.level(1).contains(0), mem.level(1).contains(4));
 }
 
-TEST(TwoLevelMemory, CrossCorePrimeProbeSignal)
+TEST(CacheHierarchy, CrossCorePrimeProbeSignal)
 {
     // The contention mechanism behind Table IV configs 16/17.
-    TwoLevelMemory mem(twoLevel());
+    CacheHierarchy mem(l1l2());
     // Attacker primes L2 set 0 with its two lines.
     mem.access(8, Domain::Attacker);
     mem.access(16, Domain::Attacker);
@@ -389,19 +453,205 @@ TEST(TwoLevelMemory, CrossCorePrimeProbeSignal)
     EXPECT_TRUE(p1.hitLevel == 0 || p2.hitLevel == 0);
 }
 
-TEST(TwoLevelMemory, FlushDropsAllLevels)
+TEST(CacheHierarchy, PrivateInclusiveEvictionStaysOnItsCore)
 {
-    TwoLevelMemory mem(twoLevel());
+    // A PRIVATE inclusive level's eviction back-invalidates only its
+    // own core's inner caches: attacker-private cache pressure must
+    // never evict the victim's private copies (that channel does not
+    // exist in hardware).
+    HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cfg.levels.push_back(
+        {levelConfig(4, 1), InclusionPolicy::Inclusive, false});
+    cfg.levels.push_back(
+        {levelConfig(4, 2), InclusionPolicy::Inclusive, false});
+    CacheHierarchy mem(cfg);
+
+    mem.access(0, Domain::Victim);  // victim path holds 0 at L1 and L2
+    mem.access(0, Domain::Attacker);
+    mem.access(4, Domain::Attacker);
+    mem.access(8, Domain::Attacker);  // evicts 0 from the attacker's L2
+
+    EXPECT_FALSE(mem.level(1, 0).contains(0));  // attacker L2 dropped it
+    EXPECT_FALSE(mem.level(0, 0).contains(0));  // and its L1 copy
+    EXPECT_TRUE(mem.level(1, 1).contains(0));   // victim path untouched
+    EXPECT_TRUE(mem.level(0, 1).contains(0));
+    EXPECT_EQ(mem.access(0, Domain::Victim).hitLevel, 1);
+}
+
+TEST(CacheHierarchy, LockInstallEvictionKeepsInclusion)
+{
+    // Locking installs like any other fill: when the L2 lock-install
+    // evicts a line, that line's inner copies must be back-invalidated
+    // or the inclusion invariant silently breaks.
+    CacheHierarchy mem(l1l2());
+    mem.access(0, Domain::Victim);    // victim L1 and shared L2 hold 0
+    mem.access(4, Domain::Attacker);  // L2 set 0 now {0, 4} (full)
+
+    // Locks along core 0; the L2 install of 8 evicts 0 (LRU).
+    mem.lockLine(8, Domain::Attacker);
+    ASSERT_FALSE(mem.level(1).contains(0));
+    EXPECT_FALSE(mem.level(0, 1).contains(0))
+        << "inner copy of the lock-install victim survived";
+}
+
+TEST(CacheHierarchy, ExclusiveHitStillSpillsTheInFlightVictim)
+{
+    // A hit at an exclusive level ends the demand walk, but a victim
+    // evicted by that level's absorb must still spill to the next
+    // exclusive level instead of vanishing.
+    HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cfg.levels.push_back(
+        {levelConfig(1, 2), InclusionPolicy::Inclusive, false});
+    cfg.levels.push_back(
+        {levelConfig(4, 2), InclusionPolicy::Exclusive, true});
+    cfg.levels.push_back(
+        {levelConfig(4, 2), InclusionPolicy::Exclusive, true});
+    CacheHierarchy mem(cfg);
+
+    // Churn that ends with an L2 hit on 1 whose absorb (of L1 victim
+    // 16, L2 set 0 full) evicts 8 from L2 — 8 must land in L3.
+    for (std::uint64_t a : {0, 1, 4, 8, 12, 16})
+        mem.access(a, Domain::Attacker);
+    mem.access(0, Domain::Attacker);
+    const MemoryAccessResult r = mem.access(1, Domain::Attacker);
+    EXPECT_EQ(r.hitLevel, 2);
+    EXPECT_TRUE(mem.level(2).contains(8))
+        << "victim of the exclusive-hit absorb was dropped";
+
+    // Conservation: every touched line is still resident somewhere,
+    // and on exactly one level of the (single-core) path.
+    for (std::uint64_t a : {0, 1, 4, 8, 12, 16}) {
+        int copies = 0;
+        copies += mem.level(0, 0).contains(a) ? 1 : 0;
+        copies += mem.level(1).contains(a) ? 1 : 0;
+        copies += mem.level(2).contains(a) ? 1 : 0;
+        EXPECT_EQ(copies, 1) << "address " << a;
+    }
+}
+
+TEST(CacheHierarchy, FlushDropsAllLevels)
+{
+    CacheHierarchy mem(l1l2());
     mem.access(0, Domain::Attacker);
     mem.flush(0, Domain::Attacker);
     EXPECT_FALSE(mem.contains(0));
-    EXPECT_FALSE(mem.l1(0).contains(0));
+    EXPECT_FALSE(mem.level(0, 0).contains(0));
 }
 
-TEST(TwoLevelMemory, NumBlocksIsSharedLevel)
+TEST(CacheHierarchy, FlushReachesEveryLevelOfThreeLevelHierarchy)
 {
-    TwoLevelMemory mem(twoLevel());
+    CacheHierarchy mem(threeLevel());
+    ASSERT_EQ(mem.depth(), 3u);
+    mem.access(0, Domain::Attacker);
+    EXPECT_TRUE(mem.level(0, 0).contains(0));
+    EXPECT_TRUE(mem.level(1, 0).contains(0));
+    EXPECT_TRUE(mem.level(2).contains(0));
+
+    mem.flush(0, Domain::Attacker);
+    EXPECT_FALSE(mem.level(0, 0).contains(0));
+    EXPECT_FALSE(mem.level(1, 0).contains(0));
+    EXPECT_FALSE(mem.level(2).contains(0));
+    EXPECT_FALSE(mem.contains(0));
+}
+
+TEST(CacheHierarchy, ThreeLevelHitLevels)
+{
+    CacheHierarchy mem(threeLevel());
+    mem.access(0, Domain::Attacker);
+    // Conflict 0 out of the DM L1 (4 % 4 == 0) and the 2-way L2
+    // (also set 0; fills way 2 of L3 set 0).
+    mem.access(4, Domain::Attacker);
+    mem.access(8, Domain::Attacker);  // evicts 0 from L2 (LRU)
+    const MemoryAccessResult r = mem.access(0, Domain::Attacker);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.hitLevel, 3);
+}
+
+TEST(CacheHierarchy, ExclusiveL2SingleResidency)
+{
+    CacheHierarchy mem(l1l2(InclusionPolicy::Exclusive));
+    // Cold miss: installs in L1 only — an exclusive L2 has no demand
+    // fill path.
+    mem.access(0, Domain::Attacker);
+    EXPECT_TRUE(mem.level(0, 0).contains(0));
+    EXPECT_FALSE(mem.level(1).contains(0));
+
+    // Conflicting access evicts 0 from the DM L1; the victim line must
+    // move into the exclusive L2 (and only there).
+    mem.access(4, Domain::Attacker);
+    EXPECT_FALSE(mem.level(0, 0).contains(0));
+    EXPECT_TRUE(mem.level(1).contains(0));
+    EXPECT_TRUE(mem.level(0, 0).contains(4));
+    EXPECT_FALSE(mem.level(1).contains(4));
+
+    // Re-access 0: L2 hit; the line moves back inward and leaves L2.
+    const MemoryAccessResult r = mem.access(0, Domain::Attacker);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.hitLevel, 2);
+    EXPECT_TRUE(mem.level(0, 0).contains(0));
+    EXPECT_FALSE(mem.level(1).contains(0));
+    // ... and 4, evicted by 0's refill, now lives in L2 only.
+    EXPECT_FALSE(mem.level(0, 0).contains(4));
+    EXPECT_TRUE(mem.level(1).contains(4));
+}
+
+TEST(CacheHierarchy, PlCacheAllWaysLockedServesUncached)
+{
+    // Lock every way of L1 set 0 and both L2 ways of set 0 along the
+    // victim-core path; a conflicting access must then be served
+    // uncached end to end: no hit, no install, no state perturbation.
+    // (2-way L1 so the set can hold both locked lines.)
+    CacheHierarchy mem(HierarchyConfig::twoLevel(levelConfig(4, 2),
+                                                 levelConfig(4, 2)));
+    ASSERT_TRUE(mem.lockLine(0, Domain::Victim));
+    ASSERT_TRUE(mem.lockLine(4, Domain::Victim));
+
+    const MemoryAccessResult r = mem.access(8, Domain::Victim);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.hitLevel, 0);
+    EXPECT_TRUE(r.servedUncached);
+    // An uncached serve is not a refill from memory: miss-based
+    // detection must not count it.
+    EXPECT_FALSE(r.victimMissed);
+    EXPECT_FALSE(mem.contains(8));
+
+    // The locked lines are untouched and still serve hits.
+    EXPECT_EQ(mem.access(0, Domain::Victim).hitLevel, 1);
+    EXPECT_TRUE(mem.unlockLine(0));
+}
+
+TEST(CacheHierarchy, VictimMissedConsistentAcrossDepths)
+{
+    // Depth 1 behaves exactly like SingleLevelMemory.
+    CacheHierarchy d1(HierarchyConfig::singleLevel(levelConfig(1, 2)));
+    EXPECT_TRUE(d1.access(0, Domain::Victim).victimMissed);
+    EXPECT_FALSE(d1.access(0, Domain::Victim).victimMissed);
+    EXPECT_FALSE(d1.access(1, Domain::Attacker).victimMissed);
+
+    // Depth 2: a victim miss to memory sets the flag; an L2 hit does
+    // not.
+    CacheHierarchy d2(l1l2());
+    EXPECT_TRUE(d2.access(0, Domain::Victim).victimMissed);
+    d2.access(4, Domain::Victim);             // conflicts 0 out of L1
+    EXPECT_FALSE(d2.access(0, Domain::Victim).victimMissed);  // L2 hit
+}
+
+TEST(CacheHierarchy, NumBlocksIsOutermostLevel)
+{
+    CacheHierarchy mem(l1l2());
     EXPECT_EQ(mem.numBlocks(), 8u);
+}
+
+TEST(CacheHierarchy, RejectsDegenerateConfigs)
+{
+    HierarchyConfig empty;
+    EXPECT_THROW(CacheHierarchy{empty}, std::invalid_argument);
+
+    HierarchyConfig one_core = l1l2();
+    one_core.numCores = 1;  // private L1s need a core per domain
+    EXPECT_THROW(CacheHierarchy{one_core}, std::invalid_argument);
 }
 
 } // namespace

@@ -153,5 +153,101 @@ TEST(ConfigParser, LoadMissingFileThrows)
                  std::runtime_error);
 }
 
+TEST(ConfigParser, ParsesHierarchyLevels)
+{
+    const ExplorationConfig cfg = parseExplorationConfig(std::string(R"(
+        scenario = guessing_game
+        hierarchy.num_cores = 2
+        hierarchy.levels[0].num_sets = 4
+        hierarchy.levels[0].num_ways = 1
+        hierarchy.levels[0].rep_policy = lru
+        hierarchy.levels[0].shared = false
+        hierarchy.levels[1].num_sets = 4
+        hierarchy.levels[1].num_ways = 2
+        hierarchy.levels[1].rep_policy = rrip
+        hierarchy.levels[1].inclusion = exclusive
+        hierarchy.levels[1].address_space = 48
+        hierarchy.levels[1].shared = true
+    )"));
+
+    const HierarchyConfig &h = cfg.env.hierarchy;
+    ASSERT_EQ(h.depth(), 2u);
+    EXPECT_EQ(h.numCores, 2u);
+    EXPECT_EQ(h.levels[0].cache.numSets, 4u);
+    EXPECT_EQ(h.levels[0].cache.numWays, 1u);
+    EXPECT_FALSE(h.levels[0].shared);
+    EXPECT_EQ(h.levels[1].cache.numWays, 2u);
+    EXPECT_EQ(h.levels[1].cache.policy, ReplPolicy::Rrip);
+    EXPECT_EQ(h.levels[1].inclusion, InclusionPolicy::Exclusive);
+    EXPECT_EQ(h.levels[1].cache.addressSpaceSize, 48u);
+    EXPECT_TRUE(h.levels[1].shared);
+}
+
+TEST(ConfigParser, HierarchyLevelsGrowOnDemandInAnyOrder)
+{
+    const ExplorationConfig cfg = parseExplorationConfig(std::string(
+        "hierarchy.levels[2].num_ways = 8\n"
+        "hierarchy.levels[0].num_ways = 1\n"));
+    ASSERT_EQ(cfg.env.hierarchy.depth(), 3u);
+    EXPECT_EQ(cfg.env.hierarchy.levels[0].cache.numWays, 1u);
+    EXPECT_EQ(cfg.env.hierarchy.levels[2].cache.numWays, 8u);
+}
+
+TEST(ConfigParser, HierarchyAddressSpaceAutoWidens)
+{
+    const ExplorationConfig cfg = parseExplorationConfig(std::string(
+        "attack_addr_e = 100\nhierarchy.levels[0].address_space = 8\n"));
+    EXPECT_GE(cfg.env.hierarchy.levels[0].cache.addressSpaceSize, 102u);
+}
+
+TEST(ConfigParser, BadHierarchyKeysFailLoudly)
+{
+    EXPECT_THROW(parseExplorationConfig(
+                     std::string("hierarchy.levels[0].bogus = 1")),
+                 std::invalid_argument);
+    EXPECT_THROW(parseExplorationConfig(
+                     std::string("hierarchy.levels[99].num_ways = 1")),
+                 std::invalid_argument);
+    EXPECT_THROW(parseExplorationConfig(
+                     std::string("hierarchy.bogus = 1")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(std::string(
+            "hierarchy.levels[0].inclusion = sometimes")),
+        std::invalid_argument);
+}
+
+TEST(ConfigParser, RenderRoundTripsHierarchy)
+{
+    ExplorationConfig original;
+    original.env.hierarchy.numCores = 2;
+    CacheConfig l1;
+    l1.numSets = 4;
+    l1.numWays = 1;
+    l1.randomSetMapping = true;
+    l1.seed = 77;
+    CacheConfig l2;
+    l2.numSets = 4;
+    l2.numWays = 2;
+    l2.policy = ReplPolicy::TreePlru;
+    l2.prefetcher = PrefetcherKind::Stream;
+    original.env.hierarchy =
+        HierarchyConfig::twoLevel(l1, l2, InclusionPolicy::Exclusive);
+
+    const std::string text = renderExplorationConfig(original);
+    const ExplorationConfig parsed = parseExplorationConfig(text);
+    ASSERT_EQ(parsed.env.hierarchy.depth(), 2u);
+    EXPECT_FALSE(parsed.env.hierarchy.levels[0].shared);
+    EXPECT_TRUE(parsed.env.hierarchy.levels[0].cache.randomSetMapping);
+    EXPECT_EQ(parsed.env.hierarchy.levels[0].cache.seed, 77u);
+    EXPECT_EQ(parsed.env.hierarchy.levels[1].cache.policy,
+              ReplPolicy::TreePlru);
+    EXPECT_EQ(parsed.env.hierarchy.levels[1].cache.prefetcher,
+              PrefetcherKind::Stream);
+    EXPECT_EQ(parsed.env.hierarchy.levels[1].inclusion,
+              InclusionPolicy::Exclusive);
+    EXPECT_TRUE(parsed.env.hierarchy.levels[1].shared);
+}
+
 } // namespace
 } // namespace autocat

@@ -72,6 +72,24 @@ TEST(Explore, UnknownScenarioIsRejected)
     EXPECT_THROW(explore(cfg), std::out_of_range);
 }
 
+TEST(Explore, HierarchyScenariosRunUnderExplore)
+{
+    // Every hierarchy scenario must train end to end through the
+    // standard pipeline (one epoch suffices — this is a smoke test of
+    // construction + stepping + evaluation, not convergence).
+    for (const char *scenario :
+         {"l1l2_private", "l1l2_shared", "l2_exclusive", "three_level"}) {
+        ExplorationConfig cfg = tinyConfig();
+        cfg.scenario = scenario;
+        cfg.ppo.stepsPerEpoch = 400;
+        cfg.maxEpochs = 1;
+        cfg.evalEpisodes = 10;
+        const ExplorationResult result = explore(cfg);
+        EXPECT_GT(result.envSteps, 0) << scenario;
+        EXPECT_GE(result.finalAccuracy, 0.0) << scenario;
+    }
+}
+
 TEST(Explore, VersionStringMentionsLibrary)
 {
     EXPECT_NE(std::string(versionString()).find("autocat"),

@@ -1,7 +1,8 @@
 /**
  * @file
- * Unit and property tests for the replacement policies: exact LRU
- * semantics, PLRU tree behavior, SRRIP aging, random-policy bounds,
+ * Unit and property tests for the replacement policies over the
+ * flattened ReplacementState: exact LRU semantics, PLRU tree behavior,
+ * SRRIP aging, random-policy bounds, per-set metadata independence,
  * and cross-policy invariants (victim validity, lock respect).
  */
 
@@ -15,16 +16,30 @@
 namespace autocat {
 namespace {
 
-std::vector<bool>
+std::vector<std::uint8_t>
 allTrue(unsigned n)
 {
-    return std::vector<bool>(n, true);
+    return std::vector<std::uint8_t>(n, 1);
 }
 
-std::vector<bool>
+std::vector<std::uint8_t>
 allFalse(unsigned n)
 {
-    return std::vector<bool>(n, false);
+    return std::vector<std::uint8_t>(n, 0);
+}
+
+/** One-set state of @p ways ways (the common test shape). */
+ReplacementState
+oneSet(ReplPolicy policy, unsigned ways, Rng *rng = nullptr)
+{
+    return ReplacementState(policy, 1, ways, rng);
+}
+
+int
+victim(ReplacementState &state, const std::vector<std::uint8_t> &valid,
+       const std::vector<std::uint8_t> &locked, std::uint64_t set = 0)
+{
+    return state.victimWay(set, valid.data(), locked.data());
 }
 
 TEST(ReplPolicyNames, RoundTrip)
@@ -38,173 +53,186 @@ TEST(ReplPolicyNames, RoundTrip)
 
 TEST(Lru, EvictsLeastRecentlyUsed)
 {
-    LruReplacement lru(4);
+    ReplacementState lru = oneSet(ReplPolicy::Lru, 4);
     for (unsigned w = 0; w < 4; ++w)
-        lru.onFill(w);
+        lru.onFill(0, w);
     // Way 0 is oldest.
-    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 0);
-    lru.onHit(0);  // promote 0; now way 1 is oldest
-    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 1);
+    EXPECT_EQ(victim(lru, allTrue(4), allFalse(4)), 0);
+    lru.onHit(0, 0);  // promote 0; now way 1 is oldest
+    EXPECT_EQ(victim(lru, allTrue(4), allFalse(4)), 1);
 }
 
 TEST(Lru, HitPromotionIsExact)
 {
-    LruReplacement lru(4);
+    ReplacementState lru = oneSet(ReplPolicy::Lru, 4);
     for (unsigned w = 0; w < 4; ++w)
-        lru.onFill(w);
-    lru.onHit(1);
-    lru.onHit(0);
+        lru.onFill(0, w);
+    lru.onHit(0, 1);
+    lru.onHit(0, 0);
     // Ages oldest -> newest now: 2, 3, 1, 0.
-    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 2);
-    lru.onHit(2);
-    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 3);
+    EXPECT_EQ(victim(lru, allTrue(4), allFalse(4)), 2);
+    lru.onHit(0, 2);
+    EXPECT_EQ(victim(lru, allTrue(4), allFalse(4)), 3);
 }
 
 TEST(Lru, RespectsLocks)
 {
-    LruReplacement lru(4);
+    ReplacementState lru = oneSet(ReplPolicy::Lru, 4);
     for (unsigned w = 0; w < 4; ++w)
-        lru.onFill(w);
-    std::vector<bool> locked = allFalse(4);
-    locked[0] = true;  // the LRU way is locked
-    EXPECT_EQ(lru.victimWay(allTrue(4), locked), 1);
+        lru.onFill(0, w);
+    auto locked = allFalse(4);
+    locked[0] = 1;  // the LRU way is locked
+    EXPECT_EQ(victim(lru, allTrue(4), locked), 1);
 }
 
 TEST(Lru, AllLockedReturnsMinusOne)
 {
-    LruReplacement lru(2);
-    lru.onFill(0);
-    lru.onFill(1);
-    EXPECT_EQ(lru.victimWay(allTrue(2), allTrue(2)), -1);
+    ReplacementState lru = oneSet(ReplPolicy::Lru, 2);
+    lru.onFill(0, 0);
+    lru.onFill(0, 1);
+    EXPECT_EQ(victim(lru, allTrue(2), allTrue(2)), -1);
 }
 
 TEST(Lru, InvalidateMakesWayOldest)
 {
-    LruReplacement lru(4);
+    ReplacementState lru = oneSet(ReplPolicy::Lru, 4);
     for (unsigned w = 0; w < 4; ++w)
-        lru.onFill(w);
-    lru.onInvalidate(3);  // newest way invalidated
+        lru.onFill(0, w);
+    lru.onInvalidate(0, 3);  // newest way invalidated
     // Among the remaining, way 3 should be preferred victim.
-    EXPECT_EQ(lru.victimWay(allTrue(4), allFalse(4)), 3);
+    EXPECT_EQ(victim(lru, allTrue(4), allFalse(4)), 3);
 }
 
 TEST(Lru, SnapshotReflectsAges)
 {
-    LruReplacement lru(3);
-    lru.onFill(0);
-    lru.onFill(1);
-    lru.onFill(2);
-    const auto ages = lru.stateSnapshot();
+    ReplacementState lru = oneSet(ReplPolicy::Lru, 3);
+    lru.onFill(0, 0);
+    lru.onFill(0, 1);
+    lru.onFill(0, 2);
+    const auto ages = lru.stateSnapshot(0);
     EXPECT_EQ(ages[2], 0u);  // most recent
     EXPECT_EQ(ages[0], 2u);  // oldest
 }
 
+TEST(Lru, SetsAgeIndependently)
+{
+    // Metadata is one flat array, but each set's slice is isolated.
+    ReplacementState lru(ReplPolicy::Lru, 2, 4, nullptr);
+    for (unsigned w = 0; w < 4; ++w) {
+        lru.onFill(0, w);
+        lru.onFill(1, w);
+    }
+    lru.onHit(0, 0);  // promotes way 0 of set 0 only
+    EXPECT_EQ(victim(lru, allTrue(4), allFalse(4), 0), 1);
+    EXPECT_EQ(victim(lru, allTrue(4), allFalse(4), 1), 0);
+}
+
 TEST(Plru, RequiresPowerOfTwo)
 {
-    EXPECT_THROW(TreePlruReplacement(3), std::invalid_argument);
-    EXPECT_NO_THROW(TreePlruReplacement(8));
+    EXPECT_THROW(oneSet(ReplPolicy::TreePlru, 3), std::invalid_argument);
+    EXPECT_NO_THROW(oneSet(ReplPolicy::TreePlru, 8));
 }
 
 TEST(Plru, VictimIsNeverTheJustTouchedWay)
 {
-    TreePlruReplacement plru(8);
+    ReplacementState plru = oneSet(ReplPolicy::TreePlru, 8);
     for (unsigned w = 0; w < 8; ++w)
-        plru.onFill(w);
+        plru.onFill(0, w);
     for (unsigned w = 0; w < 8; ++w) {
-        plru.onHit(w);
-        EXPECT_NE(plru.victimWay(allTrue(8), allFalse(8)),
+        plru.onHit(0, w);
+        EXPECT_NE(victim(plru, allTrue(8), allFalse(8)),
                   static_cast<int>(w));
     }
 }
 
 TEST(Plru, FillsInSequenceThenEvictsFirst)
 {
-    TreePlruReplacement plru(4);
+    ReplacementState plru = oneSet(ReplPolicy::TreePlru, 4);
     for (unsigned w = 0; w < 4; ++w)
-        plru.onFill(w);
+        plru.onFill(0, w);
     // After touching 0..3 in order, the tree points back at way 0.
-    EXPECT_EQ(plru.victimWay(allTrue(4), allFalse(4)), 0);
+    EXPECT_EQ(victim(plru, allTrue(4), allFalse(4)), 0);
 }
 
 TEST(Plru, ApproximatesLruOnSequentialTouch)
 {
     // Tree-PLRU and true LRU agree on a strict sequential pattern.
-    TreePlruReplacement plru(8);
-    LruReplacement lru(8);
+    ReplacementState plru = oneSet(ReplPolicy::TreePlru, 8);
+    ReplacementState lru = oneSet(ReplPolicy::Lru, 8);
     for (unsigned w = 0; w < 8; ++w) {
-        plru.onFill(w);
-        lru.onFill(w);
+        plru.onFill(0, w);
+        lru.onFill(0, w);
     }
-    EXPECT_EQ(plru.victimWay(allTrue(8), allFalse(8)),
-              lru.victimWay(allTrue(8), allFalse(8)));
+    EXPECT_EQ(victim(plru, allTrue(8), allFalse(8)),
+              victim(lru, allTrue(8), allFalse(8)));
 }
 
 TEST(Plru, LockedVictimFallsBackToUnlockedWay)
 {
-    TreePlruReplacement plru(4);
+    ReplacementState plru = oneSet(ReplPolicy::TreePlru, 4);
     for (unsigned w = 0; w < 4; ++w)
-        plru.onFill(w);
-    std::vector<bool> locked = allFalse(4);
-    locked[0] = true;
-    const int v = plru.victimWay(allTrue(4), locked);
+        plru.onFill(0, w);
+    auto locked = allFalse(4);
+    locked[0] = 1;
+    const int v = victim(plru, allTrue(4), locked);
     EXPECT_GE(v, 1);
     EXPECT_LE(v, 3);
 }
 
 TEST(Rrip, InsertAtTwoPromoteToZero)
 {
-    RripReplacement rrip(4);
-    rrip.onFill(0);
-    EXPECT_EQ(rrip.stateSnapshot()[0], RripReplacement::insertRrpv);
-    rrip.onHit(0);
-    EXPECT_EQ(rrip.stateSnapshot()[0], 0u);
+    ReplacementState rrip = oneSet(ReplPolicy::Rrip, 4);
+    rrip.onFill(0, 0);
+    EXPECT_EQ(rrip.stateSnapshot(0)[0], ReplacementState::rripInsert);
+    rrip.onHit(0, 0);
+    EXPECT_EQ(rrip.stateSnapshot(0)[0], 0u);
 }
 
 TEST(Rrip, EvictsHighestRrpvAfterAging)
 {
-    RripReplacement rrip(4);
+    ReplacementState rrip = oneSet(ReplPolicy::Rrip, 4);
     for (unsigned w = 0; w < 4; ++w)
-        rrip.onFill(w);  // all at RRPV=2
-    rrip.onHit(1);       // way 1 at RRPV=0
-    const int victim = rrip.victimWay(allTrue(4), allFalse(4));
-    EXPECT_NE(victim, 1);
+        rrip.onFill(0, w);  // all at RRPV=2
+    rrip.onHit(0, 1);       // way 1 at RRPV=0
+    const int v = victim(rrip, allTrue(4), allFalse(4));
+    EXPECT_NE(v, 1);
     // Aging happened: some way must now be at max.
-    EXPECT_EQ(rrip.stateSnapshot()[victim], RripReplacement::maxRrpv);
+    EXPECT_EQ(rrip.stateSnapshot(0)[v], ReplacementState::rripMax);
 }
 
 TEST(Rrip, HitProtectsAgainstOneEvictionRound)
 {
-    RripReplacement rrip(2);
-    rrip.onFill(0);
-    rrip.onFill(1);
-    rrip.onHit(0);
-    EXPECT_EQ(rrip.victimWay(allTrue(2), allFalse(2)), 1);
+    ReplacementState rrip = oneSet(ReplPolicy::Rrip, 2);
+    rrip.onFill(0, 0);
+    rrip.onFill(0, 1);
+    rrip.onHit(0, 0);
+    EXPECT_EQ(victim(rrip, allTrue(2), allFalse(2)), 1);
 }
 
 TEST(Rrip, InvalidateSetsMaxRrpv)
 {
-    RripReplacement rrip(2);
-    rrip.onFill(0);
-    rrip.onFill(1);
-    rrip.onInvalidate(0);
-    EXPECT_EQ(rrip.stateSnapshot()[0], RripReplacement::maxRrpv);
+    ReplacementState rrip = oneSet(ReplPolicy::Rrip, 2);
+    rrip.onFill(0, 0);
+    rrip.onFill(0, 1);
+    rrip.onInvalidate(0, 0);
+    EXPECT_EQ(rrip.stateSnapshot(0)[0], ReplacementState::rripMax);
 }
 
 TEST(RandomPolicy, RequiresRng)
 {
-    EXPECT_THROW(makeReplacementPolicy(ReplPolicy::Random, 4, nullptr),
+    EXPECT_THROW(oneSet(ReplPolicy::Random, 4, nullptr),
                  std::invalid_argument);
 }
 
 TEST(RandomPolicy, VictimIsAlwaysValidUnlocked)
 {
     Rng rng(5);
-    RandomReplacement rp(8, &rng);
-    std::vector<bool> valid = allTrue(8);
-    std::vector<bool> locked = allFalse(8);
-    locked[2] = locked[5] = true;
+    ReplacementState rp = oneSet(ReplPolicy::Random, 8, &rng);
+    const auto valid = allTrue(8);
+    auto locked = allFalse(8);
+    locked[2] = locked[5] = 1;
     for (int i = 0; i < 500; ++i) {
-        const int v = rp.victimWay(valid, locked);
+        const int v = victim(rp, valid, locked);
         ASSERT_GE(v, 0);
         EXPECT_TRUE(valid[v]);
         EXPECT_FALSE(locked[v]);
@@ -214,11 +242,18 @@ TEST(RandomPolicy, VictimIsAlwaysValidUnlocked)
 TEST(RandomPolicy, CoversAllCandidates)
 {
     Rng rng(6);
-    RandomReplacement rp(4, &rng);
+    ReplacementState rp = oneSet(ReplPolicy::Random, 4, &rng);
     std::set<int> seen;
     for (int i = 0; i < 400; ++i)
-        seen.insert(rp.victimWay(allTrue(4), allFalse(4)));
+        seen.insert(victim(rp, allTrue(4), allFalse(4)));
     EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ReplacementState, RejectsOversizedAssociativity)
+{
+    // Metadata entries are 8-bit; the constructor enforces the bound.
+    EXPECT_THROW(ReplacementState(ReplPolicy::Lru, 1, 300, nullptr),
+                 std::invalid_argument);
 }
 
 // Cross-policy invariants.
@@ -230,19 +265,19 @@ class PolicyInvariants : public ::testing::TestWithParam<ReplPolicy>
 
 TEST_P(PolicyInvariants, VictimAlwaysValidAndUnlocked)
 {
-    auto policy = makeReplacementPolicy(GetParam(), 8, &rng_);
+    ReplacementState state = oneSet(GetParam(), 8, &rng_);
     for (unsigned w = 0; w < 8; ++w)
-        policy->onFill(w);
+        state.onFill(0, w);
 
     Rng stim(17);
-    std::vector<bool> valid = allTrue(8);
+    const auto valid = allTrue(8);
     for (int step = 0; step < 2000; ++step) {
-        std::vector<bool> locked(8, false);
+        std::vector<std::uint8_t> locked(8, 0);
         const unsigned nlock = stim.uniformInt(8);
         for (unsigned i = 0; i < nlock; ++i)
-            locked[stim.uniformInt(8)] = true;
+            locked[stim.uniformInt(8)] = 1;
 
-        const int v = policy->victimWay(valid, locked);
+        const int v = victim(state, valid, locked);
         bool any_unlocked = false;
         for (unsigned w = 0; w < 8; ++w)
             any_unlocked |= !locked[w];
@@ -255,25 +290,25 @@ TEST_P(PolicyInvariants, VictimAlwaysValidAndUnlocked)
 
         // Random touch keeps the metadata churning.
         if (stim.bernoulli(0.5))
-            policy->onHit(stim.uniformInt(8));
+            state.onHit(0, stim.uniformInt(8));
         else
-            policy->onFill(stim.uniformInt(8));
+            state.onFill(0, stim.uniformInt(8));
     }
 }
 
 TEST_P(PolicyInvariants, ResetIsReproducible)
 {
-    auto p1 = makeReplacementPolicy(GetParam(), 4, &rng_);
-    auto p2 = makeReplacementPolicy(GetParam(), 4, &rng_);
+    ReplacementState s1 = oneSet(GetParam(), 4, &rng_);
+    ReplacementState s2 = oneSet(GetParam(), 4, &rng_);
     for (unsigned w = 0; w < 4; ++w) {
-        p1->onFill(w);
-        p2->onFill(w);
+        s1.onFill(0, w);
+        s2.onFill(0, w);
     }
-    p1->onHit(2);
-    p1->reset();
+    s1.onHit(0, 2);
+    s1.reset();
     for (unsigned w = 0; w < 4; ++w)
-        p1->onFill(w);
-    EXPECT_EQ(p1->stateSnapshot(), p2->stateSnapshot());
+        s1.onFill(0, w);
+    EXPECT_EQ(s1.stateSnapshot(0), s2.stateSnapshot(0));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,

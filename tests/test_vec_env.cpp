@@ -264,6 +264,75 @@ TEST(Registry, UnknownScenarioThrows)
                  std::out_of_range);
 }
 
+TEST(Registry, HierarchyScenariosAreRegistered)
+{
+    for (const char *name :
+         {"l1l2_private", "l1l2_shared", "l2_exclusive", "three_level"}) {
+        EXPECT_TRUE(hasScenario(name)) << name;
+    }
+}
+
+TEST(Registry, HierarchyScenariosBuildHierarchyBackedGames)
+{
+    const struct
+    {
+        const char *name;
+        unsigned depth;
+        InclusionPolicy outer;
+        bool sharedL1;
+    } expected[] = {
+        {"l1l2_private", 2, InclusionPolicy::Inclusive, false},
+        {"l1l2_shared", 2, InclusionPolicy::Inclusive, true},
+        {"l2_exclusive", 2, InclusionPolicy::Exclusive, false},
+        {"three_level", 3, InclusionPolicy::Inclusive, false},
+    };
+
+    for (const auto &e : expected) {
+        auto env = makeEnv(e.name, tinyEnvConfig());
+        auto *game = dynamic_cast<CacheGuessingGame *>(env.get());
+        ASSERT_NE(game, nullptr) << e.name;
+        auto *hier = dynamic_cast<CacheHierarchy *>(&game->memory());
+        ASSERT_NE(hier, nullptr) << e.name;
+        EXPECT_EQ(hier->depth(), e.depth) << e.name;
+        EXPECT_EQ(hier->config().levels.back().inclusion, e.outer)
+            << e.name;
+        EXPECT_EQ(hier->config().levels.front().shared, e.sharedL1)
+            << e.name;
+        // The outermost (attacked) level is the EnvConfig cache, so
+        // window sizing keys off the same block count.
+        EXPECT_EQ(hier->numBlocks(), tinyEnvConfig().cache.numBlocks())
+            << e.name;
+    }
+}
+
+TEST(Registry, HierarchyScenarioRespectsExplicitLevels)
+{
+    EnvConfig cfg = tinyEnvConfig();
+    CacheConfig lvl;
+    lvl.numSets = 2;
+    lvl.numWays = 2;
+    lvl.addressSpaceSize = 16;
+    cfg.hierarchy = HierarchyConfig::twoLevel(lvl, lvl,
+                                              InclusionPolicy::Nine);
+    auto env = makeEnv("l1l2_private", cfg);
+    auto *game = dynamic_cast<CacheGuessingGame *>(env.get());
+    ASSERT_NE(game, nullptr);
+    auto *hier = dynamic_cast<CacheHierarchy *>(&game->memory());
+    ASSERT_NE(hier, nullptr);
+    EXPECT_EQ(hier->config().levels.back().inclusion,
+              InclusionPolicy::Nine);
+    EXPECT_EQ(hier->config().levels.back().cache.numSets, 2u);
+}
+
+TEST(Registry, HierarchyScenariosWorkThroughMakeVecEnv)
+{
+    auto vec = makeVecEnv("l1l2_private", tinyEnvConfig(), 2);
+    const Matrix obs = vec->resetAll();
+    EXPECT_EQ(obs.rows(), 2u);
+    const VecStepResult r = vec->stepAll({0, 0});
+    EXPECT_EQ(r.obs.rows(), 2u);
+}
+
 TEST(Registry, CustomScenarioPlugsIn)
 {
     struct SeedProbe : CountingEnv
