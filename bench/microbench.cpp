@@ -193,7 +193,9 @@ BENCHMARK(BM_PolicyForward)->Arg(64)->Arg(256)->Arg(1024);
 /**
  * Batched policy forward: one N x obs_dim matmul for N streams vs N
  * single-observation passes (the vectorized trainer's win over the
- * old per-env loop).
+ * old per-env loop). Runs the training-path forward() so numbers stay
+ * comparable across revisions; BM_PolicyInferenceBatch below measures
+ * the allocation-free workspace path collection actually uses.
  */
 void
 BM_PolicyForwardBatch(benchmark::State &state)
@@ -212,23 +214,57 @@ BM_PolicyForwardBatch(benchmark::State &state)
 }
 BENCHMARK(BM_PolicyForwardBatch)->Arg(1)->Arg(4)->Arg(8);
 
+/**
+ * Inference through the reusable forward workspace (forwardNoGrad):
+ * the fused GEMM path rollout collection and evaluation run, with no
+ * per-step allocations or activation caching.
+ */
+void
+BM_PolicyInferenceBatch(benchmark::State &state)
+{
+    Rng rng(2);
+    const auto streams = static_cast<std::size_t>(state.range(0));
+    const std::size_t obs_dim = 256;
+    ActorCritic net(obs_dim, 8, 128, 2, rng);
+    Matrix obs(streams, obs_dim);
+    for (std::size_t i = 0; i < obs.size(); ++i)
+        obs.data()[i] = 0.1f;
+    AcOutput out;
+    for (auto _ : state) {
+        net.forwardNoGrad(obs, out);
+        benchmark::DoNotOptimize(out.values.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(streams));
+}
+BENCHMARK(BM_PolicyInferenceBatch)->Arg(1)->Arg(4)->Arg(8);
+
+/**
+ * Full PPO epoch (collect + update) at 1/4/8 streams, serial vs
+ * double-buffered collection (Arg1 = 1 pipelines env stepping behind
+ * the policy forward; needs >= 2 streams and a second core to win).
+ */
 void
 BM_PpoEpoch(benchmark::State &state)
 {
     const auto streams = static_cast<std::size_t>(state.range(0));
+    const bool db = state.range(1) != 0;
     auto vec = makeVecEnv("guessing_game", benchEnvConfig(), streams);
     PpoConfig ppo;
     ppo.stepsPerEpoch = 512;
     ppo.minibatchSize = 128;
+    ppo.doubleBuffered = db;
     PpoTrainer trainer(*vec, ppo);
     for (auto _ : state)
         benchmark::DoNotOptimize(trainer.runEpoch().epoch);
     state.SetItemsProcessed(state.iterations() * 512);
+    state.counters["env_steps_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 512.0,
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PpoEpoch)
-    ->Arg(1)
-    ->Arg(4)
-    ->ArgNames({"streams"})
+    ->ArgsProduct({{1, 4, 8}, {0, 1}})
+    ->ArgNames({"streams", "db"})
     ->Unit(benchmark::kMillisecond);
 
 void
@@ -330,6 +366,8 @@ checkDepth1MatchesCacheAccess()
 int
 main(int argc, char **argv)
 {
+    std::fprintf(stderr, "matmul backend: %s\n",
+                 autocat::matmulBackend());
     if (!autocat::checkDepth1MatchesCacheAccess()) {
         std::fprintf(stderr,
                      "FAIL: depth-1 CacheHierarchy is slower than a "

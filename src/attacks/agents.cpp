@@ -147,7 +147,7 @@ runPolicyAgent(CacheGuessingGame &env, ActorCritic &policy, int episodes)
     return runLoop(
         env, episodes,
         [&](const std::vector<float> &obs, int) {
-            const AcOutput out = policy.forwardOne(obs);
+            const AcOutput &out = policy.forwardOne(obs);
             return policy.argmax(out.logits, 0);
         },
         {});

@@ -222,6 +222,10 @@ parseExplorationConfig(std::istream &in)
          [&](const std::string &v) {
              cfg.threadedEnvs = parseBool(v, "threaded_envs");
          }},
+        {"double_buffered",
+         [&](const std::string &v) {
+             cfg.ppo.doubleBuffered = parseBool(v, "double_buffered");
+         }},
         {"max_epochs",
          [&](const std::string &v) { cfg.maxEpochs = std::stoi(v); }},
         {"target_accuracy",
@@ -367,6 +371,8 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << "num_streams = " << cfg.numStreams << "\n"
         << "threaded_envs = " << (cfg.threadedEnvs ? "true" : "false")
         << "\n"
+        << "double_buffered = "
+        << (cfg.ppo.doubleBuffered ? "true" : "false") << "\n"
         << "ppo_seed = " << cfg.ppo.seed << "\n"
         << "steps_per_epoch = " << cfg.ppo.stepsPerEpoch << "\n"
         << "learning_rate = " << cfg.ppo.lr << "\n"

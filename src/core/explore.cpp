@@ -24,7 +24,7 @@ extractSequence(CacheGuessingGame &env, ActorCritic &policy,
     bool done = false;
     int safety = 4096;
     while (!done && safety-- > 0) {
-        const AcOutput out = policy.forwardOne(obs);
+        const AcOutput &out = policy.forwardOne(obs);
         const std::size_t action = policy.argmax(out.logits, 0);
         const Action decoded = env.actionSpace().decode(action);
         StepResult sr = env.step(action);

@@ -43,7 +43,11 @@ struct ExplorationConfig
      */
     int numStreams = 1;
 
-    /** Step the streams on a worker pool (ThreadedVecEnv). */
+    /**
+     * Step the streams on a worker pool (ThreadedVecEnv). Orthogonal
+     * knob: ppo.doubleBuffered (config key double_buffered) overlaps
+     * env stepping with policy inference during collection.
+     */
     bool threadedEnvs = false;
 
     /** Give up after this many epochs (paper: 1 epoch = 3000 steps). */

@@ -27,29 +27,43 @@ AcOutput
 ActorCritic::forward(const Matrix &obs)
 {
     assert(obs.cols() == obs_dim_);
-    torso_out_ = torso_.forward(obs);
+    const Matrix &torso = torso_.forwardCached(obs);
+    torso_out_ = &torso;
     AcOutput out;
-    out.logits = pi_head_.forward(torso_out_);
-    Matrix v = v_head_.forward(torso_out_);
+    pi_head_.forwardInto(out.logits, torso, /*fuse_relu=*/false);
+    v_head_.forwardInto(values_col_, torso, /*fuse_relu=*/false);
     out.values.resize(obs.rows());
     for (std::size_t r = 0; r < obs.rows(); ++r)
-        out.values[r] = v(r, 0);
+        out.values[r] = values_col_(r, 0);
     return out;
+}
+
+void
+ActorCritic::forwardNoGrad(const Matrix &obs, AcOutput &out)
+{
+    assert(obs.cols() == obs_dim_);
+    const Matrix &torso = torso_.forwardInto(obs, infer_scratch_);
+    pi_head_.forwardInto(out.logits, torso, /*fuse_relu=*/false);
+    v_head_.forwardInto(infer_values_col_, torso, /*fuse_relu=*/false);
+    out.values.resize(obs.rows());
+    for (std::size_t r = 0; r < obs.rows(); ++r)
+        out.values[r] = infer_values_col_(r, 0);
 }
 
 void
 ActorCritic::backward(const Matrix &dlogits,
                       const std::vector<float> &dvalues)
 {
-    assert(dlogits.rows() == torso_out_.rows());
-    assert(dvalues.size() == torso_out_.rows());
+    assert(torso_out_ != nullptr);
+    assert(dlogits.rows() == torso_out_->rows());
+    assert(dvalues.size() == torso_out_->rows());
 
-    const Matrix d_torso_pi = pi_head_.backward(dlogits);
+    const Matrix d_torso_pi = pi_head_.backward(dlogits, *torso_out_);
 
     Matrix dv(dvalues.size(), 1);
     for (std::size_t r = 0; r < dvalues.size(); ++r)
         dv(r, 0) = dvalues[r];
-    const Matrix d_torso_v = v_head_.backward(dv);
+    const Matrix d_torso_v = v_head_.backward(dv, *torso_out_);
 
     Matrix d_torso = d_torso_pi;
     for (std::size_t i = 0; i < d_torso.size(); ++i)
@@ -58,12 +72,13 @@ ActorCritic::backward(const Matrix &dlogits,
     torso_.backward(d_torso);
 }
 
-AcOutput
+const AcOutput &
 ActorCritic::forwardOne(const std::vector<float> &obs)
 {
-    Matrix m(1, obs.size());
-    std::copy(obs.begin(), obs.end(), m.data());
-    return forward(m);
+    one_obs_.resizeUninit(1, obs.size());
+    std::copy(obs.begin(), obs.end(), one_obs_.data());
+    forwardNoGrad(one_obs_, one_out_);
+    return one_out_;
 }
 
 void

@@ -3,6 +3,15 @@
  * Actor-critic network: shared MLP torso with a categorical policy head
  * and a scalar value head, plus the categorical-distribution math PPO
  * needs (sampling, log-probabilities, entropy) computed from logits.
+ *
+ * Two forward paths:
+ *  - forward(): the training path — caches torso activations so
+ *    backward() can accumulate gradients.
+ *  - forwardNoGrad() / forwardOne(): allocation-free inference through
+ *    a reusable internal workspace (fused bias+ReLU GEMM, no caching).
+ *    This is what rollout collection and evaluation run, and the
+ *    kernel's row purity (rl/mat.hpp) makes its outputs bitwise
+ *    independent of how a batch is split across calls.
  */
 
 #ifndef AUTOCAT_RL_ACTOR_CRITIC_HPP
@@ -43,13 +52,29 @@ class ActorCritic
     AcOutput forward(const Matrix &obs);
 
     /**
+     * Inference-only batch forward into caller-owned output storage.
+     * Reuses @p out's matrices/vectors and an internal scratch, so a
+     * steady-state collection loop performs no allocations. Does not
+     * disturb the training cache: it is safe to interleave with
+     * forward()/backward() pairs.
+     *
+     *  Pre:  obs is B x obsDim().
+     *  Post: out.logits is B x numActions(), out.values has size B.
+     */
+    void forwardNoGrad(const Matrix &obs, AcOutput &out);
+
+    /**
      * Backward from loss gradients w.r.t. logits and values of the last
      * forward() batch. Accumulates parameter gradients.
      */
     void backward(const Matrix &dlogits, const std::vector<float> &dvalues);
 
-    /** Single-observation forward (no grad caching needed by callers). */
-    AcOutput forwardOne(const std::vector<float> &obs);
+    /**
+     * Single-observation forward through the inference workspace. The
+     * returned reference is valid until the next forwardOne() or
+     * forwardNoGrad() call on this network.
+     */
+    const AcOutput &forwardOne(const std::vector<float> &obs);
 
     void zeroGrad();
     std::vector<ParamBlock> paramBlocks();
@@ -80,7 +105,15 @@ class ActorCritic
     Mlp torso_;
     Linear pi_head_;
     Linear v_head_;
-    Matrix torso_out_;  ///< cached torso output for backward
+    const Matrix *torso_out_ = nullptr;  ///< training torso activation
+                                         ///< (owned by torso_)
+    Matrix values_col_;                  ///< B x 1 value-head staging
+
+    // Inference workspace (forwardNoGrad / forwardOne).
+    std::vector<Matrix> infer_scratch_;
+    Matrix infer_values_col_;
+    Matrix one_obs_;       ///< 1 x obs_dim staging for forwardOne
+    AcOutput one_out_;     ///< forwardOne result storage
 };
 
 } // namespace autocat

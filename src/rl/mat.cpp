@@ -1,66 +1,463 @@
 #include "rl/mat.hpp"
 
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define AUTOCAT_MAT_X86 1
+#include <immintrin.h>
+#endif
+
 namespace autocat {
 
-Matrix
-matmul(const Matrix &a, const Matrix &b)
+namespace {
+
+/*
+ * Portable scalar kernels. These are the reference semantics for the
+ * SIMD path and the fallback on non-x86 hosts (or when
+ * AUTOCAT_MAT_PORTABLE=1).
+ */
+
+void
+matmulPortable(float *c, const float *a, const float *b, std::size_t m,
+               std::size_t k, std::size_t n)
 {
-    assert(a.cols() == b.rows());
-    Matrix c(a.rows(), b.cols());
-    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     for (std::size_t i = 0; i < m; ++i) {
-        float *crow = c.rowPtr(i);
-        const float *arow = a.rowPtr(i);
+        float *crow = c + i * n;
+        const float *arow = a + i * k;
+        for (std::size_t j = 0; j < n; ++j)
+            crow[j] = 0.0f;
         for (std::size_t p = 0; p < k; ++p) {
             const float av = arow[p];
+            // ReLU activations make A sparse in practice; skipping
+            // zero rows of the broadcast is a real win here.
             if (av == 0.0f)
                 continue;
-            const float *brow = b.rowPtr(p);
+            const float *brow = b + p * n;
             for (std::size_t j = 0; j < n; ++j)
                 crow[j] += av * brow[j];
         }
     }
+}
+
+void
+matmulTransAPortable(float *c, const float *a, const float *b,
+                     std::size_t k, std::size_t m, std::size_t n)
+{
+    for (std::size_t i = 0; i < m * n; ++i)
+        c[i] = 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *arow = a + p * m;
+        const float *brow = b + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+/** Row-pure scalar dot-product GEMM with optional fused bias/ReLU. */
+void
+dotGemmPortable(float *c, const float *a, const float *b, std::size_t m,
+                std::size_t n, std::size_t k, const float *bias,
+                bool relu)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = b + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            if (bias)
+                acc += bias[j];
+            if (relu && acc < 0.0f)
+                acc = 0.0f;
+            crow[j] = acc;
+        }
+    }
+}
+
+#if AUTOCAT_MAT_X86
+
+/*
+ * AVX2+FMA kernels. Compiled for every x86-64 build via the function
+ * target attribute and selected at runtime (useAvx2() below), so the
+ * translation unit itself needs no -mavx2 flag and the binary still
+ * runs on pre-AVX2 hardware.
+ *
+ * Row purity contract: every c(i,j) produced by the dot-product
+ * kernels goes through dot8() — two 8-lane FMA accumulators walked in
+ * 16-float steps, one fixed horizontal reduction, then a scalar tail.
+ * The register tiling over j only interleaves *independent* (i,j)
+ * accumulations; it never changes the order of operations within one,
+ * so results are bitwise independent of the tile path taken and of the
+ * batch size m.
+ */
+
+__attribute__((target("avx2,fma"))) inline float
+hsum8(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_add_ps(lo, hi);
+    __m128 sh = _mm_movehl_ps(lo, lo);
+    lo = _mm_add_ps(lo, sh);
+    sh = _mm_shuffle_ps(lo, lo, 0x1);
+    lo = _mm_add_ss(lo, sh);
+    return _mm_cvtss_f32(lo);
+}
+
+/** Canonical dot(a, b, k): the one accumulation order (see above). */
+__attribute__((target("avx2,fma"))) inline float
+dot8(const float *a, const float *b, std::size_t k)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t p = 0;
+    for (; p + 16 <= k; p += 16) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + p),
+                               _mm256_loadu_ps(b + p), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + p + 8),
+                               _mm256_loadu_ps(b + p + 8), acc1);
+    }
+    if (p + 8 <= k) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + p),
+                               _mm256_loadu_ps(b + p), acc0);
+        p += 8;
+    }
+    float s = hsum8(_mm256_add_ps(acc0, acc1));
+    for (; p < k; ++p)
+        s += a[p] * b[p];
+    return s;
+}
+
+/**
+ * Four interleaved dot8() accumulations against consecutive rows of B
+ * — identical per-output arithmetic, 8 independent FMA chains for ILP.
+ */
+__attribute__((target("avx2,fma"))) inline void
+dot8x4(const float *a, const float *b0, const float *b1, const float *b2,
+       const float *b3, std::size_t k, float out[4])
+{
+    __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+    __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+    __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+    __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+    std::size_t p = 0;
+    for (; p + 16 <= k; p += 16) {
+        const __m256 av0 = _mm256_loadu_ps(a + p);
+        const __m256 av1 = _mm256_loadu_ps(a + p + 8);
+        a00 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b0 + p), a00);
+        a01 = _mm256_fmadd_ps(av1, _mm256_loadu_ps(b0 + p + 8), a01);
+        a10 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b1 + p), a10);
+        a11 = _mm256_fmadd_ps(av1, _mm256_loadu_ps(b1 + p + 8), a11);
+        a20 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b2 + p), a20);
+        a21 = _mm256_fmadd_ps(av1, _mm256_loadu_ps(b2 + p + 8), a21);
+        a30 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b3 + p), a30);
+        a31 = _mm256_fmadd_ps(av1, _mm256_loadu_ps(b3 + p + 8), a31);
+    }
+    if (p + 8 <= k) {
+        const __m256 av0 = _mm256_loadu_ps(a + p);
+        a00 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b0 + p), a00);
+        a10 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b1 + p), a10);
+        a20 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b2 + p), a20);
+        a30 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b3 + p), a30);
+        p += 8;
+    }
+    out[0] = hsum8(_mm256_add_ps(a00, a01));
+    out[1] = hsum8(_mm256_add_ps(a10, a11));
+    out[2] = hsum8(_mm256_add_ps(a20, a21));
+    out[3] = hsum8(_mm256_add_ps(a30, a31));
+    for (; p < k; ++p) {
+        out[0] += a[p] * b0[p];
+        out[1] += a[p] * b1[p];
+        out[2] += a[p] * b2[p];
+        out[3] += a[p] * b3[p];
+    }
+}
+
+__attribute__((target("avx2,fma"))) void
+dotGemmAvx2(float *c, const float *a, const float *b, std::size_t m,
+            std::size_t n, std::size_t k, const float *bias, bool relu)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            float out[4];
+            dot8x4(arow, b + j * k, b + (j + 1) * k, b + (j + 2) * k,
+                   b + (j + 3) * k, k, out);
+            for (int t = 0; t < 4; ++t) {
+                float v = bias ? out[t] + bias[j + t] : out[t];
+                if (relu && v < 0.0f)
+                    v = 0.0f;
+                crow[j + t] = v;
+            }
+        }
+        for (; j < n; ++j) {
+            float v = dot8(arow, b + j * k, k);
+            if (bias)
+                v += bias[j];
+            if (relu && v < 0.0f)
+                v = 0.0f;
+            crow[j] = v;
+        }
+    }
+}
+
+/**
+ * Broadcast-FMA tile for C = A * B: an MR x 16 block of C lives in
+ * registers while the shared dimension streams by.
+ */
+template <int MR>
+__attribute__((target("avx2,fma"))) inline void
+mmTileAvx2(float *c, const float *a, const float *b, std::size_t i0,
+           std::size_t j0, std::size_t k, std::size_t n)
+{
+    __m256 acc[MR][2];
+    for (int r = 0; r < MR; ++r)
+        acc[r][0] = acc[r][1] = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *brow = b + p * n + j0;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (int r = 0; r < MR; ++r) {
+            const __m256 av =
+                _mm256_set1_ps(a[(i0 + static_cast<std::size_t>(r)) * k +
+                                 p]);
+            acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+            acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+    }
+    for (int r = 0; r < MR; ++r) {
+        float *crow = c + (i0 + static_cast<std::size_t>(r)) * n + j0;
+        _mm256_storeu_ps(crow, acc[r][0]);
+        _mm256_storeu_ps(crow + 8, acc[r][1]);
+    }
+}
+
+__attribute__((target("avx2,fma"))) void
+matmulAvx2(float *c, const float *a, const float *b, std::size_t m,
+           std::size_t k, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+        std::size_t j = 0;
+        for (; j + 16 <= n; j += 16)
+            mmTileAvx2<4>(c, a, b, i, j, k, n);
+        for (; j < n; ++j) {
+            for (int r = 0; r < 4; ++r) {
+                const float *arow = a + (i + static_cast<std::size_t>(r)) * k;
+                float s = 0.0f;
+                for (std::size_t p = 0; p < k; ++p)
+                    s += arow[p] * b[p * n + j];
+                c[(i + static_cast<std::size_t>(r)) * n + j] = s;
+            }
+        }
+    }
+    for (; i < m; ++i) {
+        std::size_t j = 0;
+        for (; j + 16 <= n; j += 16)
+            mmTileAvx2<1>(c, a, b, i, j, k, n);
+        for (; j < n; ++j) {
+            const float *arow = a + i * k;
+            float s = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                s += arow[p] * b[p * n + j];
+            c[i * n + j] = s;
+        }
+    }
+}
+
+/**
+ * Broadcast-FMA tile for C = A^T * B (A: k x m): same register block,
+ * A walked column-wise.
+ */
+template <int MR>
+__attribute__((target("avx2,fma"))) inline void
+mmTransATileAvx2(float *c, const float *a, const float *b, std::size_t i0,
+                 std::size_t j0, std::size_t k, std::size_t m,
+                 std::size_t n)
+{
+    __m256 acc[MR][2];
+    for (int r = 0; r < MR; ++r)
+        acc[r][0] = acc[r][1] = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *brow = b + p * n + j0;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        const float *acol = a + p * m + i0;
+        for (int r = 0; r < MR; ++r) {
+            const __m256 av = _mm256_set1_ps(acol[r]);
+            acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+            acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+    }
+    for (int r = 0; r < MR; ++r) {
+        float *crow = c + (i0 + static_cast<std::size_t>(r)) * n + j0;
+        _mm256_storeu_ps(crow, acc[r][0]);
+        _mm256_storeu_ps(crow + 8, acc[r][1]);
+    }
+}
+
+__attribute__((target("avx2,fma"))) void
+matmulTransAAvx2(float *c, const float *a, const float *b, std::size_t k,
+                 std::size_t m, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+        std::size_t j = 0;
+        for (; j + 16 <= n; j += 16)
+            mmTransATileAvx2<4>(c, a, b, i, j, k, m, n);
+        for (; j < n; ++j) {
+            for (int r = 0; r < 4; ++r) {
+                float s = 0.0f;
+                for (std::size_t p = 0; p < k; ++p)
+                    s += a[p * m + i + static_cast<std::size_t>(r)] *
+                         b[p * n + j];
+                c[(i + static_cast<std::size_t>(r)) * n + j] = s;
+            }
+        }
+    }
+    for (; i < m; ++i) {
+        std::size_t j = 0;
+        for (; j + 16 <= n; j += 16)
+            mmTransATileAvx2<1>(c, a, b, i, j, k, m, n);
+        for (; j < n; ++j) {
+            float s = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                s += a[p * m + i] * b[p * n + j];
+            c[i * n + j] = s;
+        }
+    }
+}
+
+#endif // AUTOCAT_MAT_X86
+
+/** One-time backend choice: AVX2+FMA when the CPU has both. */
+bool
+useAvx2()
+{
+#if AUTOCAT_MAT_X86
+    static const bool use = [] {
+        const char *force = std::getenv("AUTOCAT_MAT_PORTABLE");
+        if (force && force[0] == '1')
+            return false;
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma") != 0;
+    }();
+    return use;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+const char *
+matmulBackend()
+{
+    return useAvx2() ? "avx2+fma" : "portable";
+}
+
+void
+matmulInto(Matrix &c, const Matrix &a, const Matrix &b)
+{
+    assert(a.cols() == b.rows());
+    assert(&c != &a && &c != &b);
+    c.resizeUninit(a.rows(), b.cols());
+#if AUTOCAT_MAT_X86
+    if (useAvx2()) {
+        matmulAvx2(c.data(), a.data(), b.data(), a.rows(), a.cols(),
+                   b.cols());
+        return;
+    }
+#endif
+    matmulPortable(c.data(), a.data(), b.data(), a.rows(), a.cols(),
+                   b.cols());
+}
+
+void
+matmulTransBInto(Matrix &c, const Matrix &a, const Matrix &b)
+{
+    assert(a.cols() == b.cols());
+    assert(&c != &a && &c != &b);
+    c.resizeUninit(a.rows(), b.rows());
+#if AUTOCAT_MAT_X86
+    if (useAvx2()) {
+        dotGemmAvx2(c.data(), a.data(), b.data(), a.rows(), b.rows(),
+                    a.cols(), nullptr, false);
+        return;
+    }
+#endif
+    dotGemmPortable(c.data(), a.data(), b.data(), a.rows(), b.rows(),
+                    a.cols(), nullptr, false);
+}
+
+void
+matmulTransAInto(Matrix &c, const Matrix &a, const Matrix &b)
+{
+    assert(a.rows() == b.rows());
+    assert(&c != &a && &c != &b);
+    c.resizeUninit(a.cols(), b.cols());
+#if AUTOCAT_MAT_X86
+    if (useAvx2()) {
+        matmulTransAAvx2(c.data(), a.data(), b.data(), a.rows(), a.cols(),
+                         b.cols());
+        return;
+    }
+#endif
+    matmulTransAPortable(c.data(), a.data(), b.data(), a.rows(), a.cols(),
+                         b.cols());
+}
+
+void
+linearForwardInto(Matrix &y, const Matrix &x, const Matrix &w,
+                  const std::vector<float> &bias, bool relu)
+{
+    assert(x.cols() == w.cols());
+    assert(bias.size() == w.rows());
+    assert(&y != &x && &y != &w);
+    y.resizeUninit(x.rows(), w.rows());
+#if AUTOCAT_MAT_X86
+    if (useAvx2()) {
+        dotGemmAvx2(y.data(), x.data(), w.data(), x.rows(), w.rows(),
+                    x.cols(), bias.data(), relu);
+        return;
+    }
+#endif
+    dotGemmPortable(y.data(), x.data(), w.data(), x.rows(), w.rows(),
+                    x.cols(), bias.data(), relu);
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    Matrix c;
+    matmulInto(c, a, b);
     return c;
 }
 
 Matrix
 matmulTransB(const Matrix &a, const Matrix &b)
 {
-    assert(a.cols() == b.cols());
-    Matrix c(a.rows(), b.rows());
-    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = a.rowPtr(i);
-        float *crow = c.rowPtr(i);
-        for (std::size_t j = 0; j < n; ++j) {
-            const float *brow = b.rowPtr(j);
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] = acc;
-        }
-    }
+    Matrix c;
+    matmulTransBInto(c, a, b);
     return c;
 }
 
 Matrix
 matmulTransA(const Matrix &a, const Matrix &b)
 {
-    assert(a.rows() == b.rows());
-    Matrix c(a.cols(), b.cols());
-    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-    for (std::size_t p = 0; p < k; ++p) {
-        const float *arow = a.rowPtr(p);
-        const float *brow = b.rowPtr(p);
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c.rowPtr(i);
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    Matrix c;
+    matmulTransAInto(c, a, b);
     return c;
 }
 

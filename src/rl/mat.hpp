@@ -3,8 +3,26 @@
  * Minimal dense matrix used by the neural-network substrate.
  *
  * Row-major float storage with exactly the operations PPO needs:
- * matmul (plain and transposed variants), elementwise ops, and row/col
- * reductions. Deliberately not a general linear-algebra library.
+ * matmul (plain and transposed variants), a fused affine map for
+ * inference, elementwise ops, and row/col reductions. Deliberately not
+ * a general linear-algebra library.
+ *
+ * The matmul entry points dispatch at runtime between a blocked,
+ * register-tiled AVX2+FMA kernel and a portable scalar fallback (see
+ * matmulBackend()). Two properties every backend upholds:
+ *
+ *  - **Determinism**: for a fixed backend, results are a pure function
+ *    of the operands — no threading, no runtime-dependent blocking.
+ *  - **Row purity** (matmulTransBInto / linearForwardInto only): each
+ *    output row is computed with an accumulation order that depends
+ *    only on that row of A and on B — never on the number of other
+ *    rows in the batch. Forwarding a batch in two halves is therefore
+ *    bitwise identical to forwarding it whole, which is what lets the
+ *    double-buffered PPO collector split a stream batch into groups
+ *    without perturbing trajectories (see rl/ppo.hpp).
+ *
+ * Set AUTOCAT_MAT_PORTABLE=1 in the environment (before first use) to
+ * force the portable backend, e.g. when A/B-measuring the SIMD path.
  */
 
 #ifndef AUTOCAT_RL_MAT_HPP
@@ -66,11 +84,69 @@ class Matrix
         data_.assign(rows * cols, 0.0f);
     }
 
+    /**
+     * Resize without initializing: contents are unspecified (stale
+     * values when shrinking/reusing, zeros for newly grown storage).
+     * For destination matrices of the *Into kernels, which overwrite
+     * every element; a same-size call is free, which makes reusable
+     * workspaces cheap.
+     */
+    void
+    resizeUninit(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::vector<float> data_;
 };
+
+/**
+ * Name of the matmul backend selected at startup: "avx2+fma" or
+ * "portable". Useful in logs and for verifying a forced fallback.
+ */
+const char *matmulBackend();
+
+/*
+ * Destination-passing matmuls. Shared pre/postconditions:
+ *
+ *  Pre:  @p c must not alias @p a or @p b (asserted); operand shapes
+ *        must agree as documented per function (asserted). Operands
+ *        need no particular alignment — kernels use unaligned loads.
+ *  Post: @p c is resized to the product shape and every element is
+ *        overwritten (no accumulate-into semantics).
+ *
+ * The value-returning wrappers below allocate a fresh destination and
+ * forward to these.
+ */
+
+/** C = A * B. A: m x k, B: k x n. */
+void matmulInto(Matrix &c, const Matrix &a, const Matrix &b);
+
+/**
+ * C = A * B^T. A: m x k, B: n x k. Row-pure: row i of C depends only
+ * on row i of A (see the file comment), so batch splitting is exact.
+ */
+void matmulTransBInto(Matrix &c, const Matrix &a, const Matrix &b);
+
+/** C = A^T * B. A: k x m, B: k x n. */
+void matmulTransAInto(Matrix &c, const Matrix &a, const Matrix &b);
+
+/**
+ * Fused inference map y = x * w^T + bias, optionally ReLU-clamped —
+ * one pass, no intermediate logits/bias/activation temporaries.
+ *
+ *  Pre:  x: B x in, w: out x in, bias.size() == out; @p y must alias
+ *        neither @p x nor @p w (asserted).
+ *  Post: y is B x out, fully overwritten. Row-pure like
+ *        matmulTransBInto.
+ */
+void linearForwardInto(Matrix &y, const Matrix &x, const Matrix &w,
+                       const std::vector<float> &bias, bool relu);
 
 /** C = A * B. A: m x k, B: k x n. */
 Matrix matmul(const Matrix &a, const Matrix &b);

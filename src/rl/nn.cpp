@@ -19,25 +19,31 @@ Linear::Linear(std::size_t in, std::size_t out, Rng &rng, float gain)
 }
 
 Matrix
-Linear::forward(const Matrix &x)
+Linear::forward(const Matrix &x) const
 {
-    assert(x.cols() == in_);
-    input_ = x;
-    Matrix y = matmulTransB(x, w_);
-    addRowVector(y, b_);
+    Matrix y;
+    forwardInto(y, x, /*fuse_relu=*/false);
     return y;
 }
 
+void
+Linear::forwardInto(Matrix &y, const Matrix &x, bool fuse_relu) const
+{
+    assert(x.cols() == in_);
+    linearForwardInto(y, x, w_, b_, fuse_relu);
+}
+
 Matrix
-Linear::backward(const Matrix &grad_out)
+Linear::backward(const Matrix &grad_out, const Matrix &input)
 {
     assert(grad_out.cols() == out_);
-    assert(grad_out.rows() == input_.rows());
+    assert(grad_out.rows() == input.rows());
+    assert(input.cols() == in_);
 
     // dW += grad_out^T * x ; db += colsum(grad_out) ; dx = grad_out * W
-    Matrix gw = matmulTransA(grad_out, input_);
+    matmulTransAInto(gw_scratch_, grad_out, input);
     for (std::size_t i = 0; i < gw_.size(); ++i)
-        gw_.data()[i] += gw.data()[i];
+        gw_.data()[i] += gw_scratch_.data()[i];
     const std::vector<float> gb = colSum(grad_out);
     for (std::size_t i = 0; i < gb_.size(); ++i)
         gb_[i] += gb[i];
@@ -68,25 +74,37 @@ Mlp::Mlp(const std::vector<std::size_t> &sizes, Rng &rng, bool activate_last)
     layers_.reserve(sizes.size() - 1);
     for (std::size_t i = 0; i + 1 < sizes.size(); ++i)
         layers_.emplace_back(sizes[i], sizes[i + 1], rng);
-    preact_.resize(layers_.size());
+    acts_.resize(layers_.size() + 1);
+}
+
+const Matrix &
+Mlp::forwardCached(const Matrix &x)
+{
+    acts_[0] = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const bool activate = i + 1 < layers_.size() || activate_last_;
+        layers_[i].forwardInto(acts_[i + 1], acts_[i], activate);
+    }
+    return acts_.back();
 }
 
 Matrix
 Mlp::forward(const Matrix &x)
 {
-    Matrix h = x;
+    return forwardCached(x);
+}
+
+const Matrix &
+Mlp::forwardInto(const Matrix &x, std::vector<Matrix> &scratch) const
+{
+    scratch.resize(layers_.size());
+    const Matrix *in = &x;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
-        h = layers_[i].forward(h);
-        const bool activate =
-            i + 1 < layers_.size() || activate_last_;
-        if (activate) {
-            preact_[i] = h;
-            reluInPlace(h);
-        } else {
-            preact_[i] = Matrix();
-        }
+        const bool activate = i + 1 < layers_.size() || activate_last_;
+        layers_[i].forwardInto(scratch[i], *in, activate);
+        in = &scratch[i];
     }
-    return h;
+    return scratch.back();
 }
 
 Matrix
@@ -94,9 +112,12 @@ Mlp::backward(const Matrix &grad_out)
 {
     Matrix g = grad_out;
     for (std::size_t i = layers_.size(); i-- > 0;) {
-        if (!preact_[i].empty())
-            reluBackwardInPlace(g, preact_[i]);
-        g = layers_[i].backward(g);
+        const bool activated = i + 1 < layers_.size() || activate_last_;
+        // Post-activation mask: ReLU output is 0 exactly where the
+        // pre-activation was <= 0, so acts_ doubles as the mask.
+        if (activated)
+            reluBackwardInPlace(g, acts_[i + 1]);
+        g = layers_[i].backward(g, acts_[i]);
     }
     return g;
 }

@@ -2,8 +2,12 @@
  * @file
  * Neural-network building blocks with manual backpropagation.
  *
- * A Linear layer caches its input during forward() so backward() can
- * compute weight gradients; an Mlp stacks Linear+ReLU. Parameters and
+ * A Linear layer is y = x W^T + b. Two forward entry points exist:
+ * the training path caches what backward() needs, while forwardInto()
+ * is an allocation-free inference path that fuses bias and ReLU into
+ * the GEMM (rl/mat.hpp) and caches nothing. An Mlp stacks Linear+ReLU
+ * and keeps the per-layer activations from its last training forward
+ * so backward() can run without per-layer input copies. Parameters and
  * gradients are exposed as flat blocks for the Adam optimizer.
  */
 
@@ -26,7 +30,7 @@ struct ParamBlock
     std::size_t size = 0;
 };
 
-/** Fully-connected layer y = x W^T + b with cached-input backward. */
+/** Fully-connected layer y = x W^T + b with explicit-input backward. */
 class Linear
 {
   public:
@@ -40,14 +44,28 @@ class Linear
      */
     Linear(std::size_t in, std::size_t out, Rng &rng, float gain = 1.0f);
 
-    /** Batch forward; caches @p x for backward. x: B x in → B x out. */
-    Matrix forward(const Matrix &x);
+    /** Allocating convenience forward. x: B x in → B x out. */
+    Matrix forward(const Matrix &x) const;
+
+    /**
+     * Forward into a caller-owned destination: one fused GEMM pass
+     * (bias and, optionally, ReLU applied in-kernel), no allocation
+     * once @p y has capacity.
+     *
+     *  Pre:  x.cols() == inFeatures(); y must not alias x.
+     *  Post: y is x.rows() x outFeatures(), fully overwritten.
+     */
+    void forwardInto(Matrix &y, const Matrix &x, bool fuse_relu) const;
 
     /**
      * Backward pass: accumulates weight/bias gradients from
-     * @p grad_out (B x out) and returns the input gradient (B x in).
+     * @p grad_out (B x out) against the explicitly supplied forward
+     * @p input (the exact matrix the producing forward consumed;
+     * B x in) and returns the input gradient (B x in). Callers store
+     * activations themselves (see Mlp::acts_) — the layer caches
+     * nothing.
      */
-    Matrix backward(const Matrix &grad_out);
+    Matrix backward(const Matrix &grad_out, const Matrix &input);
 
     /** Zero accumulated gradients. */
     void zeroGrad();
@@ -69,7 +87,7 @@ class Linear
     std::vector<float> b_;
     Matrix gw_;
     std::vector<float> gb_;
-    Matrix input_;  ///< cached forward input
+    Matrix gw_scratch_;  ///< reusable dW workspace
 };
 
 /** Multi-layer perceptron with ReLU between hidden layers. */
@@ -84,8 +102,25 @@ class Mlp
     Mlp(const std::vector<std::size_t> &sizes, Rng &rng,
         bool activate_last = true);
 
-    /** Batch forward with activation caching. */
+    /** Batch forward with activation caching (training path). */
     Matrix forward(const Matrix &x);
+
+    /**
+     * Training forward returning a reference to the internally stored
+     * output activation (valid until the next forward). Same caching
+     * semantics as forward() without the final copy.
+     */
+    const Matrix &forwardCached(const Matrix &x);
+
+    /**
+     * Allocation-free inference forward: activations are written into
+     * @p scratch (resized to one matrix per layer; reuse across calls
+     * makes this steady-state allocation-free) and the result is
+     * scratch.back(). Caches nothing; safe to interleave with training
+     * forward/backward pairs.
+     */
+    const Matrix &forwardInto(const Matrix &x,
+                              std::vector<Matrix> &scratch) const;
 
     /** Backward through the whole stack; returns input gradient. */
     Matrix backward(const Matrix &grad_out);
@@ -98,7 +133,13 @@ class Mlp
 
   private:
     std::vector<Linear> layers_;
-    std::vector<Matrix> preact_;  ///< cached pre-activation outputs
+    /**
+     * acts_[0] is the forward input, acts_[i + 1] layer i's output
+     * (post-activation where one applies). For activated layers the
+     * ReLU mask is recovered from the activation itself (act == 0 ⇔
+     * pre-activation <= 0), so pre-activations need not be stored.
+     */
+    std::vector<Matrix> acts_;
     bool activate_last_;
 };
 

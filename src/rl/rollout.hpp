@@ -61,6 +61,9 @@ class RolloutBuffer
     /** Stream count N. */
     std::size_t numStreams() const { return streams_; }
 
+    /** Timesteps per stream the buffer holds when full. */
+    std::size_t capacitySteps() const { return steps_; }
+
     /** True when at capacity. */
     bool full() const { return steps_added_ == steps_; }
 

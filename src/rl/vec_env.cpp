@@ -1,5 +1,6 @@
 #include "rl/vec_env.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -41,6 +42,22 @@ stepStream(Environment &env, std::size_t action, std::size_t i,
 }
 
 } // namespace
+
+void
+VecEnv::stepRange(std::size_t begin, std::size_t end,
+                  const std::vector<std::size_t> &actions,
+                  VecStepResult &out)
+{
+    assert(begin <= end && end <= numEnvs());
+    assert(actions.size() == numEnvs());
+    assert(out.obs.rows() == numEnvs() &&
+           out.obs.cols() == observationSize());
+    assert(out.rewards.size() == numEnvs() &&
+           out.dones.size() == numEnvs() && out.infos.size() == numEnvs());
+    for (std::size_t i = begin; i < end; ++i)
+        stepStream(env(i), actions[i], i, out.obs, out.rewards, out.dones,
+                   out.infos);
+}
 
 // ------------------------------------------------------------ SyncVecEnv
 
@@ -157,15 +174,19 @@ ThreadedVecEnv::workerLoop(std::size_t worker_index)
             return;
 
         try {
-            for (std::size_t i = bounds_[worker_index];
-                 i < bounds_[worker_index + 1]; ++i) {
+            // Clip this worker's stream slice to the batch range.
+            const std::size_t lo =
+                std::max(bounds_[worker_index], range_lo_);
+            const std::size_t hi =
+                std::min(bounds_[worker_index + 1], range_hi_);
+            for (std::size_t i = lo; i < hi; ++i) {
                 if (op == Op::Reset) {
                     const std::vector<float> row = envs_[i]->reset();
-                    std::memcpy(obs_out_.rowPtr(i), row.data(),
+                    std::memcpy(out_->obs.rowPtr(i), row.data(),
                                 row.size() * sizeof(float));
                 } else {
-                    stepStream(*envs_[i], (*actions_)[i], i, obs_out_,
-                               rewards_out_, dones_out_, infos_out_);
+                    stepStream(*envs_[i], (*actions_)[i], i, out_->obs,
+                               out_->rewards, out_->dones, out_->infos);
                 }
             }
         } catch (...) {
@@ -211,27 +232,45 @@ ThreadedVecEnv::runBatch(Op op)
 Matrix
 ThreadedVecEnv::resetAll()
 {
-    obs_out_.resize(envs_.size(), obs_dim_);
+    VecStepResult staging;
+    staging.obs.resizeUninit(envs_.size(), obs_dim_);
+    out_ = &staging;
+    range_lo_ = 0;
+    range_hi_ = envs_.size();
     runBatch(Op::Reset);
-    return std::move(obs_out_);
+    out_ = nullptr;
+    return std::move(staging.obs);
 }
 
 VecStepResult
 ThreadedVecEnv::stepAll(const std::vector<std::size_t> &actions)
 {
-    assert(actions.size() == envs_.size());
-    obs_out_.resize(envs_.size(), obs_dim_);
-    rewards_out_.assign(envs_.size(), 0.0);
-    dones_out_.assign(envs_.size(), 0);
-    infos_out_.assign(envs_.size(), StepInfo{});
-    actions_ = &actions;
-    runBatch(Op::Step);
     VecStepResult r;
-    r.obs = std::move(obs_out_);
-    r.rewards = std::move(rewards_out_);
-    r.dones = std::move(dones_out_);
-    r.infos = std::move(infos_out_);
+    r.obs.resizeUninit(envs_.size(), obs_dim_);
+    r.rewards.resize(envs_.size());
+    r.dones.resize(envs_.size());
+    r.infos.resize(envs_.size());
+    stepRange(0, envs_.size(), actions, r);
     return r;
+}
+
+void
+ThreadedVecEnv::stepRange(std::size_t begin, std::size_t end,
+                          const std::vector<std::size_t> &actions,
+                          VecStepResult &out)
+{
+    assert(begin <= end && end <= envs_.size());
+    assert(actions.size() == envs_.size());
+    assert(out.obs.rows() == envs_.size() && out.obs.cols() == obs_dim_);
+    assert(out.rewards.size() == envs_.size() &&
+           out.dones.size() == envs_.size() &&
+           out.infos.size() == envs_.size());
+    actions_ = &actions;
+    out_ = &out;
+    range_lo_ = begin;
+    range_hi_ = end;
+    runBatch(Op::Step);
+    out_ = nullptr;
 }
 
 } // namespace autocat

@@ -17,6 +17,10 @@
  * cost). Both produce bitwise-identical trajectories because each
  * stream owns its state and RNG; thread scheduling cannot reorder
  * anything observable.
+ *
+ * Besides the full-batch stepAll(), stepRange() advances a contiguous
+ * sub-batch of streams into caller-owned storage — the primitive the
+ * PPO trainer's double-buffered collection pipelines on (rl/ppo.hpp).
  */
 
 #ifndef AUTOCAT_RL_VEC_ENV_HPP
@@ -70,6 +74,29 @@ class VecEnv
      * episodes end are reset automatically; see VecStepResult::obs.
      */
     virtual VecStepResult stepAll(const std::vector<std::size_t> &actions) = 0;
+
+    /**
+     * Step only the streams in [begin, end) into caller-owned storage
+     * — the sub-batch primitive behind double-buffered collection
+     * (rl/ppo.hpp), where one group of streams steps while the policy
+     * forward for the other group runs.
+     *
+     *  Pre:  begin <= end <= numEnvs(); @p actions has size numEnvs()
+     *        (entries outside the range are ignored); @p out is
+     *        pre-sized — obs numEnvs() x observationSize(), vectors
+     *        numEnvs().
+     *  Post: rows/slots [begin, end) of @p out hold the step results
+     *        (auto-reset semantics identical to stepAll()); slots
+     *        outside the range are untouched.
+     *
+     * The base implementation steps sequentially on the calling
+     * thread; adapters may parallelize. Must not be called
+     * concurrently with itself on an overlapping range, or with
+     * resetAll()/stepAll().
+     */
+    virtual void stepRange(std::size_t begin, std::size_t end,
+                           const std::vector<std::size_t> &actions,
+                           VecStepResult &out);
 
     /**
      * Direct access to stream @p i — for decoration (detectors),
@@ -130,6 +157,10 @@ class ThreadedVecEnv : public VecEnv
     std::size_t numActions() const override { return num_actions_; }
     Matrix resetAll() override;
     VecStepResult stepAll(const std::vector<std::size_t> &actions) override;
+    /** Parallel sub-batch step: workers clip their slices to the range. */
+    void stepRange(std::size_t begin, std::size_t end,
+                   const std::vector<std::size_t> &actions,
+                   VecStepResult &out) override;
     Environment &env(std::size_t i) override { return *envs_[i]; }
 
     /** Worker threads actually running. */
@@ -156,11 +187,11 @@ class ThreadedVecEnv : public VecEnv
     std::exception_ptr error_;  ///< first env exception of the batch;
                                 ///< rethrown on the calling thread
 
-    // Output staging, written by workers at disjoint stream indices.
-    Matrix obs_out_;
-    std::vector<double> rewards_out_;
-    std::vector<std::uint8_t> dones_out_;
-    std::vector<StepInfo> infos_out_;
+    // Per-batch output target and stream range, written by workers at
+    // disjoint stream indices within [range_lo_, range_hi_).
+    VecStepResult *out_ = nullptr;
+    std::size_t range_lo_ = 0;
+    std::size_t range_hi_ = 0;
 
     std::vector<std::thread> workers_;
     // Stream ranges per worker: worker w owns [bounds_[w], bounds_[w+1]).

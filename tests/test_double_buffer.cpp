@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Determinism tests for double-buffered rollout collection: with a
+ * fixed seed, PpoTrainer must produce bitwise-identical training
+ * trajectories whether PpoConfig::doubleBuffered is off (serial
+ * collect) or on (env stepping overlapped with policy inference on a
+ * background worker), across even/odd stream splits and both VecEnv
+ * adapters. Also exercises the VecEnv::stepRange sub-batch primitive
+ * the pipeline is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "rl/ppo.hpp"
+#include "rl/vec_env.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+namespace {
+
+/**
+ * Variable-length probe-then-guess episodes (mirrors test_ppo's
+ * ProbeEnv): streams finish episodes at different times, so the
+ * pipelined collector's auto-reset path is exercised mid-epoch.
+ */
+class ProbeEnv : public Environment
+{
+  public:
+    explicit ProbeEnv(std::uint64_t seed) : rng_(seed) {}
+
+    std::size_t observationSize() const override { return 3; }
+    std::size_t numActions() const override { return 3; }
+
+    std::vector<float>
+    reset() override
+    {
+        bit_ = rng_.uniformInt(2);
+        probed_ = false;
+        steps_ = 0;
+        return obs();
+    }
+
+    StepResult
+    step(std::size_t action) override
+    {
+        StepResult r;
+        ++steps_;
+        if (action == 0) {
+            probed_ = true;
+            r.reward = -0.01;
+        } else {
+            const bool correct = probed_ && action - 1 == bit_;
+            r.reward = correct ? 1.0 : -1.0;
+            r.info.guessMade = true;
+            r.info.guessCorrect = correct;
+            r.done = true;
+        }
+        if (steps_ >= 6 && !r.done) {
+            r.done = true;
+            r.reward = -1.0;
+        }
+        r.obs = obs();
+        return r;
+    }
+
+  private:
+    std::vector<float>
+    obs() const
+    {
+        std::vector<float> o(3, 0.0f);
+        o[0] = probed_ ? 1.0f : 0.0f;
+        if (probed_)
+            o[1 + bit_] = 1.0f;
+        return o;
+    }
+
+    Rng rng_;
+    std::size_t bit_ = 0;
+    bool probed_ = false;
+    int steps_ = 0;
+};
+
+template <typename Adapter>
+std::unique_ptr<Adapter>
+makeProbeVec(std::size_t n, std::uint64_t base_seed)
+{
+    std::vector<std::unique_ptr<Environment>> envs;
+    for (std::size_t i = 0; i < n; ++i)
+        envs.push_back(std::make_unique<ProbeEnv>(base_seed + i));
+    return std::make_unique<Adapter>(std::move(envs));
+}
+
+/** Logits of both policies on a shared probe batch, compared bitwise. */
+void
+expectPoliciesBitwiseEqual(PpoTrainer &a, PpoTrainer &b)
+{
+    Matrix probe(4, 3);
+    Rng rng(99);
+    for (std::size_t i = 0; i < probe.size(); ++i)
+        probe.data()[i] = static_cast<float>(rng.gaussian());
+    AcOutput oa, ob;
+    a.policy().forwardNoGrad(probe, oa);
+    b.policy().forwardNoGrad(probe, ob);
+    ASSERT_EQ(oa.logits.size(), ob.logits.size());
+    EXPECT_EQ(0, std::memcmp(oa.logits.data(), ob.logits.data(),
+                             oa.logits.size() * sizeof(float)));
+    ASSERT_EQ(oa.values.size(), ob.values.size());
+    EXPECT_EQ(0, std::memcmp(oa.values.data(), ob.values.data(),
+                             oa.values.size() * sizeof(float)));
+}
+
+void
+runDeterminismCheck(std::size_t streams)
+{
+    PpoConfig off_cfg;
+    off_cfg.seed = 31;
+    off_cfg.stepsPerEpoch = 600;
+    off_cfg.minibatchSize = 200;
+    PpoConfig on_cfg = off_cfg;
+    on_cfg.doubleBuffered = true;
+
+    auto off_vec = makeProbeVec<SyncVecEnv>(streams, 700);
+    auto on_vec = makeProbeVec<SyncVecEnv>(streams, 700);
+    PpoTrainer off_trainer(*off_vec, off_cfg);
+    PpoTrainer on_trainer(*on_vec, on_cfg);
+
+    for (int e = 0; e < 3; ++e) {
+        const EpochStats a = off_trainer.runEpoch();
+        const EpochStats b = on_trainer.runEpoch();
+        EXPECT_DOUBLE_EQ(a.meanReturn, b.meanReturn) << "epoch " << e;
+        EXPECT_DOUBLE_EQ(a.meanEpisodeLength, b.meanEpisodeLength);
+        EXPECT_DOUBLE_EQ(a.policyLoss, b.policyLoss) << "epoch " << e;
+        EXPECT_DOUBLE_EQ(a.valueLoss, b.valueLoss) << "epoch " << e;
+        EXPECT_DOUBLE_EQ(a.entropy, b.entropy) << "epoch " << e;
+    }
+    EXPECT_EQ(off_trainer.totalEnvSteps(), on_trainer.totalEnvSteps());
+    expectPoliciesBitwiseEqual(off_trainer, on_trainer);
+}
+
+TEST(DoubleBuffer, OffAndOnAreBitwiseIdenticalEvenSplit)
+{
+    runDeterminismCheck(4);
+}
+
+TEST(DoubleBuffer, OffAndOnAreBitwiseIdenticalOddSplit)
+{
+    runDeterminismCheck(5);
+}
+
+TEST(DoubleBuffer, SingleStreamFallsBackToSerial)
+{
+    // n == 1 cannot be split; the toggle must be a no-op, not a hang.
+    PpoConfig cfg;
+    cfg.seed = 33;
+    cfg.stepsPerEpoch = 200;
+    cfg.doubleBuffered = true;
+    auto vec = makeProbeVec<SyncVecEnv>(1, 900);
+    PpoTrainer trainer(*vec, cfg);
+    const EpochStats stats = trainer.runEpoch();
+    EXPECT_EQ(stats.epoch, 1);
+    EXPECT_EQ(trainer.totalEnvSteps(), 200);
+}
+
+TEST(DoubleBuffer, ThreadedAdapterMatchesSyncSerial)
+{
+    // Pipelined collection over ThreadedVecEnv (its stepRange fans the
+    // sub-batch out to the pool) still reproduces the serial rollouts.
+    PpoConfig off_cfg;
+    off_cfg.seed = 35;
+    off_cfg.stepsPerEpoch = 400;
+    PpoConfig on_cfg = off_cfg;
+    on_cfg.doubleBuffered = true;
+
+    auto sync_vec = makeProbeVec<SyncVecEnv>(4, 1100);
+    auto threaded_vec = makeProbeVec<ThreadedVecEnv>(4, 1100);
+    PpoTrainer serial_trainer(*sync_vec, off_cfg);
+    PpoTrainer pipelined_trainer(*threaded_vec, on_cfg);
+
+    for (int e = 0; e < 2; ++e) {
+        const EpochStats a = serial_trainer.runEpoch();
+        const EpochStats b = pipelined_trainer.runEpoch();
+        EXPECT_DOUBLE_EQ(a.meanReturn, b.meanReturn);
+        EXPECT_DOUBLE_EQ(a.policyLoss, b.policyLoss);
+        EXPECT_DOUBLE_EQ(a.valueLoss, b.valueLoss);
+    }
+    expectPoliciesBitwiseEqual(serial_trainer, pipelined_trainer);
+}
+
+TEST(DoubleBuffer, ConvergesWithPipelineEnabled)
+{
+    PpoConfig cfg;
+    cfg.seed = 37;
+    cfg.stepsPerEpoch = 2000;
+    cfg.doubleBuffered = true;
+    auto vec = makeProbeVec<SyncVecEnv>(4, 1300);
+    PpoTrainer trainer(*vec, cfg);
+    const int epoch = trainer.trainUntil(0.99, 20, 200);
+    EXPECT_GT(epoch, 0) << "pipelined probe env did not converge";
+}
+
+TEST(VecEnvStepRange, SubBatchMatchesStepAllAndLeavesRestUntouched)
+{
+    auto full_vec = makeProbeVec<SyncVecEnv>(4, 1500);
+    auto range_vec = makeProbeVec<SyncVecEnv>(4, 1500);
+    full_vec->resetAll();
+    range_vec->resetAll();
+
+    const std::vector<std::size_t> actions{0, 1, 2, 0};
+    const VecStepResult want = full_vec->stepAll(actions);
+
+    VecStepResult out;
+    out.obs.resize(4, range_vec->observationSize());
+    out.rewards.assign(4, -123.0);
+    out.dones.assign(4, 77);
+    out.infos.assign(4, StepInfo{});
+    range_vec->stepRange(1, 3, actions, out);
+
+    for (std::size_t s = 1; s < 3; ++s) {
+        EXPECT_DOUBLE_EQ(out.rewards[s], want.rewards[s]);
+        EXPECT_EQ(out.dones[s], want.dones[s]);
+        for (std::size_t c = 0; c < out.obs.cols(); ++c)
+            EXPECT_EQ(out.obs(s, c), want.obs(s, c));
+    }
+    // Slots outside [1, 3) keep their sentinel values.
+    EXPECT_DOUBLE_EQ(out.rewards[0], -123.0);
+    EXPECT_DOUBLE_EQ(out.rewards[3], -123.0);
+    EXPECT_EQ(out.dones[0], 77);
+    EXPECT_EQ(out.dones[3], 77);
+
+    // The remaining streams can be finished separately.
+    range_vec->stepRange(0, 1, actions, out);
+    range_vec->stepRange(3, 4, actions, out);
+    EXPECT_DOUBLE_EQ(out.rewards[0], want.rewards[0]);
+    EXPECT_DOUBLE_EQ(out.rewards[3], want.rewards[3]);
+}
+
+} // namespace
+} // namespace autocat

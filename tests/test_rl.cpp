@@ -110,11 +110,10 @@ TEST(Linear, GradientsMatchFiniteDifferences)
     };
 
     lin.zeroGrad();
-    lin.forward(x);
     Matrix ones(2, 2);
     for (std::size_t i = 0; i < ones.size(); ++i)
         ones.data()[i] = 1.0f;
-    const Matrix dx = lin.backward(ones);
+    const Matrix dx = lin.backward(ones, x);
 
     auto blocks = lin.paramBlocks();
     const float eps = 1e-3f;
