@@ -3,17 +3,19 @@
  * Table IV: attacks found across diverse cache / attacker / victim
  * configurations — direct-mapped, fully- and set-associative caches,
  * prefetchers, flush on/off, shared and disjoint address ranges, and
- * a two-level hierarchy. For each configuration the bench trains an
- * agent, extracts the attack by greedy replay, and labels it with the
- * automatic classifier.
+ * a two-level hierarchy. Each row is one sweep cell: the campaign
+ * runs through eval/sweep.hpp (cells fan out over a worker pool) and
+ * the bench prints the per-row classification next to the paper's
+ * expectation.
  *
  * The default mode runs a representative subset; AUTOCAT_FULL=1 runs
  * all 17 rows of the paper's table.
  */
 
-#include <optional>
+#include <thread>
 
 #include "bench_common.hpp"
+#include "eval/sweep.hpp"
 
 using namespace autocat;
 using namespace autocat::bench;
@@ -138,24 +140,56 @@ main()
 
     const bool run_heavy = benchMode() == BenchMode::Full;
     const int max_epochs = byMode(10, 100, 260);
+    const std::vector<ConfigRow> rows = allRows();
+
+    // One sweep cell per (non-skipped) row; the seeds reproduce the
+    // pre-sweep bench outputs exactly. row_cell maps each row to its
+    // cell index (-1 = skipped) so the display loop below cannot drift
+    // from this filter.
+    std::vector<SweepCell> cells;
+    std::vector<int> row_cell(rows.size(), -1);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const ConfigRow &row = rows[r];
+        if (row.heavy && !run_heavy)
+            continue;
+        row_cell[r] = static_cast<int>(cells.size());
+        SweepCell cell;
+        cell.index = cells.size();
+        cell.label = std::string("row ") + std::to_string(row.no) + " " +
+                     row.type;
+        cell.scenario = row.scenario;
+        cell.policy = replPolicyName(row.env.cache.policy);
+        cell.seed = row.env.seed;
+        cell.config.env = row.env;
+        cell.config.scenario = row.scenario;
+        cell.config.ppo.seed = 19 + row.no;
+        cell.config.maxEpochs = max_epochs;
+        cells.push_back(std::move(cell));
+    }
+
+    // runSweepCells clamps to the cell count and a minimum of one.
+    const SweepReport report = runSweepCells(
+        "Table IV cells", std::move(cells),
+        static_cast<int>(std::thread::hardware_concurrency()));
 
     TextTable table("Table IV (reproduction)",
                     {"No.", "Type", "Expected", "Found", "Acc",
                      "Attack found by AutoCAT"});
-
-    for (const ConfigRow &row : allRows()) {
-        if (row.heavy && !run_heavy) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const ConfigRow &row = rows[r];
+        if (row_cell[r] < 0) {
             table.addRow({TextTable::fmt((long)row.no), row.type,
                           row.expected, "(skipped)", "-",
                           "run with AUTOCAT_FULL=1"});
             continue;
         }
-        ExplorationConfig cfg;
-        cfg.env = row.env;
-        cfg.scenario = row.scenario;
-        cfg.ppo.seed = 19 + row.no;
-        cfg.maxEpochs = max_epochs;
-        const ExplorationResult r = explore(cfg);
+        const SweepCellResult &cell = report.cells[row_cell[r]];
+        if (!cell.completed) {
+            table.addRow({TextTable::fmt((long)row.no), row.type,
+                          row.expected, "(failed)", "-", cell.error});
+            continue;
+        }
+        const ExplorationResult &r = cell.result;
         table.addRow(
             {TextTable::fmt((long)row.no), row.type, row.expected,
              r.converged ? categoryLabel(r.category) : "(timeout)",
@@ -164,6 +198,9 @@ main()
     }
 
     table.print(std::cout);
+    std::cout << "\n(" << report.cells.size() << " cells on "
+              << report.workersUsed << " sweep workers, "
+              << TextTable::fmt(report.wallSeconds, 1) << " s)\n";
     std::cout << "\nPaper (Table IV): the agent finds a working attack"
                  " of the expected category for every configuration;"
                  " sequences are often shorter than the textbook"

@@ -1,5 +1,7 @@
 #include "core/config_parser.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -8,10 +10,52 @@
 
 namespace autocat {
 
-namespace {
+bool
+parseConfigBool(const std::string &value, const std::string &key)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    throw std::invalid_argument("config: bad boolean for " + key + ": " +
+                                value);
+}
+
+std::uint64_t
+parseConfigUint(const std::string &value, const std::string &key)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("config: bad unsigned integer for " +
+                                    key + ": " + value);
+    }
+    try {
+        return std::stoull(value);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("config: value out of range for " +
+                                    key + ": " + value);
+    }
+}
+
+double
+parseConfigDouble(const std::string &value, const std::string &key)
+{
+    try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(value, &consumed);
+        // "nan"/"inf" parse cleanly but are never a sane knob value;
+        // they would train silently-garbage agents.
+        if (consumed != value.size() || !std::isfinite(parsed))
+            throw std::invalid_argument("not a finite number");
+        return parsed;
+    } catch (const std::exception &) {
+        throw std::invalid_argument("config: bad number for " + key +
+                                    ": " + value);
+    }
+}
 
 std::string
-trim(const std::string &s)
+trimConfigToken(const std::string &s)
 {
     const auto begin = s.find_first_not_of(" \t\r");
     if (begin == std::string::npos)
@@ -20,19 +64,47 @@ trim(const std::string &s)
     return s.substr(begin, end - begin + 1);
 }
 
-bool
-parseBool(const std::string &v, const std::string &key)
+namespace {
+
+/** Shortest round-trip double rendering: the rendered text re-parses
+ *  to the exact same double (default ostream precision is 6 digits,
+ *  which silently perturbs high-precision knobs), and the decimal
+ *  point is locale-independent. */
+std::string
+renderDouble(double v)
 {
-    if (v == "true" || v == "1" || v == "yes")
-        return true;
-    if (v == "false" || v == "0" || v == "no")
-        return false;
-    throw std::invalid_argument("config: bad boolean for " + key + ": " +
-                                v);
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
 }
 
 /** Hierarchy depth cap for the config surface (sanity bound). */
 constexpr unsigned kMaxHierarchyLevels = 8;
+
+/** parseConfigUint narrowed to unsigned; overflow fails loudly
+ *  instead of wrapping. */
+unsigned
+parseConfigU32(const std::string &value, const std::string &key)
+{
+    const std::uint64_t parsed = parseConfigUint(value, key);
+    if (parsed > 0xffffffffull) {
+        throw std::invalid_argument("config: value out of range for " +
+                                    key + ": " + value);
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+/** parseConfigUint narrowed to a non-negative int. */
+int
+parseConfigInt(const std::string &value, const std::string &key)
+{
+    const std::uint64_t parsed = parseConfigUint(value, key);
+    if (parsed > 0x7fffffffull) {
+        throw std::invalid_argument("config: value out of range for " +
+                                    key + ": " + value);
+    }
+    return static_cast<int>(parsed);
+}
 
 /**
  * Apply a "hierarchy." key: either hierarchy.num_cores or a
@@ -47,7 +119,7 @@ applyHierarchyKey(ExplorationConfig &cfg, const std::string &key,
 {
     HierarchyConfig &h = cfg.env.hierarchy;
     if (key == "hierarchy.num_cores") {
-        h.numCores = static_cast<unsigned>(std::stoul(value));
+        h.numCores = parseConfigU32(value, key);
         return;
     }
 
@@ -60,8 +132,9 @@ applyHierarchyKey(ExplorationConfig &cfg, const std::string &key,
                                     "'");
     }
 
-    const unsigned idx = static_cast<unsigned>(
-        std::stoul(key.substr(prefix.size(), close - prefix.size())));
+    // Strict index parse: "0z" must not silently parse as level 0.
+    const std::uint64_t idx = parseConfigUint(
+        key.substr(prefix.size(), close - prefix.size()), key);
     if (idx >= kMaxHierarchyLevels) {
         throw std::invalid_argument(
             "config: hierarchy level index out of range in '" + key +
@@ -73,23 +146,23 @@ applyHierarchyKey(ExplorationConfig &cfg, const std::string &key,
 
     const std::string field = key.substr(close + 2);
     if (field == "num_sets")
-        lvl.cache.numSets = static_cast<unsigned>(std::stoul(value));
+        lvl.cache.numSets = parseConfigU32(value, key);
     else if (field == "num_ways")
-        lvl.cache.numWays = static_cast<unsigned>(std::stoul(value));
+        lvl.cache.numWays = parseConfigU32(value, key);
     else if (field == "rep_policy")
         lvl.cache.policy = replPolicyFromString(value);
     else if (field == "prefetcher")
         lvl.cache.prefetcher = prefetcherFromString(value);
     else if (field == "random_set_mapping")
-        lvl.cache.randomSetMapping = parseBool(value, key);
+        lvl.cache.randomSetMapping = parseConfigBool(value, key);
     else if (field == "address_space")
-        lvl.cache.addressSpaceSize = std::stoull(value);
+        lvl.cache.addressSpaceSize = parseConfigUint(value, key);
     else if (field == "seed")
-        lvl.cache.seed = std::stoull(value);
+        lvl.cache.seed = parseConfigUint(value, key);
     else if (field == "inclusion")
         lvl.inclusion = inclusionFromString(value);
     else if (field == "shared")
-        lvl.shared = parseBool(value, key);
+        lvl.shared = parseConfigBool(value, key);
     else
         throw std::invalid_argument("config: unknown hierarchy field '" +
                                     field + "' in '" + key + "'");
@@ -98,7 +171,7 @@ applyHierarchyKey(ExplorationConfig &cfg, const std::string &key,
 } // namespace
 
 ExplorationConfig
-parseExplorationConfig(std::istream &in)
+parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
 {
     ExplorationConfig cfg;
 
@@ -106,9 +179,13 @@ parseExplorationConfig(std::istream &in)
     const std::map<std::string, Setter> setters = {
         // ----- cache configuration (Table II)
         {"num_sets",
-         [&](const std::string &v) { cfg.env.cache.numSets = std::stoul(v); }},
+         [&](const std::string &v) {
+             cfg.env.cache.numSets = parseConfigU32(v, "num_sets");
+         }},
         {"num_ways",
-         [&](const std::string &v) { cfg.env.cache.numWays = std::stoul(v); }},
+         [&](const std::string &v) {
+             cfg.env.cache.numWays = parseConfigU32(v, "num_ways");
+         }},
         {"rep_policy",
          [&](const std::string &v) {
              cfg.env.cache.policy = replPolicyFromString(v);
@@ -120,121 +197,165 @@ parseExplorationConfig(std::istream &in)
         {"random_set_mapping",
          [&](const std::string &v) {
              cfg.env.cache.randomSetMapping =
-                 parseBool(v, "random_set_mapping");
+                 parseConfigBool(v, "random_set_mapping");
          }},
         {"address_space",
          [&](const std::string &v) {
-             cfg.env.cache.addressSpaceSize = std::stoull(v);
+             cfg.env.cache.addressSpaceSize =
+                 parseConfigUint(v, "address_space");
          }},
         // ----- attack & victim configuration (Table II)
         {"attack_addr_s",
-         [&](const std::string &v) { cfg.env.attackAddrS = std::stoull(v); }},
+         [&](const std::string &v) {
+             cfg.env.attackAddrS = parseConfigUint(v, "attack_addr_s");
+         }},
         {"attack_addr_e",
-         [&](const std::string &v) { cfg.env.attackAddrE = std::stoull(v); }},
+         [&](const std::string &v) {
+             cfg.env.attackAddrE = parseConfigUint(v, "attack_addr_e");
+         }},
         {"victim_addr_s",
-         [&](const std::string &v) { cfg.env.victimAddrS = std::stoull(v); }},
+         [&](const std::string &v) {
+             cfg.env.victimAddrS = parseConfigUint(v, "victim_addr_s");
+         }},
         {"victim_addr_e",
-         [&](const std::string &v) { cfg.env.victimAddrE = std::stoull(v); }},
+         [&](const std::string &v) {
+             cfg.env.victimAddrE = parseConfigUint(v, "victim_addr_e");
+         }},
         {"flush_enable",
          [&](const std::string &v) {
-             cfg.env.flushEnable = parseBool(v, "flush_enable");
+             cfg.env.flushEnable = parseConfigBool(v, "flush_enable");
          }},
         {"victim_no_access_enable",
          [&](const std::string &v) {
              cfg.env.victimNoAccessEnable =
-                 parseBool(v, "victim_no_access_enable");
+                 parseConfigBool(v, "victim_no_access_enable");
          }},
         {"detection_enable",
          [&](const std::string &v) {
-             cfg.env.detectionEnable = parseBool(v, "detection_enable");
+             cfg.env.detectionEnable =
+                 parseConfigBool(v, "detection_enable");
          }},
         {"pl_cache_lock_victim",
          [&](const std::string &v) {
              cfg.env.plCacheLockVictim =
-                 parseBool(v, "pl_cache_lock_victim");
+                 parseConfigBool(v, "pl_cache_lock_victim");
          }},
         // ----- episode / RL configuration (Table II)
         {"window_size",
-         [&](const std::string &v) { cfg.env.windowSize = std::stoul(v); }},
+         [&](const std::string &v) {
+             cfg.env.windowSize = parseConfigU32(v, "window_size");
+         }},
         {"episode_length_limit",
          [&](const std::string &v) {
-             cfg.env.episodeLengthLimit = std::stoul(v);
+             cfg.env.episodeLengthLimit =
+                 parseConfigU32(v, "episode_length_limit");
          }},
         {"multi_secret",
          [&](const std::string &v) {
-             cfg.env.multiSecret = parseBool(v, "multi_secret");
+             cfg.env.multiSecret = parseConfigBool(v, "multi_secret");
          }},
         {"multi_secret_episode_steps",
          [&](const std::string &v) {
-             cfg.env.multiSecretEpisodeSteps = std::stoul(v);
+             cfg.env.multiSecretEpisodeSteps =
+                 parseConfigU32(v, "multi_secret_episode_steps");
          }},
         {"reveal_on_guess",
          [&](const std::string &v) {
-             cfg.env.revealOnGuess = parseBool(v, "reveal_on_guess");
+             cfg.env.revealOnGuess =
+                 parseConfigBool(v, "reveal_on_guess");
          }},
         {"random_init",
          [&](const std::string &v) {
-             cfg.env.randomInit = parseBool(v, "random_init");
+             cfg.env.randomInit = parseConfigBool(v, "random_init");
          }},
         {"init_accesses",
          [&](const std::string &v) {
-             cfg.env.initAccesses = std::stoul(v);
+             cfg.env.initAccesses = parseConfigU32(v, "init_accesses");
          }},
         {"correct_guess_reward",
          [&](const std::string &v) {
-             cfg.env.correctGuessReward = std::stod(v);
+             cfg.env.correctGuessReward =
+                 parseConfigDouble(v, "correct_guess_reward");
          }},
         {"wrong_guess_reward",
          [&](const std::string &v) {
-             cfg.env.wrongGuessReward = std::stod(v);
+             cfg.env.wrongGuessReward =
+                 parseConfigDouble(v, "wrong_guess_reward");
          }},
         {"step_reward",
-         [&](const std::string &v) { cfg.env.stepReward = std::stod(v); }},
+         [&](const std::string &v) {
+             cfg.env.stepReward = parseConfigDouble(v, "step_reward");
+         }},
         {"length_violation_reward",
          [&](const std::string &v) {
-             cfg.env.lengthViolationReward = std::stod(v);
+             cfg.env.lengthViolationReward =
+                 parseConfigDouble(v, "length_violation_reward");
          }},
         {"detection_reward",
          [&](const std::string &v) {
-             cfg.env.detectionReward = std::stod(v);
+             cfg.env.detectionReward =
+                 parseConfigDouble(v, "detection_reward");
          }},
         {"seed",
-         [&](const std::string &v) { cfg.env.seed = std::stoull(v); }},
+         [&](const std::string &v) {
+             cfg.env.seed = parseConfigUint(v, "seed");
+         }},
         // ----- PPO hyper-parameters
         {"ppo_seed",
-         [&](const std::string &v) { cfg.ppo.seed = std::stoull(v); }},
+         [&](const std::string &v) {
+             cfg.ppo.seed = parseConfigUint(v, "ppo_seed");
+         }},
         {"steps_per_epoch",
-         [&](const std::string &v) { cfg.ppo.stepsPerEpoch = std::stoi(v); }},
+         [&](const std::string &v) {
+             cfg.ppo.stepsPerEpoch = parseConfigInt(v, "steps_per_epoch");
+         }},
         {"learning_rate",
-         [&](const std::string &v) { cfg.ppo.lr = std::stod(v); }},
+         [&](const std::string &v) {
+             cfg.ppo.lr = parseConfigDouble(v, "learning_rate");
+         }},
         {"entropy_coef",
-         [&](const std::string &v) { cfg.ppo.entropyCoef = std::stod(v); }},
+         [&](const std::string &v) {
+             cfg.ppo.entropyCoef = parseConfigDouble(v, "entropy_coef");
+         }},
         {"gamma",
-         [&](const std::string &v) { cfg.ppo.gamma = std::stod(v); }},
+         [&](const std::string &v) {
+             cfg.ppo.gamma = parseConfigDouble(v, "gamma");
+         }},
         {"hidden",
-         [&](const std::string &v) { cfg.ppo.hidden = std::stoul(v); }},
+         [&](const std::string &v) {
+             cfg.ppo.hidden = parseConfigUint(v, "hidden");
+         }},
         // ----- exploration control
         {"scenario",
          [&](const std::string &v) { cfg.scenario = v; }},
         {"num_streams",
-         [&](const std::string &v) { cfg.numStreams = std::stoi(v); }},
+         [&](const std::string &v) {
+             cfg.numStreams = parseConfigInt(v, "num_streams");
+         }},
         {"threaded_envs",
          [&](const std::string &v) {
-             cfg.threadedEnvs = parseBool(v, "threaded_envs");
+             cfg.threadedEnvs = parseConfigBool(v, "threaded_envs");
          }},
         {"double_buffered",
          [&](const std::string &v) {
-             cfg.ppo.doubleBuffered = parseBool(v, "double_buffered");
+             cfg.ppo.doubleBuffered =
+                 parseConfigBool(v, "double_buffered");
          }},
         {"max_epochs",
-         [&](const std::string &v) { cfg.maxEpochs = std::stoi(v); }},
+         [&](const std::string &v) {
+             cfg.maxEpochs = parseConfigInt(v, "max_epochs");
+         }},
         {"target_accuracy",
-         [&](const std::string &v) { cfg.targetAccuracy = std::stod(v); }},
+         [&](const std::string &v) {
+             cfg.targetAccuracy = parseConfigDouble(v, "target_accuracy");
+         }},
         {"eval_episodes",
-         [&](const std::string &v) { cfg.evalEpisodes = std::stoi(v); }},
+         [&](const std::string &v) {
+             cfg.evalEpisodes = parseConfigInt(v, "eval_episodes");
+         }},
         {"verbose",
          [&](const std::string &v) {
-             cfg.verbose = parseBool(v, "verbose");
+             cfg.verbose = parseConfigBool(v, "verbose");
          }},
     };
 
@@ -245,7 +366,7 @@ parseExplorationConfig(std::istream &in)
         const auto hash = line.find('#');
         if (hash != std::string::npos)
             line = line.substr(0, hash);
-        line = trim(line);
+        line = trimConfigToken(line);
         if (line.empty())
             continue;
         const auto eq = line.find('=');
@@ -253,23 +374,35 @@ parseExplorationConfig(std::istream &in)
             throw std::invalid_argument(
                 "config: missing '=' on line " + std::to_string(lineno));
         }
-        const std::string key = trim(line.substr(0, eq));
-        const std::string value = trim(line.substr(eq + 1));
-        const auto it = setters.find(key);
-        if (it != setters.end()) {
-            it->second(value);
-        } else if (key.compare(0, 10, "hierarchy.") == 0) {
+        const std::string key = trimConfigToken(line.substr(0, eq));
+        const std::string value =
+            trimConfigToken(line.substr(eq + 1));
+
+        // Every key family reports errors with the offending line.
+        const auto with_line = [&](const auto &apply) {
             try {
-                applyHierarchyKey(cfg, key, value);
+                apply();
             } catch (const std::invalid_argument &e) {
                 throw std::invalid_argument(std::string(e.what()) +
                                             " on line " +
                                             std::to_string(lineno));
             }
+        };
+
+        const auto it = setters.find(key);
+        if (it != setters.end()) {
+            with_line([&] { it->second(value); });
+        } else if (key.compare(0, 10, "hierarchy.") == 0) {
+            with_line([&] { applyHierarchyKey(cfg, key, value); });
         } else {
-            throw std::invalid_argument("config: unknown option '" + key +
-                                        "' on line " +
-                                        std::to_string(lineno));
+            bool handled = false;
+            if (extra)
+                with_line([&] { handled = extra(key, value); });
+            if (!handled) {
+                throw std::invalid_argument("config: unknown option '" +
+                                            key + "' on line " +
+                                            std::to_string(lineno));
+            }
         }
     }
 
@@ -286,10 +419,11 @@ parseExplorationConfig(std::istream &in)
 }
 
 ExplorationConfig
-parseExplorationConfig(const std::string &text)
+parseExplorationConfig(const std::string &text,
+                       const ConfigKeyHandler &extra)
 {
     std::istringstream iss(text);
-    return parseExplorationConfig(iss);
+    return parseExplorationConfig(iss, extra);
 }
 
 ExplorationConfig
@@ -304,6 +438,17 @@ loadExplorationConfig(const std::string &path)
 std::string
 renderExplorationConfig(const ExplorationConfig &cfg)
 {
+    // The one free-form string this renderer emits: '#' starts a
+    // comment anywhere in a line, '\n' would inject a config line, and
+    // values are whitespace-trimmed on parse, so such a scenario name
+    // would silently re-parse changed instead of round-tripping.
+    if (cfg.scenario.find_first_of("#\n") != std::string::npos ||
+        cfg.scenario != trimConfigToken(cfg.scenario)) {
+        throw std::invalid_argument(
+            "renderExplorationConfig: scenario name is not "
+            "representable in the config format: '" + cfg.scenario + "'");
+    }
+
     std::ostringstream out;
     out << "num_sets = " << cfg.env.cache.numSets << "\n"
         << "num_ways = " << cfg.env.cache.numWays << "\n"
@@ -325,7 +470,8 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << (cfg.env.detectionEnable ? "true" : "false") << "\n"
         << "pl_cache_lock_victim = "
         << (cfg.env.plCacheLockVictim ? "true" : "false") << "\n"
-        << "window_size = " << cfg.env.windowSize << "\n";
+        << "window_size = " << cfg.env.windowSize << "\n"
+        << "episode_length_limit = " << cfg.env.episodeLengthLimit << "\n";
     if (!cfg.env.hierarchy.levels.empty()) {
         out << "hierarchy.num_cores = " << cfg.env.hierarchy.numCores
             << "\n";
@@ -360,12 +506,16 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << (cfg.env.revealOnGuess ? "true" : "false") << "\n"
         << "random_init = " << (cfg.env.randomInit ? "true" : "false")
         << "\n"
-        << "correct_guess_reward = " << cfg.env.correctGuessReward << "\n"
-        << "wrong_guess_reward = " << cfg.env.wrongGuessReward << "\n"
-        << "step_reward = " << cfg.env.stepReward << "\n"
-        << "length_violation_reward = " << cfg.env.lengthViolationReward
+        << "init_accesses = " << cfg.env.initAccesses << "\n"
+        << "correct_guess_reward = " << renderDouble(cfg.env.correctGuessReward)
         << "\n"
-        << "detection_reward = " << cfg.env.detectionReward << "\n"
+        << "wrong_guess_reward = " << renderDouble(cfg.env.wrongGuessReward)
+        << "\n"
+        << "step_reward = " << renderDouble(cfg.env.stepReward) << "\n"
+        << "length_violation_reward = "
+        << renderDouble(cfg.env.lengthViolationReward) << "\n"
+        << "detection_reward = " << renderDouble(cfg.env.detectionReward)
+        << "\n"
         << "seed = " << cfg.env.seed << "\n"
         << "scenario = " << cfg.scenario << "\n"
         << "num_streams = " << cfg.numStreams << "\n"
@@ -375,10 +525,14 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << (cfg.ppo.doubleBuffered ? "true" : "false") << "\n"
         << "ppo_seed = " << cfg.ppo.seed << "\n"
         << "steps_per_epoch = " << cfg.ppo.stepsPerEpoch << "\n"
-        << "learning_rate = " << cfg.ppo.lr << "\n"
-        << "gamma = " << cfg.ppo.gamma << "\n"
+        << "learning_rate = " << renderDouble(cfg.ppo.lr) << "\n"
+        << "entropy_coef = " << renderDouble(cfg.ppo.entropyCoef) << "\n"
+        << "gamma = " << renderDouble(cfg.ppo.gamma) << "\n"
+        << "hidden = " << cfg.ppo.hidden << "\n"
         << "max_epochs = " << cfg.maxEpochs << "\n"
-        << "target_accuracy = " << cfg.targetAccuracy << "\n";
+        << "target_accuracy = " << renderDouble(cfg.targetAccuracy) << "\n"
+        << "eval_episodes = " << cfg.evalEpisodes << "\n"
+        << "verbose = " << (cfg.verbose ? "true" : "false") << "\n";
     return out.str();
 }
 

@@ -25,6 +25,8 @@
 #ifndef AUTOCAT_CORE_CONFIG_PARSER_HPP
 #define AUTOCAT_CORE_CONFIG_PARSER_HPP
 
+#include <cstdint>
+#include <functional>
 #include <istream>
 #include <string>
 
@@ -33,15 +35,44 @@
 namespace autocat {
 
 /**
+ * Extension hook for key families the core parser does not know.
+ * Offered every key the core does not consume; return true when the
+ * key was handled, false to let the parser reject it as unknown.
+ * Throw std::invalid_argument for a recognized-but-malformed key (the
+ * parser appends the line number).
+ */
+using ConfigKeyHandler =
+    std::function<bool(const std::string &key, const std::string &value)>;
+
+/**
+ * Strict config-value parsers, shared by the core key set and layered
+ * key families (eval/sweep_config.cpp). All of them consume the whole
+ * value or throw std::invalid_argument naming @p key: "8abc" is not
+ * 8, "-1" is not a valid unsigned, and out-of-range values fail as
+ * invalid_argument so the parser can attach a line number.
+ */
+bool parseConfigBool(const std::string &value, const std::string &key);
+std::uint64_t parseConfigUint(const std::string &value,
+                              const std::string &key);
+double parseConfigDouble(const std::string &value, const std::string &key);
+
+/** Strip leading/trailing config whitespace (spaces, tabs, CR). */
+std::string trimConfigToken(const std::string &s);
+
+/**
  * Parse an exploration config from `key = value` text.
  *
  * Unknown keys raise std::invalid_argument (typos should fail loudly,
- * not silently fall back to defaults).
+ * not silently fall back to defaults). @p extra, when given, extends
+ * the key set — e.g. eval/sweep_config.hpp layers the `sweep.*`
+ * family on top.
  */
-ExplorationConfig parseExplorationConfig(std::istream &in);
+ExplorationConfig parseExplorationConfig(std::istream &in,
+                                         const ConfigKeyHandler &extra = {});
 
 /** Parse from a string (convenience for tests). */
-ExplorationConfig parseExplorationConfig(const std::string &text);
+ExplorationConfig parseExplorationConfig(const std::string &text,
+                                         const ConfigKeyHandler &extra = {});
 
 /** Load from a file path; throws std::runtime_error if unreadable. */
 ExplorationConfig loadExplorationConfig(const std::string &path);

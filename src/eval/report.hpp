@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine-readable and human-readable renderings of a SweepReport.
+ *
+ * JSON and CSV writers for plotting/diffing pipelines, and a
+ * util/table summary for the terminal. The JSON writer is
+ * byte-deterministic: fixed key order, fixed float formatting, and —
+ * unless timing is explicitly requested — no wall-clock fields, so
+ * two runs of the same sweep at the same seeds produce bit-identical
+ * reports (the reproducibility contract sweeps are built for).
+ */
+
+#ifndef AUTOCAT_EVAL_REPORT_HPP
+#define AUTOCAT_EVAL_REPORT_HPP
+
+#include <ostream>
+#include <string>
+
+#include "eval/sweep.hpp"
+#include "util/table.hpp"
+
+namespace autocat {
+
+/** Report rendering options. */
+struct ReportOptions
+{
+    /** Emit wall-time fields (makes the JSON run-dependent). */
+    bool includeTiming = false;
+};
+
+/** Write the report as JSON (schema in docs/EVALUATION.md). */
+void writeSweepReportJson(std::ostream &os, const SweepReport &report,
+                          const ReportOptions &options = {});
+
+/** Render the report as a JSON string. */
+std::string sweepReportJson(const SweepReport &report,
+                            const ReportOptions &options = {});
+
+/** Write the report as CSV, one row per cell (header row first). */
+void writeSweepReportCsv(std::ostream &os, const SweepReport &report,
+                         const ReportOptions &options = {});
+
+/** Terminal summary table (one row per cell). */
+TextTable sweepSummaryTable(const SweepReport &report);
+
+} // namespace autocat
+
+#endif // AUTOCAT_EVAL_REPORT_HPP

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Sweep campaigns: many explore() runs over a declarative grid.
+ *
+ * The paper's core result tables (IV: attacks across cache configs,
+ * V: replacement policies, III: hardware targets) are grids of
+ * independent exploration runs. A SweepConfig describes such a grid —
+ * scenario x replacement policy x seed, plus optional Table III
+ * hardware-target rows built through HardwareTargetPreset::hierarchy()
+ * — and SweepRunner expands it into per-cell ExplorationConfigs, fans
+ * the cells out over a TaskPool, and aggregates per-cell results
+ * (convergence, guess accuracy, bit rate, episode length, wall time,
+ * rendered attack sequence) into a SweepReport.
+ *
+ * Determinism: every cell derives its env and PPO seeds from the grid
+ * seed alone, each cell's explore() run is deterministic for fixed
+ * seeds, and cells write only their own report slot — so a report's
+ * content is bit-for-bit reproducible regardless of worker count
+ * (eval/report.hpp renders it byte-identically).
+ */
+
+#ifndef AUTOCAT_EVAL_SWEEP_HPP
+#define AUTOCAT_EVAL_SWEEP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/explore.hpp"
+
+namespace autocat {
+
+/** Grid dimensions a sweep crosses. */
+struct SweepGrid
+{
+    /**
+     * Scenario registry names (env/env_registry.hpp); empty selects
+     * the base config's scenario. Unknown names fail at expansion,
+     * listing the registered scenarios.
+     */
+    std::vector<std::string> scenarios;
+
+    /**
+     * Replacement policies applied to the attacked level (EnvConfig::
+     * cache and, when the cell carries an explicit hierarchy, its
+     * outermost level). Empty keeps the base config's policy.
+     */
+    std::vector<ReplPolicy> policies;
+
+    /** Grid seeds; empty selects the base config's env seed. */
+    std::vector<std::uint64_t> seeds;
+
+    /**
+     * Append the Table III hardware targets as extra grid rows: for
+     * each preset and grid seed, one guessing_game cell over the
+     * preset's HierarchyConfig (hidden replacement policy, CacheQuery-
+     * style single set — hw/machines.hpp). These rows do not cross
+     * with the scenario/policy dimensions.
+     */
+    bool hardwareTargets = false;
+};
+
+/** A full sweep description: shared base config + grid + run knobs. */
+struct SweepConfig
+{
+    /** Report title (JSON "name", table heading). */
+    std::string name = "sweep";
+
+    /** Per-cell defaults; the grid dimensions override per cell. */
+    ExplorationConfig base;
+
+    SweepGrid grid;
+
+    /** Campaign worker threads (cells run concurrently). */
+    int workers = 1;
+
+    /** Include wall-time fields in the JSON report (breaks run-to-run
+     *  byte-identity, so off by default). */
+    bool includeTiming = false;
+
+    /** Report output paths used by the sweep_from_config driver;
+     *  empty = don't write. */
+    std::string reportJsonPath;
+    std::string reportCsvPath;
+};
+
+/** One expanded grid cell: a fully-resolved exploration run. */
+struct SweepCell
+{
+    std::size_t index = 0;       ///< position in the expansion order
+    std::string label;           ///< e.g. "three_level/rrip/s7"
+    std::string scenario;        ///< registry name the cell trains on
+    std::string hierarchy = "-"; ///< named hierarchy row ("-" = none)
+    std::string policy;          ///< replacement policy label
+    std::uint64_t seed = 0;      ///< grid seed the cell derives from
+    ExplorationConfig config;    ///< resolved exploration description
+};
+
+/** Outcome of one cell. */
+struct SweepCellResult
+{
+    SweepCell cell;
+    bool completed = false;   ///< explore() returned (vs threw)
+    std::string error;        ///< exception message when !completed
+    ExplorationResult result; ///< valid when completed
+    double wallSeconds = 0.0;
+};
+
+/** Aggregated campaign outcome, cells in expansion order. */
+struct SweepReport
+{
+    std::string name;
+    std::vector<SweepCellResult> cells;
+    double wallSeconds = 0.0;
+    int workersUsed = 1;  ///< effective pool size after clamping
+
+    /** Cells that completed and converged. */
+    std::size_t numConverged() const;
+
+    /** Cells whose explore() threw. */
+    std::size_t numFailed() const;
+};
+
+/**
+ * Expand a sweep config into its cell list (scenario x policy x seed,
+ * then hardware-target rows), without running anything.
+ *
+ * @throws std::invalid_argument for an unknown scenario name (the
+ *         message lists the registered scenarios) or an empty grid
+ */
+std::vector<SweepCell> expandSweepGrid(const SweepConfig &config);
+
+/** Per-finished-cell observer (calls are serialized). */
+using SweepProgress = std::function<void(const SweepCellResult &)>;
+
+/**
+ * Run pre-built cells on @p workers pool threads and aggregate the
+ * report. Cell failures (exceptions out of explore()) are captured
+ * per cell, not rethrown. Deterministic for fixed cell configs: the
+ * report content is independent of worker count and scheduling.
+ */
+SweepReport runSweepCells(const std::string &name,
+                          std::vector<SweepCell> cells, int workers,
+                          const SweepProgress &progress = {});
+
+/** Expand + run a sweep config (report paths are NOT written here —
+ *  the caller renders the report via eval/report.hpp). */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepConfig config);
+
+    /** The config this runner was built from. */
+    const SweepConfig &config() const { return config_; }
+
+    /** The expanded cells (available before run()). */
+    const std::vector<SweepCell> &cells() const { return cells_; }
+
+    SweepReport run(const SweepProgress &progress = {});
+
+  private:
+    SweepConfig config_;
+    std::vector<SweepCell> cells_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_EVAL_SWEEP_HPP

@@ -1,0 +1,165 @@
+#include "eval/sweep_config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/config_parser.hpp"
+
+namespace autocat {
+
+namespace {
+
+/** Split a comma-separated list; empty items — including the one a
+ *  trailing comma leaves behind — are malformed. */
+std::vector<std::string>
+parseList(const std::string &value, const std::string &key)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t comma = value.find(',', start);
+        const std::string item = trimConfigToken(
+            comma == std::string::npos
+                ? value.substr(start)
+                : value.substr(start, comma - start));
+        if (item.empty()) {
+            throw std::invalid_argument("config: empty item in list for " +
+                                        key);
+        }
+        items.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return items;
+}
+
+/** Apply one `sweep.*` key; throws for unknown fields / bad values. */
+void
+applySweepKey(SweepConfig &cfg, const std::string &key,
+              const std::string &value)
+{
+    if (key == "sweep.name") {
+        cfg.name = value;
+    } else if (key == "sweep.scenarios") {
+        cfg.grid.scenarios = parseList(value, key);
+    } else if (key == "sweep.policies") {
+        cfg.grid.policies.clear();
+        for (const std::string &p : parseList(value, key))
+            cfg.grid.policies.push_back(replPolicyFromString(p));
+    } else if (key == "sweep.seeds") {
+        cfg.grid.seeds.clear();
+        for (const std::string &s : parseList(value, key))
+            cfg.grid.seeds.push_back(parseConfigUint(s, key));
+    } else if (key == "sweep.hardware_targets") {
+        cfg.grid.hardwareTargets = parseConfigBool(value, key);
+    } else if (key == "sweep.workers") {
+        const std::uint64_t workers = parseConfigUint(value, key);
+        if (workers < 1 || workers > 4096)
+            throw std::invalid_argument("config: " + key +
+                                        " must be in [1, 4096]");
+        cfg.workers = static_cast<int>(workers);
+    } else if (key == "sweep.include_timing") {
+        cfg.includeTiming = parseConfigBool(value, key);
+    } else if (key == "sweep.report_json") {
+        cfg.reportJsonPath = value;
+    } else if (key == "sweep.report_csv") {
+        cfg.reportCsvPath = value;
+    } else {
+        throw std::invalid_argument("config: unknown sweep option '" +
+                                    key + "'");
+    }
+}
+
+} // namespace
+
+SweepConfig
+parseSweepConfig(std::istream &in)
+{
+    SweepConfig cfg;
+    cfg.base = parseExplorationConfig(
+        in, [&cfg](const std::string &key, const std::string &value) {
+            if (key.compare(0, 6, "sweep.") != 0)
+                return false;
+            applySweepKey(cfg, key, value);
+            return true;
+        });
+    return cfg;
+}
+
+SweepConfig
+parseSweepConfig(const std::string &text)
+{
+    std::istringstream iss(text);
+    return parseSweepConfig(iss);
+}
+
+SweepConfig
+loadSweepConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("config: cannot open " + path);
+    return parseSweepConfig(in);
+}
+
+std::string
+renderSweepConfig(const SweepConfig &cfg)
+{
+    // '#' starts a comment anywhere in a config line, '\n' would split
+    // the value into an injected config line, and values are
+    // whitespace-trimmed on parse — a value containing any of these
+    // cannot be represented: it would silently re-parse changed,
+    // breaking the render -> parse fixed point. List items
+    // additionally cannot contain the ',' separator.
+    const auto reject = [](const std::string &value, const char *bad) {
+        if (value.find_first_of(bad) != std::string::npos ||
+            value != trimConfigToken(value)) {
+            throw std::invalid_argument(
+                "renderSweepConfig: value is not representable in the "
+                "config format: '" + value + "'");
+        }
+    };
+    reject(cfg.name, "#\n");
+    reject(cfg.reportJsonPath, "#\n");
+    reject(cfg.reportCsvPath, "#\n");
+    for (const std::string &scenario : cfg.grid.scenarios)
+        reject(scenario, "#,\n");
+
+    std::ostringstream out;
+    out << renderExplorationConfig(cfg.base);
+    out << "sweep.name = " << cfg.name << "\n";
+    const auto join = [](const std::vector<std::string> &items) {
+        std::string s;
+        for (const std::string &item : items)
+            s += (s.empty() ? "" : ", ") + item;
+        return s;
+    };
+    if (!cfg.grid.scenarios.empty())
+        out << "sweep.scenarios = " << join(cfg.grid.scenarios) << "\n";
+    if (!cfg.grid.policies.empty()) {
+        std::vector<std::string> names;
+        for (ReplPolicy p : cfg.grid.policies)
+            names.push_back(replPolicyName(p));
+        out << "sweep.policies = " << join(names) << "\n";
+    }
+    if (!cfg.grid.seeds.empty()) {
+        std::vector<std::string> seeds;
+        for (std::uint64_t s : cfg.grid.seeds)
+            seeds.push_back(std::to_string(s));
+        out << "sweep.seeds = " << join(seeds) << "\n";
+    }
+    out << "sweep.hardware_targets = "
+        << (cfg.grid.hardwareTargets ? "true" : "false") << "\n"
+        << "sweep.workers = " << cfg.workers << "\n"
+        << "sweep.include_timing = "
+        << (cfg.includeTiming ? "true" : "false") << "\n";
+    if (!cfg.reportJsonPath.empty())
+        out << "sweep.report_json = " << cfg.reportJsonPath << "\n";
+    if (!cfg.reportCsvPath.empty())
+        out << "sweep.report_csv = " << cfg.reportCsvPath << "\n";
+    return out.str();
+}
+
+} // namespace autocat

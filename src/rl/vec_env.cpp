@@ -119,7 +119,8 @@ SyncVecEnv::stepAll(const std::vector<std::size_t> &actions)
 
 ThreadedVecEnv::ThreadedVecEnv(
     std::vector<std::unique_ptr<Environment>> envs, std::size_t num_threads)
-    : envs_(std::move(envs))
+    : envs_(std::move(envs)),
+      pool_(num_threads, /*max_useful=*/envs_.size())
 {
     std::vector<Environment *> raw;
     raw.reserve(envs_.size());
@@ -128,118 +129,18 @@ ThreadedVecEnv::ThreadedVecEnv(
     validateStreams(raw);
     obs_dim_ = envs_.front()->observationSize();
     num_actions_ = envs_.front()->numActions();
-
-    std::size_t hw = std::thread::hardware_concurrency();
-    if (hw == 0)
-        hw = 1;
-    std::size_t threads = num_threads ? num_threads : hw;
-    threads = std::min(threads, envs_.size());
-    threads = std::max<std::size_t>(threads, 1);
-
-    // Contiguous, near-equal stream slices per worker.
-    bounds_.resize(threads + 1);
-    for (std::size_t w = 0; w <= threads; ++w)
-        bounds_[w] = w * envs_.size() / threads;
-
-    workers_.reserve(threads);
-    for (std::size_t w = 0; w < threads; ++w)
-        workers_.emplace_back([this, w] { workerLoop(w); });
-}
-
-ThreadedVecEnv::~ThreadedVecEnv()
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        op_ = Op::Quit;
-        ++generation_;
-    }
-    work_cv_.notify_all();
-    for (auto &t : workers_)
-        t.join();
-}
-
-void
-ThreadedVecEnv::workerLoop(std::size_t worker_index)
-{
-    std::uint64_t seen = 0;
-    for (;;) {
-        Op op;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [&] { return generation_ != seen; });
-            seen = generation_;
-            op = op_;
-        }
-        if (op == Op::Quit)
-            return;
-
-        try {
-            // Clip this worker's stream slice to the batch range.
-            const std::size_t lo =
-                std::max(bounds_[worker_index], range_lo_);
-            const std::size_t hi =
-                std::min(bounds_[worker_index + 1], range_hi_);
-            for (std::size_t i = lo; i < hi; ++i) {
-                if (op == Op::Reset) {
-                    const std::vector<float> row = envs_[i]->reset();
-                    std::memcpy(out_->obs.rowPtr(i), row.data(),
-                                row.size() * sizeof(float));
-                } else {
-                    stepStream(*envs_[i], (*actions_)[i], i, out_->obs,
-                               out_->rewards, out_->dones, out_->infos);
-                }
-            }
-        } catch (...) {
-            // Keep only the first failure; the batch still completes
-            // so the caller is never left waiting.
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!error_)
-                error_ = std::current_exception();
-        }
-
-        bool last = false;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            last = --remaining_ == 0;
-        }
-        if (last)
-            done_cv_.notify_one();
-    }
-}
-
-void
-ThreadedVecEnv::runBatch(Op op)
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        op_ = op;
-        remaining_ = workers_.size();
-        error_ = nullptr;
-        ++generation_;
-    }
-    work_cv_.notify_all();
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return remaining_ == 0; });
-    if (error_) {
-        // Same semantics as SyncVecEnv: environment exceptions reach
-        // the caller instead of terminating the worker.
-        std::exception_ptr e = std::move(error_);
-        error_ = nullptr;
-        std::rethrow_exception(e);
-    }
 }
 
 Matrix
 ThreadedVecEnv::resetAll()
 {
-    VecStepResult staging;
-    staging.obs.resizeUninit(envs_.size(), obs_dim_);
-    out_ = &staging;
-    range_lo_ = 0;
-    range_hi_ = envs_.size();
-    runBatch(Op::Reset);
-    out_ = nullptr;
-    return std::move(staging.obs);
+    Matrix obs;
+    obs.resizeUninit(envs_.size(), obs_dim_);
+    pool_.parallelFor(0, envs_.size(), [&](std::size_t i) {
+        const std::vector<float> row = envs_[i]->reset();
+        std::memcpy(obs.rowPtr(i), row.data(), row.size() * sizeof(float));
+    });
+    return obs;
 }
 
 VecStepResult
@@ -265,12 +166,10 @@ ThreadedVecEnv::stepRange(std::size_t begin, std::size_t end,
     assert(out.rewards.size() == envs_.size() &&
            out.dones.size() == envs_.size() &&
            out.infos.size() == envs_.size());
-    actions_ = &actions;
-    out_ = &out;
-    range_lo_ = begin;
-    range_hi_ = end;
-    runBatch(Op::Step);
-    out_ = nullptr;
+    pool_.parallelFor(begin, end, [&](std::size_t i) {
+        stepStream(*envs_[i], actions[i], i, out.obs, out.rewards,
+                   out.dones, out.infos);
+    });
 }
 
 } // namespace autocat

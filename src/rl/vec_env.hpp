@@ -26,15 +26,13 @@
 #ifndef AUTOCAT_RL_VEC_ENV_HPP
 #define AUTOCAT_RL_VEC_ENV_HPP
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "rl/env_interface.hpp"
 #include "rl/mat.hpp"
+#include "util/task_pool.hpp"
 
 namespace autocat {
 
@@ -133,9 +131,10 @@ class SyncVecEnv : public VecEnv
 
 /**
  * Worker-pool adapter: stepAll()/resetAll() dispatch each stream to a
- * persistent thread pool and block until the batch is complete.
- * Trajectories are bitwise-identical to SyncVecEnv over the same
- * environments.
+ * persistent TaskPool (util/task_pool.hpp) and block until the batch
+ * is complete. Trajectories are bitwise-identical to SyncVecEnv over
+ * the same environments: each stream owns its state and writes only
+ * its own output row, so the pool's claiming order is unobservable.
  */
 class ThreadedVecEnv : public VecEnv
 {
@@ -147,7 +146,6 @@ class ThreadedVecEnv : public VecEnv
      */
     explicit ThreadedVecEnv(std::vector<std::unique_ptr<Environment>> envs,
                             std::size_t num_threads = 0);
-    ~ThreadedVecEnv() override;
 
     ThreadedVecEnv(const ThreadedVecEnv &) = delete;
     ThreadedVecEnv &operator=(const ThreadedVecEnv &) = delete;
@@ -157,45 +155,20 @@ class ThreadedVecEnv : public VecEnv
     std::size_t numActions() const override { return num_actions_; }
     Matrix resetAll() override;
     VecStepResult stepAll(const std::vector<std::size_t> &actions) override;
-    /** Parallel sub-batch step: workers clip their slices to the range. */
+    /** Parallel sub-batch step over [begin, end) on the pool. */
     void stepRange(std::size_t begin, std::size_t end,
                    const std::vector<std::size_t> &actions,
                    VecStepResult &out) override;
     Environment &env(std::size_t i) override { return *envs_[i]; }
 
     /** Worker threads actually running. */
-    std::size_t numThreads() const { return workers_.size(); }
+    std::size_t numThreads() const { return pool_.numThreads(); }
 
   private:
-    enum class Op { None, Reset, Step, Quit };
-
-    void workerLoop(std::size_t worker_index);
-    void runBatch(Op op);
-
     std::vector<std::unique_ptr<Environment>> envs_;
     std::size_t obs_dim_ = 0;
     std::size_t num_actions_ = 0;
-
-    // Batch command state, published under mutex_ before each batch.
-    std::mutex mutex_;
-    std::condition_variable work_cv_;   ///< workers wait for a batch
-    std::condition_variable done_cv_;   ///< caller waits for completion
-    Op op_ = Op::None;
-    std::uint64_t generation_ = 0;      ///< bumped per dispatched batch
-    std::size_t remaining_ = 0;         ///< workers yet to finish
-    const std::vector<std::size_t> *actions_ = nullptr;
-    std::exception_ptr error_;  ///< first env exception of the batch;
-                                ///< rethrown on the calling thread
-
-    // Per-batch output target and stream range, written by workers at
-    // disjoint stream indices within [range_lo_, range_hi_).
-    VecStepResult *out_ = nullptr;
-    std::size_t range_lo_ = 0;
-    std::size_t range_hi_ = 0;
-
-    std::vector<std::thread> workers_;
-    // Stream ranges per worker: worker w owns [bounds_[w], bounds_[w+1]).
-    std::vector<std::size_t> bounds_;
+    TaskPool pool_;
 };
 
 } // namespace autocat

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/config_parser.hpp"
+#include "util/rng.hpp"
 
 namespace autocat {
 namespace {
@@ -115,6 +116,47 @@ TEST(ConfigParser, BadBooleanFails)
         std::invalid_argument);
 }
 
+TEST(ConfigParser, NumericValuesAreStrict)
+{
+    // Trailing garbage, negatives, and out-of-range values must fail
+    // loudly, not silently truncate or wrap.
+    EXPECT_THROW(parseExplorationConfig(std::string("num_ways = 8abc")),
+                 std::invalid_argument);
+    EXPECT_THROW(parseExplorationConfig(std::string("num_ways = -1")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(std::string("hierarchy.num_cores = 0z")),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(
+            std::string("seed = 123456789012345678901234567890")),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(std::string("learning_rate = 0.x")),
+        std::invalid_argument);
+    // Narrowed fields reject values that would wrap int/unsigned.
+    EXPECT_THROW(
+        parseExplorationConfig(
+            std::string("steps_per_epoch = 3000000000")),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(std::string("num_ways = 4294967298")),
+        std::invalid_argument);
+    EXPECT_THROW(parseExplorationConfig(std::string("step_reward =")),
+                 std::invalid_argument);
+    // Non-finite doubles parse via stod but are never sane knobs.
+    EXPECT_THROW(parseExplorationConfig(std::string("gamma = nan")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(std::string("learning_rate = inf")),
+        std::invalid_argument);
+    // Scientific notation and signed doubles stay accepted.
+    const ExplorationConfig ok = parseExplorationConfig(
+        std::string("learning_rate = 1e-3\nstep_reward = -0.02"));
+    EXPECT_DOUBLE_EQ(ok.ppo.lr, 1e-3);
+    EXPECT_DOUBLE_EQ(ok.env.stepReward, -0.02);
+}
+
 TEST(ConfigParser, CommentsAndBlankLinesIgnored)
 {
     const ExplorationConfig cfg = parseExplorationConfig(std::string(
@@ -208,6 +250,13 @@ TEST(ConfigParser, BadHierarchyKeysFailLoudly)
     EXPECT_THROW(parseExplorationConfig(
                      std::string("hierarchy.levels[99].num_ways = 1")),
                  std::invalid_argument);
+    // Trailing garbage in the level index must not parse as the prefix.
+    EXPECT_THROW(parseExplorationConfig(
+                     std::string("hierarchy.levels[0z].num_ways = 1")),
+                 std::invalid_argument);
+    EXPECT_THROW(parseExplorationConfig(
+                     std::string("hierarchy.levels[].num_ways = 1")),
+                 std::invalid_argument);
     EXPECT_THROW(parseExplorationConfig(
                      std::string("hierarchy.bogus = 1")),
                  std::invalid_argument);
@@ -247,6 +296,158 @@ TEST(ConfigParser, RenderRoundTripsHierarchy)
     EXPECT_EQ(parsed.env.hierarchy.levels[1].inclusion,
               InclusionPolicy::Exclusive);
     EXPECT_TRUE(parsed.env.hierarchy.levels[1].shared);
+}
+
+TEST(ConfigParser, RenderRejectsUnrepresentableScenarioNames)
+{
+    ExplorationConfig cfg;
+    cfg.scenario = "foo #1";
+    EXPECT_THROW(renderExplorationConfig(cfg), std::invalid_argument);
+    cfg.scenario = "foo ";
+    EXPECT_THROW(renderExplorationConfig(cfg), std::invalid_argument);
+}
+
+TEST(ConfigParser, ExtensionHookReceivesUnknownKeys)
+{
+    std::vector<std::pair<std::string, std::string>> seen;
+    const ExplorationConfig cfg = parseExplorationConfig(
+        std::string("num_ways = 8\ncustom.alpha = 3\ncustom.beta = x\n"),
+        [&](const std::string &key, const std::string &value) {
+            if (key.compare(0, 7, "custom.") != 0)
+                return false;
+            seen.emplace_back(key, value);
+            return true;
+        });
+    EXPECT_EQ(cfg.env.cache.numWays, 8u);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].first, "custom.alpha");
+    EXPECT_EQ(seen[1].second, "x");
+
+    // A hook that declines the key keeps the fail-loudly contract, and
+    // a hook that throws gets the line number appended.
+    EXPECT_THROW(
+        parseExplorationConfig(
+            std::string("other.key = 1"),
+            [](const std::string &, const std::string &) { return false; }),
+        std::invalid_argument);
+    try {
+        parseExplorationConfig(
+            std::string("\ncustom.bad = 1"),
+            [](const std::string &, const std::string &) -> bool {
+                throw std::invalid_argument("config: bad custom key");
+            });
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+/** Randomized config covering every rendered knob family. */
+ExplorationConfig
+randomConfig(Rng &rng)
+{
+    const ReplPolicy policies[] = {ReplPolicy::Lru, ReplPolicy::TreePlru,
+                                   ReplPolicy::Rrip, ReplPolicy::Random};
+    const PrefetcherKind prefetchers[] = {PrefetcherKind::None,
+                                          PrefetcherKind::NextLine,
+                                          PrefetcherKind::Stream};
+    const InclusionPolicy inclusions[] = {InclusionPolicy::Inclusive,
+                                          InclusionPolicy::Exclusive,
+                                          InclusionPolicy::Nine};
+
+    ExplorationConfig cfg;
+    cfg.env.cache.numSets = 1u << rng.uniformInt(4);
+    cfg.env.cache.numWays = 1u << rng.uniformInt(4);
+    cfg.env.cache.policy = policies[rng.uniformInt(4)];
+    cfg.env.cache.prefetcher = prefetchers[rng.uniformInt(3)];
+    cfg.env.cache.randomSetMapping = rng.bernoulli(0.5);
+    cfg.env.cache.addressSpaceSize = 16 + rng.uniformInt(64);
+    cfg.env.attackAddrS = rng.uniformInt(4);
+    cfg.env.attackAddrE = cfg.env.attackAddrS + rng.uniformInt(8);
+    cfg.env.victimAddrE = rng.uniformInt(4);
+    cfg.env.flushEnable = rng.bernoulli(0.5);
+    cfg.env.victimNoAccessEnable = rng.bernoulli(0.5);
+    cfg.env.detectionEnable = rng.bernoulli(0.5);
+    cfg.env.windowSize = rng.uniformInt(64);
+    cfg.env.episodeLengthLimit = rng.uniformInt(64);
+    cfg.env.multiSecret = rng.bernoulli(0.5);
+    cfg.env.multiSecretEpisodeSteps = 1 + rng.uniformInt(200);
+    cfg.env.randomInit = rng.bernoulli(0.5);
+    cfg.env.initAccesses = rng.uniformInt(16);
+    cfg.env.stepReward = -0.001 * static_cast<double>(rng.uniformInt(50));
+    cfg.env.seed = rng.uniformInt(1000);
+    cfg.ppo.seed = rng.uniformInt(1000);
+    cfg.ppo.stepsPerEpoch = 100 + static_cast<int>(rng.uniformInt(5000));
+    cfg.ppo.hidden = 16u << rng.uniformInt(4);
+    cfg.ppo.entropyCoef = 0.001 * static_cast<double>(rng.uniformInt(100));
+    cfg.maxEpochs = 1 + static_cast<int>(rng.uniformInt(300));
+    cfg.evalEpisodes = 1 + static_cast<int>(rng.uniformInt(200));
+    cfg.verbose = rng.bernoulli(0.5);
+    cfg.numStreams = 1 + static_cast<int>(rng.uniformInt(8));
+    cfg.threadedEnvs = rng.bernoulli(0.5);
+    cfg.ppo.doubleBuffered = rng.bernoulli(0.5);
+
+    if (rng.bernoulli(0.6)) {
+        const unsigned depth = 1 + static_cast<unsigned>(rng.uniformInt(3));
+        cfg.env.hierarchy.numCores = 2;
+        for (unsigned k = 0; k < depth; ++k) {
+            HierarchyLevelConfig lvl;
+            lvl.cache.numSets = 1u << rng.uniformInt(3);
+            lvl.cache.numWays = 1u << rng.uniformInt(3);
+            lvl.cache.policy = policies[rng.uniformInt(4)];
+            lvl.cache.addressSpaceSize = 16 + rng.uniformInt(64);
+            lvl.cache.seed = rng.uniformInt(100);
+            lvl.inclusion = inclusions[rng.uniformInt(3)];
+            lvl.shared = rng.bernoulli(0.5);
+            cfg.env.hierarchy.levels.push_back(lvl);
+        }
+    }
+    return cfg;
+}
+
+TEST(ConfigParserFuzz, RenderParseRenderIsAFixedPointOnRandomConfigs)
+{
+    Rng rng(0xc0ffee);
+    for (int round = 0; round < 50; ++round) {
+        const ExplorationConfig cfg = randomConfig(rng);
+        const std::string once = renderExplorationConfig(cfg);
+        ExplorationConfig reparsed;
+        ASSERT_NO_THROW(reparsed = parseExplorationConfig(once))
+            << "round " << round << "\n" << once;
+        const std::string twice = renderExplorationConfig(reparsed);
+        ASSERT_EQ(once, twice) << "round " << round;
+    }
+}
+
+TEST(ConfigParserFuzz, RandomlyCorruptedKeysNeverParseSilently)
+{
+    // Mutating any key name must produce an error, not a silently
+    // defaulted config: every line of the rendered format is
+    // load-bearing.
+    Rng rng(0xfacade);
+    const std::string rendered =
+        renderExplorationConfig(randomConfig(rng));
+    std::vector<std::string> lines;
+    std::istringstream iss(rendered);
+    std::string line;
+    while (std::getline(iss, line))
+        lines.push_back(line);
+
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::string> mutated = lines;
+        std::string &victim = mutated[rng.uniformInt(mutated.size())];
+        const auto eq = victim.find('=');
+        ASSERT_NE(eq, std::string::npos);
+        // Corrupt the key portion (insert a character).
+        const std::size_t pos = rng.uniformInt(eq);
+        victim.insert(pos, 1, 'z');
+
+        std::string text;
+        for (const std::string &l : mutated)
+            text += l + "\n";
+        EXPECT_THROW(parseExplorationConfig(text), std::exception)
+            << "round " << round << ": '" << victim << "'";
+    }
 }
 
 } // namespace

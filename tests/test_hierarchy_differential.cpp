@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Differential test: CacheHierarchy vs an independently written naive
+ * oracle model.
+ *
+ * The oracle reimplements the documented hierarchy semantics
+ * (cache/memory_system.hpp: innermost-out walk, inclusive
+ * back-invalidation, exclusive single-residency victim caches, NINE,
+ * private-vs-shared levels) over the simplest possible data
+ * structures — per-set way arrays plus an explicit LRU recency list —
+ * with none of the engine's flattened replacement metadata, event
+ * plumbing, or hot-path layout. Both models are driven with ~100k
+ * seeded random operations per configuration (accesses from both
+ * domains plus flushes) and must agree on every observable:
+ *
+ *  - the MemoryAccessResult of every access (hit, hitLevel,
+ *    victimMissed, servedUncached),
+ *  - the outermost-level cache event stream (demand accesses, victim
+ *    fills, flushes, with hit/eviction payloads — what detectors see),
+ *  - full-address-space residency (contains()) at checkpoints.
+ *
+ * Configurations cover depths 1-3, all three inclusion policies
+ * (including an exclusive-exclusive spill chain), and private vs
+ * shared inner levels. LRU everywhere: the point is the hierarchy
+ * walk and the replacement bookkeeping, not stochastic policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cache/memory_system.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+namespace {
+
+constexpr std::uint64_t kAddressSpace = 48;
+constexpr int kOpsPerConfig = 100000;
+
+// ------------------------------------------------------------- oracle --
+
+/** Observable outer-level event, mirroring CacheEvent's payload. */
+struct OracleEvent
+{
+    CacheOp op = CacheOp::DemandAccess;
+    Domain domain = Domain::Attacker;
+    std::uint64_t addr = 0;
+    std::uint64_t setIndex = 0;
+    bool hit = false;
+    bool evicted = false;
+    std::uint64_t evictedAddr = 0;
+    Domain evictedOwner = Domain::Attacker;
+
+    bool
+    operator==(const OracleEvent &o) const
+    {
+        return op == o.op && domain == o.domain && addr == o.addr &&
+               setIndex == o.setIndex && hit == o.hit &&
+               evicted == o.evicted && evictedAddr == o.evictedAddr &&
+               evictedOwner == o.evictedOwner;
+    }
+};
+
+OracleEvent
+fromEngine(const CacheEvent &ev)
+{
+    OracleEvent out;
+    out.op = ev.op;
+    out.domain = ev.domain;
+    out.addr = ev.addr;
+    out.setIndex = ev.setIndex;
+    out.hit = ev.hit;
+    out.evicted = ev.evicted;
+    out.evictedAddr = ev.evictedAddr;
+    out.evictedOwner = ev.evictedOwner;
+    return out;
+}
+
+/** What one oracle-cache operation observed. */
+struct OracleAccess
+{
+    bool hit = false;
+    bool evicted = false;
+    std::uint64_t evictedAddr = 0;
+    Domain evictedOwner = Domain::Attacker;
+};
+
+/**
+ * Naive true-LRU set-associative cache: per-set way slots plus an
+ * explicit recency list of way indices (front = most recent). Fills
+ * prefer the lowest-index invalid way; an invalidated way moves to
+ * the back of the recency list (it refills last among valid victims
+ * and first among invalid slots by index order).
+ */
+class OracleCache
+{
+  public:
+    OracleCache(unsigned sets, unsigned ways)
+        : sets_(sets), ways_(ways), lines_(sets * ways),
+          recency_(sets)
+    {
+        for (unsigned s = 0; s < sets; ++s) {
+            // Power-on: way 0 is the oldest (first victim).
+            for (unsigned w = ways; w-- > 0;)
+                recency_[s].push_back(w);
+        }
+    }
+
+    std::uint64_t setOf(std::uint64_t addr) const { return addr % sets_; }
+
+    OracleAccess
+    access(std::uint64_t addr, Domain domain)
+    {
+        const std::uint64_t s = setOf(addr);
+        OracleAccess out;
+
+        const int hit_way = findWay(s, addr);
+        if (hit_way >= 0) {
+            out.hit = true;
+            line(s, hit_way).owner = domain;
+            touchFront(s, static_cast<unsigned>(hit_way));
+            return out;
+        }
+
+        int way = -1;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!line(s, w).valid) {
+                way = static_cast<int>(w);
+                break;
+            }
+        }
+        if (way < 0) {
+            // Victim: least-recently-used way (all are valid here).
+            way = static_cast<int>(recency_[s].back());
+            out.evicted = true;
+            out.evictedAddr = line(s, way).addr;
+            out.evictedOwner = line(s, way).owner;
+        }
+        line(s, way) = {true, addr, domain};
+        touchFront(s, static_cast<unsigned>(way));
+        return out;
+    }
+
+    /** Invalidate without victim handling; true when a line dropped. */
+    bool
+    invalidate(std::uint64_t addr)
+    {
+        const std::uint64_t s = setOf(addr);
+        const int way = findWay(s, addr);
+        if (way < 0)
+            return false;
+        line(s, way).valid = false;
+        touchBack(s, static_cast<unsigned>(way));
+        return true;
+    }
+
+    bool
+    contains(std::uint64_t addr) const
+    {
+        return findWay(setOf(addr), addr) >= 0;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t addr = 0;
+        Domain owner = Domain::Attacker;
+    };
+
+    Line &line(std::uint64_t s, int w) { return lines_[s * ways_ + w]; }
+    const Line &
+    line(std::uint64_t s, int w) const
+    {
+        return lines_[s * ways_ + w];
+    }
+
+    int
+    findWay(std::uint64_t s, std::uint64_t addr) const
+    {
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (line(s, w).valid && line(s, w).addr == addr)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    void
+    touchFront(std::uint64_t s, unsigned way)
+    {
+        auto &order = recency_[s];
+        order.erase(std::find(order.begin(), order.end(), way));
+        order.insert(order.begin(), way);
+    }
+
+    void
+    touchBack(std::uint64_t s, unsigned way)
+    {
+        auto &order = recency_[s];
+        order.erase(std::find(order.begin(), order.end(), way));
+        order.push_back(way);
+    }
+
+    unsigned sets_, ways_;
+    std::vector<Line> lines_;
+    std::vector<std::vector<unsigned>> recency_;  ///< front = newest
+};
+
+/** One oracle hierarchy level. */
+struct OracleLevelSpec
+{
+    unsigned sets;
+    unsigned ways;
+    InclusionPolicy inclusion;
+    bool shared;
+};
+
+/**
+ * Naive hierarchy walk over OracleCaches, emitting outer-level events.
+ * Independent restatement of the spec in cache/memory_system.hpp.
+ */
+class OracleHierarchy
+{
+  public:
+    OracleHierarchy(const std::vector<OracleLevelSpec> &specs,
+                    unsigned num_cores)
+        : specs_(specs)
+    {
+        for (const OracleLevelSpec &spec : specs) {
+            std::vector<OracleCache> instances;
+            const unsigned n = spec.shared ? 1 : num_cores;
+            for (unsigned c = 0; c < n; ++c)
+                instances.emplace_back(spec.sets, spec.ways);
+            levels_.push_back(std::move(instances));
+        }
+    }
+
+    const std::vector<OracleEvent> &events() const { return events_; }
+
+    MemoryAccessResult
+    access(std::uint64_t addr, Domain domain)
+    {
+        const unsigned core = domain == Domain::Attacker ? 0 : 1;
+        const unsigned depth = static_cast<unsigned>(levels_.size());
+        MemoryAccessResult out;
+
+        bool resident = false;
+        bool have_victim = false;
+        std::uint64_t victim_addr = 0;
+        Domain victim_owner = Domain::Attacker;
+
+        for (unsigned k = 0; k < depth; ++k) {
+            OracleCache &cache = instanceFor(k, core);
+            const bool exclusive =
+                specs_[k].inclusion == InclusionPolicy::Exclusive && k > 0;
+            bool hit_here = false;
+
+            if (exclusive) {
+                // Exclusive: no demand fill. A hit moves the line
+                // inward (some inner level just installed it), so the
+                // copy here is dropped to keep single residency.
+                if (cache.contains(addr)) {
+                    if (resident)
+                        cache.invalidate(addr);
+                    hit_here = true;
+                }
+                if (have_victim) {
+                    have_victim = installInto(k, core, victim_addr,
+                                              victim_owner, &victim_addr,
+                                              &victim_owner);
+                }
+            } else {
+                const OracleAccess res = cache.access(addr, domain);
+                emitIfOuter(k, CacheOp::DemandAccess, domain, addr,
+                            cache.setOf(addr), res);
+                resident = true;
+                hit_here = res.hit;
+                have_victim = res.evicted;
+                victim_addr = res.evictedAddr;
+                victim_owner = res.evictedOwner;
+                if (res.evicted &&
+                    specs_[k].inclusion == InclusionPolicy::Inclusive &&
+                    k > 0) {
+                    backInvalidateInner(k, res.evictedAddr, core);
+                }
+            }
+
+            if (hit_here) {
+                out.hit = true;
+                out.hitLevel = static_cast<int>(k) + 1;
+                // A victim still in flight spills outward through
+                // consecutive exclusive levels.
+                std::uint64_t spill_addr = victim_addr;
+                Domain spill_owner = victim_owner;
+                for (unsigned j = k + 1; have_victim && j < depth &&
+                                         specs_[j].inclusion ==
+                                             InclusionPolicy::Exclusive;
+                     ++j) {
+                    have_victim = installInto(j, core, spill_addr,
+                                              spill_owner, &spill_addr,
+                                              &spill_owner);
+                }
+                break;
+            }
+        }
+
+        out.servedUncached = false;  // no PL locking in this test
+        out.victimMissed = domain == Domain::Victim && !out.hit;
+        return out;
+    }
+
+    void
+    flush(std::uint64_t addr, Domain domain)
+    {
+        const unsigned depth = static_cast<unsigned>(levels_.size());
+        for (unsigned k = 0; k + 1 < depth; ++k) {
+            for (OracleCache &cache : levels_[k])
+                cache.invalidate(addr);
+        }
+        for (OracleCache &cache : levels_.back()) {
+            OracleEvent ev;
+            ev.op = CacheOp::Flush;
+            ev.domain = domain;
+            ev.addr = addr;
+            ev.setIndex = cache.setOf(addr);
+            ev.hit = cache.invalidate(addr);
+            events_.push_back(ev);
+        }
+    }
+
+    bool
+    contains(std::uint64_t addr) const
+    {
+        for (const auto &instances : levels_) {
+            for (const OracleCache &cache : instances) {
+                if (cache.contains(addr))
+                    return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    OracleCache &
+    instanceFor(unsigned level, unsigned core)
+    {
+        auto &instances = levels_[level];
+        return instances[specs_[level].shared ? 0 : core];
+    }
+
+    /** Install a victim into level @p k (VictimFill); returns whether
+     *  a displaced line continues outward. */
+    bool
+    installInto(unsigned k, unsigned core, std::uint64_t addr,
+                Domain owner, std::uint64_t *next_addr, Domain *next_owner)
+    {
+        OracleCache &cache = instanceFor(k, core);
+        const OracleAccess fill = cache.access(addr, owner);
+        emitIfOuter(k, CacheOp::VictimFill, owner, addr, cache.setOf(addr),
+                    fill);
+        *next_addr = fill.evictedAddr;
+        *next_owner = fill.evictedOwner;
+        return fill.evicted;
+    }
+
+    void
+    backInvalidateInner(unsigned level, std::uint64_t addr, unsigned core)
+    {
+        const bool evicting_shared = specs_[level].shared;
+        for (unsigned k = 0; k < level; ++k) {
+            if (evicting_shared || specs_[k].shared) {
+                for (OracleCache &cache : levels_[k])
+                    cache.invalidate(addr);
+            } else {
+                instanceFor(k, core).invalidate(addr);
+            }
+        }
+    }
+
+    void
+    emitIfOuter(unsigned level, CacheOp op, Domain domain,
+                std::uint64_t addr, std::uint64_t set_index,
+                const OracleAccess &res)
+    {
+        if (level + 1 != levels_.size())
+            return;
+        OracleEvent ev;
+        ev.op = op;
+        ev.domain = domain;
+        ev.addr = addr;
+        ev.setIndex = set_index;
+        ev.hit = res.hit;
+        ev.evicted = res.evicted;
+        ev.evictedAddr = res.evictedAddr;
+        ev.evictedOwner = res.evictedOwner;
+        events_.push_back(ev);
+    }
+
+    std::vector<OracleLevelSpec> specs_;
+    std::vector<std::vector<OracleCache>> levels_;
+    std::vector<OracleEvent> events_;
+};
+
+// ------------------------------------------------------ the differential
+
+HierarchyConfig
+engineConfig(const std::vector<OracleLevelSpec> &specs, unsigned num_cores)
+{
+    HierarchyConfig cfg;
+    cfg.numCores = num_cores;
+    for (const OracleLevelSpec &spec : specs) {
+        CacheConfig level;
+        level.numSets = spec.sets;
+        level.numWays = spec.ways;
+        level.policy = ReplPolicy::Lru;
+        level.addressSpaceSize = kAddressSpace;
+        cfg.levels.push_back({level, spec.inclusion, spec.shared});
+    }
+    return cfg;
+}
+
+std::string
+describeEvent(const OracleEvent &ev)
+{
+    std::string s = "op=" + std::to_string(static_cast<int>(ev.op)) +
+                    " dom=" + std::to_string(static_cast<int>(ev.domain)) +
+                    " addr=" + std::to_string(ev.addr) +
+                    " set=" + std::to_string(ev.setIndex) +
+                    " hit=" + std::to_string(ev.hit) +
+                    " evicted=" + std::to_string(ev.evicted);
+    if (ev.evicted)
+        s += " evictedAddr=" + std::to_string(ev.evictedAddr) + " owner=" +
+             std::to_string(static_cast<int>(ev.evictedOwner));
+    return s;
+}
+
+void
+runDifferential(const std::vector<OracleLevelSpec> &specs,
+                const std::string &name, std::uint64_t seed)
+{
+    const unsigned num_cores = 2;
+    CacheHierarchy engine(engineConfig(specs, num_cores));
+    OracleHierarchy oracle(specs, num_cores);
+
+    std::vector<OracleEvent> engine_events;
+    engine.setEventListener([&engine_events](const CacheEvent &ev) {
+        engine_events.push_back(fromEngine(ev));
+    });
+
+    Rng rng(seed);
+    std::size_t compared_events = 0;
+    for (int i = 0; i < kOpsPerConfig; ++i) {
+        const std::uint64_t addr = rng.uniformInt(kAddressSpace);
+        const Domain domain =
+            rng.uniformInt(2) == 0 ? Domain::Attacker : Domain::Victim;
+        const std::uint64_t op = rng.uniformInt(10);
+
+        if (op < 9) {
+            const MemoryAccessResult got = engine.access(addr, domain);
+            const MemoryAccessResult want = oracle.access(addr, domain);
+            ASSERT_EQ(got.hit, want.hit)
+                << name << ": op " << i << " addr " << addr;
+            ASSERT_EQ(got.hitLevel, want.hitLevel)
+                << name << ": op " << i << " addr " << addr;
+            ASSERT_EQ(got.victimMissed, want.victimMissed)
+                << name << ": op " << i << " addr " << addr;
+            ASSERT_EQ(got.servedUncached, want.servedUncached)
+                << name << ": op " << i << " addr " << addr;
+        } else {
+            engine.flush(addr, domain);
+            oracle.flush(addr, domain);
+        }
+
+        // Event streams must stay in lock-step (count and payload).
+        const auto &want_events = oracle.events();
+        ASSERT_EQ(engine_events.size(), want_events.size())
+            << name << ": event count diverged after op " << i;
+        for (; compared_events < engine_events.size();
+             ++compared_events) {
+            ASSERT_TRUE(engine_events[compared_events] ==
+                        want_events[compared_events])
+                << name << ": event " << compared_events << " after op "
+                << i << "\n  engine: "
+                << describeEvent(engine_events[compared_events])
+                << "\n  oracle: "
+                << describeEvent(want_events[compared_events]);
+        }
+
+        if (i % 10000 == 0 || i + 1 == kOpsPerConfig) {
+            for (std::uint64_t a = 0; a < kAddressSpace; ++a) {
+                ASSERT_EQ(engine.contains(a), oracle.contains(a))
+                    << name << ": residency of " << a << " after op " << i;
+            }
+        }
+    }
+}
+
+TEST(HierarchyDifferential, Depth1Shared)
+{
+    runDifferential({{4, 2, InclusionPolicy::Inclusive, true}},
+                    "depth1", 101);
+}
+
+TEST(HierarchyDifferential, Depth2InclusivePrivateL1)
+{
+    runDifferential({{2, 1, InclusionPolicy::Inclusive, false},
+                     {4, 2, InclusionPolicy::Inclusive, true}},
+                    "d2-incl-priv", 202);
+}
+
+TEST(HierarchyDifferential, Depth2InclusiveSharedL1)
+{
+    runDifferential({{2, 2, InclusionPolicy::Inclusive, true},
+                     {4, 2, InclusionPolicy::Inclusive, true}},
+                    "d2-incl-shared", 303);
+}
+
+TEST(HierarchyDifferential, Depth2ExclusivePrivateL1)
+{
+    runDifferential({{2, 1, InclusionPolicy::Inclusive, false},
+                     {4, 2, InclusionPolicy::Exclusive, true}},
+                    "d2-excl", 404);
+}
+
+TEST(HierarchyDifferential, Depth2NinePrivateL1)
+{
+    runDifferential({{2, 1, InclusionPolicy::Inclusive, false},
+                     {4, 2, InclusionPolicy::Nine, true}},
+                    "d2-nine", 505);
+}
+
+TEST(HierarchyDifferential, Depth3AllInclusive)
+{
+    runDifferential({{2, 1, InclusionPolicy::Inclusive, false},
+                     {2, 2, InclusionPolicy::Inclusive, false},
+                     {4, 4, InclusionPolicy::Inclusive, true}},
+                    "d3-incl", 606);
+}
+
+TEST(HierarchyDifferential, Depth3ExclusiveOuter)
+{
+    runDifferential({{2, 1, InclusionPolicy::Inclusive, false},
+                     {2, 2, InclusionPolicy::Inclusive, false},
+                     {4, 2, InclusionPolicy::Exclusive, true}},
+                    "d3-excl-outer", 707);
+}
+
+TEST(HierarchyDifferential, Depth3ExclusiveChain)
+{
+    // Consecutive exclusive levels: a victim spilling from L1 can ripple
+    // through L2 into L3.
+    runDifferential({{2, 1, InclusionPolicy::Inclusive, false},
+                     {2, 1, InclusionPolicy::Exclusive, false},
+                     {4, 2, InclusionPolicy::Exclusive, true}},
+                    "d3-excl-chain", 808);
+}
+
+TEST(HierarchyDifferential, Depth3NineMiddle)
+{
+    runDifferential({{2, 2, InclusionPolicy::Inclusive, true},
+                     {2, 2, InclusionPolicy::Nine, true},
+                     {4, 2, InclusionPolicy::Inclusive, true}},
+                    "d3-nine-mid", 909);
+}
+
+} // namespace
+} // namespace autocat
