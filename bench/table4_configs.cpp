@@ -189,12 +189,12 @@ main()
                           row.expected, "(failed)", "-", cell.error});
             continue;
         }
-        const ExplorationResult &r = cell.result;
+        const ExplorationResult &res = cell.result;
         table.addRow(
             {TextTable::fmt((long)row.no), row.type, row.expected,
-             r.converged ? categoryLabel(r.category) : "(timeout)",
-             TextTable::fmt(r.finalAccuracy, 2),
-             r.sequence.toString(false) + " -> " + r.finalGuess});
+             res.converged ? categoryLabel(res.category) : "(timeout)",
+             TextTable::fmt(res.finalAccuracy, 2),
+             res.sequence.toString(false) + " -> " + res.finalGuess});
     }
 
     table.print(std::cout);

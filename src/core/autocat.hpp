@@ -19,10 +19,13 @@
 #include "cache/cache.hpp"
 #include "cache/memory_system.hpp"
 #include "core/bench_mode.hpp"
+#include "core/campaign.hpp"
+#include "core/campaign_config.hpp"
 #include "core/explore.hpp"
 #include "detect/autocorr_detector.hpp"
 #include "detect/benign_traces.hpp"
 #include "detect/cyclone.hpp"
+#include "detect/detector_factory.hpp"
 #include "detect/miss_detector.hpp"
 #include "detect/svm.hpp"
 #include "env/guessing_game.hpp"
@@ -30,6 +33,7 @@
 #include "hw/covert_channel.hpp"
 #include "hw/machines.hpp"
 #include "hw/target.hpp"
+#include "rl/checkpoint.hpp"
 #include "rl/ppo.hpp"
 #include "rl/search.hpp"
 #include "util/stats.hpp"

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * `campaign.*` / `phase[N].*` config-file keys: parse and render a
+ * CampaignConfig.
+ *
+ * A campaign file is an ordinary exploration config (every key
+ * core/config_parser.hpp documents, serving as the shared base) plus
+ * the session knobs and an indexed phase list:
+ *
+ *     # 2-phase curriculum: learn the attack clean, then against the
+ *     # miss detector in Penalize mode
+ *     campaign.checkpoint_path  = bypass.ckpt
+ *     campaign.checkpoint_every = 5
+ *     campaign.resume           = false
+ *
+ *     phase[0].name            = warmup
+ *     phase[0].max_epochs      = 30
+ *     phase[0].target_accuracy = 0.95
+ *
+ *     phase[1].name              = bypass
+ *     phase[1].scenario          = miss_detect_terminate
+ *     phase[1].max_epochs        = 40
+ *     phase[1].target_accuracy   = 0.95
+ *     phase[1].max_detection_rate = 0.05
+ *     phase[1].detector          = miss
+ *     phase[1].detector_mode     = penalize
+ *
+ * Parsing layers onto parseExplorationConfig() through its
+ * ConfigKeyHandler hook (like eval/sweep_config.hpp), so all key
+ * families share one format, one error style, and one renderer
+ * round-trip contract: render -> parse -> render is a fixed point.
+ * The phase-key handlers are exposed separately so sweep configs can
+ * carry the same `phase[N].*` family (campaign cells).
+ */
+
+#ifndef AUTOCAT_CORE_CAMPAIGN_CONFIG_HPP
+#define AUTOCAT_CORE_CAMPAIGN_CONFIG_HPP
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace autocat {
+
+/** Phase-list cap for the config surface (sanity bound). */
+constexpr std::size_t kMaxConfigPhases = 16;
+
+/**
+ * Apply one `phase[N].field` key to @p phases (the list grows on
+ * demand so phases may be configured in any order). Returns false when
+ * @p key is not in the phase family; throws std::invalid_argument for
+ * a recognized-but-malformed key or value.
+ */
+bool applyPhaseKey(std::vector<CurriculumPhase> &phases,
+                   const std::string &key, const std::string &value);
+
+/**
+ * Post-parse validation of a phase list assembled via applyPhaseKey:
+ * rejects phases whose detector parameters (`detector_mode`,
+ * `detector_penalty`, ...) were set without a `phase[N].detector`
+ * kind — the keys are order-independent, so completeness can only be
+ * checked once the whole file is read. Both the campaign and sweep
+ * parsers call this, keeping the invariant that every accepted config
+ * renders back (the fixed-point contract).
+ *
+ * @throws std::invalid_argument naming the offending phase
+ */
+void validateConfigPhases(const std::vector<CurriculumPhase> &phases);
+
+/**
+ * Render the `phase[N].*` lines of @p phases (inverse of
+ * applyPhaseKey; only explicitly-set optional fields are emitted).
+ *
+ * @throws std::invalid_argument for values the format cannot
+ *         represent (strings with '#'/newlines, more than one
+ *         detector per phase, unknown detector kinds)
+ */
+std::string renderPhaseKeys(const std::vector<CurriculumPhase> &phases);
+
+/**
+ * Apply one `campaign.*` or `phase[N].*` key to @p cfg; returns false
+ * for keys outside both families.
+ */
+bool applyCampaignKey(CampaignConfig &cfg, const std::string &key,
+                      const std::string &value);
+
+/**
+ * Parse a campaign config (base exploration keys + campaign/phase
+ * keys).
+ *
+ * @throws std::invalid_argument for unknown or malformed keys
+ */
+CampaignConfig parseCampaignConfig(std::istream &in);
+
+/** Parse from a string (convenience for tests). */
+CampaignConfig parseCampaignConfig(const std::string &text);
+
+/** Load from a file path; throws std::runtime_error if unreadable. */
+CampaignConfig loadCampaignConfig(const std::string &path);
+
+/** Render a campaign config back to `key = value` text (round-trips). */
+std::string renderCampaignConfig(const CampaignConfig &config);
+
+} // namespace autocat
+
+#endif // AUTOCAT_CORE_CAMPAIGN_CONFIG_HPP

@@ -54,35 +54,6 @@ parseConfigDouble(const std::string &value, const std::string &key)
     }
 }
 
-std::string
-trimConfigToken(const std::string &s)
-{
-    const auto begin = s.find_first_not_of(" \t\r");
-    if (begin == std::string::npos)
-        return "";
-    const auto end = s.find_last_not_of(" \t\r");
-    return s.substr(begin, end - begin + 1);
-}
-
-namespace {
-
-/** Shortest round-trip double rendering: the rendered text re-parses
- *  to the exact same double (default ostream precision is 6 digits,
- *  which silently perturbs high-precision knobs), and the decimal
- *  point is locale-independent. */
-std::string
-renderDouble(double v)
-{
-    char buf[40];
-    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-    return std::string(buf, res.ptr);
-}
-
-/** Hierarchy depth cap for the config surface (sanity bound). */
-constexpr unsigned kMaxHierarchyLevels = 8;
-
-/** parseConfigUint narrowed to unsigned; overflow fails loudly
- *  instead of wrapping. */
 unsigned
 parseConfigU32(const std::string &value, const std::string &key)
 {
@@ -94,7 +65,6 @@ parseConfigU32(const std::string &value, const std::string &key)
     return static_cast<unsigned>(parsed);
 }
 
-/** parseConfigUint narrowed to a non-negative int. */
 int
 parseConfigInt(const std::string &value, const std::string &key)
 {
@@ -105,6 +75,32 @@ parseConfigInt(const std::string &value, const std::string &key)
     }
     return static_cast<int>(parsed);
 }
+
+std::string
+trimConfigToken(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::string
+renderConfigDouble(double v)
+{
+    // Default ostream precision is 6 digits, which silently perturbs
+    // high-precision knobs; std::to_chars emits the shortest exact
+    // rendering, locale-independently.
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+namespace {
+
+/** Hierarchy depth cap for the config surface (sanity bound). */
+constexpr unsigned kMaxHierarchyLevels = 8;
 
 /**
  * Apply a "hierarchy." key: either hierarchy.num_cores or a
@@ -507,14 +503,14 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << "random_init = " << (cfg.env.randomInit ? "true" : "false")
         << "\n"
         << "init_accesses = " << cfg.env.initAccesses << "\n"
-        << "correct_guess_reward = " << renderDouble(cfg.env.correctGuessReward)
+        << "correct_guess_reward = " << renderConfigDouble(cfg.env.correctGuessReward)
         << "\n"
-        << "wrong_guess_reward = " << renderDouble(cfg.env.wrongGuessReward)
+        << "wrong_guess_reward = " << renderConfigDouble(cfg.env.wrongGuessReward)
         << "\n"
-        << "step_reward = " << renderDouble(cfg.env.stepReward) << "\n"
+        << "step_reward = " << renderConfigDouble(cfg.env.stepReward) << "\n"
         << "length_violation_reward = "
-        << renderDouble(cfg.env.lengthViolationReward) << "\n"
-        << "detection_reward = " << renderDouble(cfg.env.detectionReward)
+        << renderConfigDouble(cfg.env.lengthViolationReward) << "\n"
+        << "detection_reward = " << renderConfigDouble(cfg.env.detectionReward)
         << "\n"
         << "seed = " << cfg.env.seed << "\n"
         << "scenario = " << cfg.scenario << "\n"
@@ -525,12 +521,12 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << (cfg.ppo.doubleBuffered ? "true" : "false") << "\n"
         << "ppo_seed = " << cfg.ppo.seed << "\n"
         << "steps_per_epoch = " << cfg.ppo.stepsPerEpoch << "\n"
-        << "learning_rate = " << renderDouble(cfg.ppo.lr) << "\n"
-        << "entropy_coef = " << renderDouble(cfg.ppo.entropyCoef) << "\n"
-        << "gamma = " << renderDouble(cfg.ppo.gamma) << "\n"
+        << "learning_rate = " << renderConfigDouble(cfg.ppo.lr) << "\n"
+        << "entropy_coef = " << renderConfigDouble(cfg.ppo.entropyCoef) << "\n"
+        << "gamma = " << renderConfigDouble(cfg.ppo.gamma) << "\n"
         << "hidden = " << cfg.ppo.hidden << "\n"
         << "max_epochs = " << cfg.maxEpochs << "\n"
-        << "target_accuracy = " << renderDouble(cfg.targetAccuracy) << "\n"
+        << "target_accuracy = " << renderConfigDouble(cfg.targetAccuracy) << "\n"
         << "eval_episodes = " << cfg.evalEpisodes << "\n"
         << "verbose = " << (cfg.verbose ? "true" : "false") << "\n";
     return out.str();

@@ -56,8 +56,22 @@ std::uint64_t parseConfigUint(const std::string &value,
                               const std::string &key);
 double parseConfigDouble(const std::string &value, const std::string &key);
 
+/** parseConfigUint narrowed to unsigned; overflow fails loudly
+ *  instead of wrapping. */
+unsigned parseConfigU32(const std::string &value, const std::string &key);
+
+/** parseConfigUint narrowed to a non-negative int. */
+int parseConfigInt(const std::string &value, const std::string &key);
+
 /** Strip leading/trailing config whitespace (spaces, tabs, CR). */
 std::string trimConfigToken(const std::string &s);
+
+/**
+ * Shortest round-trip double rendering: the text re-parses to the
+ * exact same double and the decimal point is locale-independent.
+ * Shared by every renderer so all key families round-trip alike.
+ */
+std::string renderConfigDouble(double v);
 
 /**
  * Parse an exploration config from `key = value` text.

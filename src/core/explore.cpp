@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/campaign.hpp"
 #include "util/logging.hpp"
 
 namespace autocat {
@@ -41,43 +42,20 @@ extractSequence(CacheGuessingGame &env, ActorCritic &policy,
     return seq;
 }
 
+/*
+ * explore() is a thin one-phase campaign: an empty phase list resolves
+ * to a single phase driven by the base config's budget and accuracy
+ * target, and TrainingSession's epoch loop reproduces the legacy
+ * trainUntil()/evaluate()/extractSequence() sequence bit-for-bit
+ * (pinned by test_explore and test_e2e_discovery).
+ */
 ExplorationResult
 explore(const ExplorationConfig &config,
         std::unique_ptr<MemorySystem> memory, const EnvDecorator &decorate)
 {
-    const auto decorate_stream = [&](Environment &env) {
-        if (!decorate)
-            return;
-        auto *game = dynamic_cast<CacheGuessingGame *>(&env);
-        if (!game)
-            throw std::invalid_argument(
-                "explore: the decorator requires a CacheGuessingGame "
-                "scenario");
-        decorate(*game);
-    };
+    CampaignConfig campaign;
+    campaign.base = config;
 
-    std::unique_ptr<VecEnv> vec;
-    if (memory) {
-        // An externally-built memory system exists exactly once, so it
-        // can back exactly one stream.
-        std::vector<std::unique_ptr<Environment>> envs;
-        envs.push_back(
-            makeEnv(config.scenario, config.env, std::move(memory)));
-        decorate_stream(*envs.front());
-        if (config.threadedEnvs)
-            vec = std::make_unique<ThreadedVecEnv>(std::move(envs));
-        else
-            vec = std::make_unique<SyncVecEnv>(std::move(envs));
-    } else {
-        vec = makeVecEnv(
-            config.scenario, config.env,
-            static_cast<std::size_t>(std::max(1, config.numStreams)),
-            config.threadedEnvs, decorate_stream);
-    }
-
-    PpoTrainer trainer(*vec, config.ppo);
-
-    ExplorationResult result;
     const PpoTrainer::EpochCallback log_cb =
         [&](const EpochStats &stats) {
             if (config.verbose) {
@@ -89,29 +67,9 @@ explore(const ExplorationConfig &config,
             }
         };
 
-    const int converged_epoch = trainer.trainUntil(
-        config.targetAccuracy, config.maxEpochs, config.evalEpisodes,
-        log_cb);
-
-    result.converged = converged_epoch > 0;
-    result.epochsToConverge = converged_epoch;
-    result.envSteps = trainer.totalEnvSteps();
-
-    const EvalStats final_eval =
-        trainer.evaluate(config.evalEpisodes, /*greedy=*/true);
-    result.finalAccuracy = final_eval.guessAccuracy;
-    result.finalEpisodeLength = final_eval.meanEpisodeLength;
-    result.bitRate = final_eval.bitRate;
-    result.detectionRate = final_eval.detectionRate;
-
-    // Sequence extraction needs guessing-game introspection; scenarios
-    // that are not guessing games report metrics only.
-    if (auto *game = dynamic_cast<CacheGuessingGame *>(&vec->env(0))) {
-        result.sequence =
-            extractSequence(*game, trainer.policy(), &result.finalGuess);
-        result.category = classifyAttack(result.sequence, config.env);
-    }
-    return result;
+    TrainingSession session(std::move(campaign), std::move(memory),
+                            decorate);
+    return session.run(log_cb).final;
 }
 
 } // namespace autocat

@@ -67,14 +67,45 @@ resolveHierarchy(EnvConfig cfg, const HierarchyShape &shape)
 EnvFactory
 hierarchyFactory(const HierarchyShape &shape)
 {
-    return [shape](const EnvConfig &cfg,
+    return [shape](const ScenarioContext &ctx,
                    std::unique_ptr<MemorySystem> memory)
                -> std::unique_ptr<Environment> {
-        const EnvConfig resolved = resolveHierarchy(cfg, shape);
+        const EnvConfig resolved = resolveHierarchy(ctx.env, shape);
         if (!memory)
             memory = makeMemorySystem(resolved);
         return std::make_unique<CacheGuessingGame>(resolved,
                                                    std::move(memory));
+    };
+}
+
+/**
+ * Detector-in-the-loop scenario: the guessing game with a default
+ * DetectorSpec attached — unless the context carries explicit specs,
+ * which replace the default (makeEnv applies them afterwards).
+ * @p force_detection_enable turns on Terminate-mode episode ending for
+ * the miss-based case study.
+ */
+EnvFactory
+detectorScenarioFactory(const DetectorSpec &default_spec,
+                        bool force_detection_enable)
+{
+    return [default_spec, force_detection_enable](
+               const ScenarioContext &ctx,
+               std::unique_ptr<MemorySystem> memory)
+               -> std::unique_ptr<Environment> {
+        EnvConfig cfg = ctx.env;
+        if (force_detection_enable)
+            cfg.detectionEnable = true;
+        if (!memory)
+            memory = makeMemorySystem(cfg);
+        auto game =
+            std::make_unique<CacheGuessingGame>(cfg, std::move(memory));
+        if (ctx.detectors.empty()) {
+            game->attachDetector(
+                makeDetector(default_spec, ctx.attackedCache()),
+                default_spec.mode);
+        }
+        return game;
     };
 }
 
@@ -88,11 +119,12 @@ registry()
     static Registry *r = [] {
         auto *init = new Registry;
         init->factories["guessing_game"] =
-            [](const EnvConfig &cfg, std::unique_ptr<MemorySystem> memory)
+            [](const ScenarioContext &ctx,
+               std::unique_ptr<MemorySystem> memory)
             -> std::unique_ptr<Environment> {
             if (!memory)
-                memory = makeMemorySystem(cfg);
-            return std::make_unique<CacheGuessingGame>(cfg,
+                memory = makeMemorySystem(ctx.env);
+            return std::make_unique<CacheGuessingGame>(ctx.env,
                                                        std::move(memory));
         };
         // Hierarchy scenarios: the guessing game over a CacheHierarchy
@@ -105,9 +137,53 @@ registry()
             {2, InclusionPolicy::Exclusive, /*sharedL1=*/false});
         init->factories["three_level"] = hierarchyFactory(
             {3, InclusionPolicy::Inclusive, /*sharedL1=*/false});
+        // Detector-in-the-loop scenarios (Section V-D / Tables VIII-IX).
+        {
+            DetectorSpec miss;
+            miss.kind = "miss";
+            miss.mode = DetectorMode::Terminate;
+            init->factories["miss_detect_terminate"] =
+                detectorScenarioFactory(miss,
+                                        /*force_detection_enable=*/true);
+        }
+        {
+            DetectorSpec cchunter;
+            cchunter.kind = "cchunter";
+            cchunter.mode = DetectorMode::Penalize;
+            cchunter.penalty = -2.0;
+            init->factories["cchunter_bypass"] = detectorScenarioFactory(
+                cchunter, /*force_detection_enable=*/false);
+        }
+        {
+            DetectorSpec cyclone;
+            cyclone.kind = "cyclone";
+            cyclone.mode = DetectorMode::Penalize;
+            cyclone.penalty = -2.0;
+            init->factories["cyclone_bypass"] = detectorScenarioFactory(
+                cyclone, /*force_detection_enable=*/false);
+        }
         return init;
     }();
     return *r;
+}
+
+/** Attach the context's declarative detector specs to a built env. */
+void
+applyContextDetectors(Environment &env, const ScenarioContext &ctx,
+                      const std::string &scenario)
+{
+    if (ctx.detectors.empty())
+        return;
+    auto *game = dynamic_cast<CacheGuessingGame *>(&env);
+    if (!game) {
+        throw std::invalid_argument(
+            "makeEnv: scenario \"" + scenario +
+            "\" did not produce a CacheGuessingGame; detector "
+            "attachments cannot apply");
+    }
+    for (const DetectorSpec &spec : ctx.detectors)
+        game->attachDetector(makeDetector(spec, ctx.attackedCache()),
+                             spec.mode);
 }
 
 } // namespace
@@ -143,7 +219,7 @@ scenarioNames()
 }
 
 std::unique_ptr<Environment>
-makeEnv(const std::string &name, const EnvConfig &config,
+makeEnv(const std::string &name, const ScenarioContext &ctx,
         std::unique_ptr<MemorySystem> memory)
 {
     EnvFactory factory;
@@ -156,11 +232,20 @@ makeEnv(const std::string &name, const EnvConfig &config,
                                     "\"");
         factory = it->second;
     }
-    return factory(config, std::move(memory));
+    std::unique_ptr<Environment> env = factory(ctx, std::move(memory));
+    applyContextDetectors(*env, ctx, name);
+    return env;
+}
+
+std::unique_ptr<Environment>
+makeEnv(const std::string &name, const EnvConfig &config,
+        std::unique_ptr<MemorySystem> memory)
+{
+    return makeEnv(name, ScenarioContext(config), std::move(memory));
 }
 
 std::unique_ptr<VecEnv>
-makeVecEnv(const std::string &name, const EnvConfig &config,
+makeVecEnv(const std::string &name, const ScenarioContext &ctx,
            std::size_t num_streams, bool threaded,
            const std::function<void(Environment &)> &decorate)
 {
@@ -169,15 +254,24 @@ makeVecEnv(const std::string &name, const EnvConfig &config,
     std::vector<std::unique_ptr<Environment>> envs;
     envs.reserve(num_streams);
     for (std::size_t i = 0; i < num_streams; ++i) {
-        EnvConfig stream_cfg = config;
-        stream_cfg.seed = config.seed + i;
-        envs.push_back(makeEnv(name, stream_cfg));
+        ScenarioContext stream_ctx = ctx;
+        stream_ctx.env.seed = ctx.env.seed + i;
+        envs.push_back(makeEnv(name, stream_ctx));
         if (decorate)
             decorate(*envs.back());
     }
     if (threaded)
         return std::make_unique<ThreadedVecEnv>(std::move(envs));
     return std::make_unique<SyncVecEnv>(std::move(envs));
+}
+
+std::unique_ptr<VecEnv>
+makeVecEnv(const std::string &name, const EnvConfig &config,
+           std::size_t num_streams, bool threaded,
+           const std::function<void(Environment &)> &decorate)
+{
+    return makeVecEnv(name, ScenarioContext(config), num_streams, threaded,
+                      decorate);
 }
 
 } // namespace autocat

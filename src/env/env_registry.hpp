@@ -5,9 +5,11 @@
  * Benches, examples, and the exploration pipeline build their training
  * environments through this registry instead of naming a concrete
  * Environment subclass, so new cache scenarios (different simulators,
- * hardware targets, future workloads) plug in without touching any
- * call site. A scenario is a factory from an EnvConfig (plus an
- * optional externally-built MemorySystem) to an Environment.
+ * hardware targets, detector-in-the-loop workloads) plug in without
+ * touching any call site. A scenario is a factory from a
+ * ScenarioContext — the EnvConfig plus declarative detector
+ * attachments — (and an optional externally-built MemorySystem) to an
+ * Environment.
  *
  * Built-in scenarios:
  *  - "guessing_game": the paper's cache guessing game over the memory
@@ -20,6 +22,19 @@
  * The hierarchy scenarios synthesize their levels from EnvConfig::cache
  * (the attacked outermost level) unless EnvConfig::hierarchy already
  * lists explicit levels.
+ *
+ * Detector-in-the-loop scenarios (Section V-D case studies; Tables
+ * VIII/IX rows run these by name through campaigns and sweeps):
+ *  - "miss_detect_terminate": guessing game with the miss-count
+ *    detector in Terminate mode (detectionEnable forced on): any
+ *    victim demand miss ends the episode with detectionReward.
+ *  - "cchunter_bypass": guessing game with the CC-Hunter-style
+ *    autocorrelation detector in Penalize mode (L2 episode penalty).
+ *  - "cyclone_bypass": guessing game with the Cyclone-style SVM
+ *    detector in Penalize mode (per-interval step penalty); the SVM is
+ *    the deterministic cached model from detect/detector_factory.hpp.
+ * Each attaches its default detector only when the context carries no
+ * explicit DetectorSpec list; explicit specs replace the default.
  */
 
 #ifndef AUTOCAT_ENV_ENV_REGISTRY_HPP
@@ -31,6 +46,7 @@
 #include <vector>
 
 #include "cache/memory_system.hpp"
+#include "detect/detector_factory.hpp"
 #include "env/env_config.hpp"
 #include "rl/env_interface.hpp"
 #include "rl/vec_env.hpp"
@@ -38,11 +54,39 @@
 namespace autocat {
 
 /**
+ * Everything a scenario factory constructs from: the environment
+ * description plus declarative detector attachments. Campaign phases
+ * (core/campaign.hpp) populate `detectors` to attach detectors by name
+ * at phase start; an empty list lets detector scenarios fall back to
+ * their built-in default attachment.
+ */
+struct ScenarioContext
+{
+    EnvConfig env;
+    std::vector<DetectorSpec> detectors;
+
+    ScenarioContext() = default;
+    /*implicit*/ ScenarioContext(const EnvConfig &config) : env(config) {}
+
+    /** The attacked (outermost) cache level's configuration. */
+    const CacheConfig &
+    attackedCache() const
+    {
+        return env.hierarchy.levels.empty()
+                   ? env.cache
+                   : env.hierarchy.levels.back().cache;
+    }
+};
+
+/**
  * Scenario factory. @p memory may be null, in which case the factory
- * builds the memory system the EnvConfig describes (if it needs one).
+ * builds the memory system the context's EnvConfig describes (if it
+ * needs one). Detector attachments in the context are applied by
+ * makeEnv() after construction; factories only attach their own
+ * scenario-default detectors (and only when ctx.detectors is empty).
  */
 using EnvFactory = std::function<std::unique_ptr<Environment>(
-    const EnvConfig &, std::unique_ptr<MemorySystem> memory)>;
+    const ScenarioContext &, std::unique_ptr<MemorySystem> memory)>;
 
 /**
  * Register a scenario under @p name, replacing any previous factory
@@ -59,28 +103,46 @@ bool hasScenario(const std::string &name);
 std::vector<std::string> scenarioNames();
 
 /**
- * Build one environment from the scenario registry.
+ * Build one environment from the scenario registry and apply the
+ * context's detector attachments.
  *
  * @throws std::out_of_range for an unknown scenario name
+ * @throws std::invalid_argument when ctx.detectors is non-empty but
+ *         the scenario did not produce a CacheGuessingGame (detectors
+ *         cannot be attached silently nowhere)
  */
+std::unique_ptr<Environment>
+makeEnv(const std::string &name, const ScenarioContext &ctx,
+        std::unique_ptr<MemorySystem> memory = nullptr);
+
+/** EnvConfig shorthand (no detector attachments). */
 std::unique_ptr<Environment>
 makeEnv(const std::string &name, const EnvConfig &config,
         std::unique_ptr<MemorySystem> memory = nullptr);
 
 /**
  * Build an N-stream vectorized environment from the registry. Stream i
- * is constructed with `config.seed + i` so runs are reproducible and
+ * is constructed with `ctx.env.seed + i` so runs are reproducible and
  * streams are decorrelated; a SyncVecEnv over the same seeds produces
  * bitwise-identical trajectories to N sequential single-env runs.
+ * Detector attachments in the context apply to every stream (each
+ * stream gets its own detector instances).
  *
  * @param name        scenario name
- * @param config      shared configuration (seed becomes the base seed)
+ * @param ctx         shared context (env.seed becomes the base seed)
  * @param num_streams N >= 1
  * @param threaded    step streams on a worker pool (ThreadedVecEnv)
  *                    instead of sequentially (SyncVecEnv)
- * @param decorate    optional per-stream hook (detectors, forced state)
- *                    run on each environment right after construction
+ * @param decorate    optional per-stream hook (extra detectors, forced
+ *                    state) run on each environment right after
+ *                    construction and context attachment
  */
+std::unique_ptr<VecEnv>
+makeVecEnv(const std::string &name, const ScenarioContext &ctx,
+           std::size_t num_streams, bool threaded = false,
+           const std::function<void(Environment &)> &decorate = {});
+
+/** EnvConfig shorthand (no detector attachments). */
 std::unique_ptr<VecEnv>
 makeVecEnv(const std::string &name, const EnvConfig &config,
            std::size_t num_streams, bool threaded = false,

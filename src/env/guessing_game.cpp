@@ -51,6 +51,11 @@ CacheGuessingGame::attachDetector(std::shared_ptr<Detector> detector,
                                   DetectorMode mode)
 {
     assert(detector);
+    // A detector attached after reset() would otherwise carry whatever
+    // per-episode state it accumulated elsewhere until the *next*
+    // episode delivers onEpisodeReset() — campaign phases attach
+    // detectors mid-session, so clear it now.
+    detector->onEpisodeReset();
     detectors_.push_back({std::move(detector), mode});
 }
 

@@ -95,8 +95,9 @@ class CacheGuessingGame : public Environment
     /** Steps taken in the current episode. */
     unsigned stepsTaken() const { return step_count_; }
 
-    /** Reseed the environment RNG (independent evaluation streams). */
-    void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+    /** Reseed the environment RNG (independent evaluation streams,
+     *  campaign checkpoint boundaries). */
+    void reseed(std::uint64_t seed) override { rng_.reseed(seed); }
 
   private:
     struct HistorySlot

@@ -140,6 +140,7 @@ expandSweepGrid(const SweepConfig &config)
                 cell.scenario = scenario;
                 cell.seed = seed;
                 cell.config = config.base;
+                cell.phases = config.phases;
                 cell.config.scenario = scenario;
                 cell.config.env.seed = seed;
                 cell.config.ppo.seed =
@@ -190,7 +191,16 @@ runSweepCells(const std::string &name, std::vector<SweepCell> cells,
         out.cell = std::move(cells[i]);
         const auto c0 = Clock::now();
         try {
-            out.result = explore(out.cell.config);
+            if (out.cell.phases.empty()) {
+                out.result = explore(out.cell.config);
+            } else {
+                // Campaign cell: the cell's resolved config is the
+                // campaign base; phases carry the curriculum.
+                CampaignConfig campaign;
+                campaign.base = out.cell.config;
+                campaign.phases = out.cell.phases;
+                out.result = runCampaign(std::move(campaign)).final;
+            }
             out.completed = true;
         } catch (const std::exception &e) {
             out.error = e.what();

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/explore.hpp"
 
 namespace autocat {
@@ -72,6 +73,18 @@ struct SweepConfig
 
     SweepGrid grid;
 
+    /**
+     * Campaign template applied to every cell (config keys
+     * `phase[N].*`). Empty runs cells through plain explore(); a
+     * non-empty list runs each cell as a curriculum campaign
+     * (core/campaign.hpp), with the cell's scenario/seed substituted
+     * into the base — a phase whose scenario is empty inherits the
+     * cell's scenario, so "train clean, then against the detector"
+     * grids write phase[0].scenario = guessing_game and leave
+     * phase[1].scenario to the swept bypass scenario names.
+     */
+    std::vector<CurriculumPhase> phases;
+
     /** Campaign worker threads (cells run concurrently). */
     int workers = 1;
 
@@ -95,6 +108,9 @@ struct SweepCell
     std::string policy;          ///< replacement policy label
     std::uint64_t seed = 0;      ///< grid seed the cell derives from
     ExplorationConfig config;    ///< resolved exploration description
+
+    /** Curriculum phases; empty = plain explore() cell. */
+    std::vector<CurriculumPhase> phases;
 };
 
 /** Outcome of one cell. */

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/campaign_config.hpp"
 #include "core/config_parser.hpp"
 
 namespace autocat {
@@ -80,11 +81,16 @@ parseSweepConfig(std::istream &in)
     SweepConfig cfg;
     cfg.base = parseExplorationConfig(
         in, [&cfg](const std::string &key, const std::string &value) {
+            // Campaign cells: sweeps carry the same phase[N].* family
+            // campaign configs use (core/campaign_config.hpp).
+            if (applyPhaseKey(cfg.phases, key, value))
+                return true;
             if (key.compare(0, 6, "sweep.") != 0)
                 return false;
             applySweepKey(cfg, key, value);
             return true;
         });
+    validateConfigPhases(cfg.phases);
     return cfg;
 }
 
@@ -159,6 +165,7 @@ renderSweepConfig(const SweepConfig &cfg)
         out << "sweep.report_json = " << cfg.reportJsonPath << "\n";
     if (!cfg.reportCsvPath.empty())
         out << "sweep.report_csv = " << cfg.reportCsvPath << "\n";
+    out << renderPhaseKeys(cfg.phases);
     return out.str();
 }
 

@@ -17,8 +17,15 @@
  *     sweep.report_json      = sweep_report.json
  *     sweep.report_csv       = sweep_report.csv
  *
+ * A sweep may also carry the `phase[N].*` campaign-phase family
+ * (core/campaign_config.hpp): non-empty phases turn every grid cell
+ * into a curriculum campaign (SweepConfig::phases), which is how the
+ * Table VIII/IX detector-bypass rows run — train clean first, then
+ * against the detector scenario, with the report's detection-rate
+ * column filled from the final campaign evaluation.
+ *
  * Parsing layers onto parseExplorationConfig() through its
- * ConfigKeyHandler hook, so the two key families share one format,
+ * ConfigKeyHandler hook, so the key families share one format,
  * one error style (unknown/malformed keys throw with line numbers),
  * and one renderer round-trip contract: render -> parse -> render is
  * a fixed point.

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace autocat {
 
@@ -41,6 +42,23 @@ Adam::step(std::vector<ParamBlock> &blocks)
                                 eps_));
         }
     }
+}
+
+void
+Adam::setState(const State &state)
+{
+    if (state.m.size() != m_.size() || state.v.size() != v_.size())
+        throw std::invalid_argument("Adam::setState: block count mismatch");
+    for (std::size_t k = 0; k < m_.size(); ++k) {
+        if (state.m[k].size() != m_[k].size() ||
+            state.v[k].size() != v_[k].size()) {
+            throw std::invalid_argument(
+                "Adam::setState: block size mismatch");
+        }
+    }
+    t_ = state.t;
+    m_ = state.m;
+    v_ = state.v;
 }
 
 } // namespace autocat

@@ -33,6 +33,28 @@ class Adam
 
     double learningRate() const { return lr_; }
 
+    /**
+     * Optimizer state for serialization (rl/checkpoint.hpp): the step
+     * counter driving bias correction and both moment estimates, block
+     * order matching the constructor's blocks.
+     */
+    struct State
+    {
+        long t = 0;
+        std::vector<std::vector<float>> m;
+        std::vector<std::vector<float>> v;
+    };
+
+    State state() const { return {t_, m_, v_}; }
+
+    /**
+     * Restore a previously captured state.
+     *
+     * @throws std::invalid_argument when the block structure does not
+     *         match this optimizer's
+     */
+    void setState(const State &state);
+
   private:
     double lr_;
     double beta1_;

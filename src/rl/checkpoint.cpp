@@ -1,0 +1,184 @@
+#include "rl/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/binio.hpp"
+
+namespace autocat {
+
+/** Private access to the trainer internals the checkpoint covers. */
+struct PpoCheckpointAccess
+{
+    static ActorCritic &net(PpoTrainer &t) { return *t.net_; }
+    static Adam &adam(PpoTrainer &t) { return *t.adam_; }
+    static Rng &rng(PpoTrainer &t) { return t.rng_; }
+    static PpoConfig &config(PpoTrainer &t) { return t.config_; }
+    static int &epoch(PpoTrainer &t) { return t.epoch_; }
+    static long long &envSteps(PpoTrainer &t)
+    {
+        return t.total_env_steps_;
+    }
+};
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'C', 'P', 'P', 'O', 'C', 'K', 'P'};
+
+std::string
+buildPayload(PpoTrainer &trainer)
+{
+    std::string p;
+
+    ActorCritic &net = PpoCheckpointAccess::net(trainer);
+    const PpoConfig &cfg = PpoCheckpointAccess::config(trainer);
+    binPut(p, static_cast<std::uint64_t>(net.obsDim()));
+    binPut(p, static_cast<std::uint64_t>(net.numActions()));
+    binPut(p, static_cast<std::uint64_t>(cfg.hidden));
+    binPut(p, static_cast<std::uint64_t>(cfg.layers));
+
+    const auto blocks = net.paramBlocks();
+    binPut(p, static_cast<std::uint32_t>(blocks.size()));
+    for (const ParamBlock &b : blocks) {
+        binPut(p, static_cast<std::uint64_t>(b.size));
+        binPutFloats(p, b.params, b.size);
+    }
+
+    const Adam::State adam = PpoCheckpointAccess::adam(trainer).state();
+    binPut(p, static_cast<std::int64_t>(adam.t));
+    for (std::size_t k = 0; k < adam.m.size(); ++k)
+        binPutFloats(p, adam.m[k].data(), adam.m[k].size());
+    for (std::size_t k = 0; k < adam.v.size(); ++k)
+        binPutFloats(p, adam.v[k].data(), adam.v[k].size());
+
+    const Rng::State rng = PpoCheckpointAccess::rng(trainer).state();
+    for (int i = 0; i < 4; ++i)
+        binPut(p, rng.s[i]);
+    binPut(p, static_cast<std::uint8_t>(rng.hasSpare ? 1 : 0));
+    binPut(p, rng.spare);
+
+    binPut(p,
+           static_cast<std::int32_t>(PpoCheckpointAccess::epoch(trainer)));
+    binPut(p, static_cast<std::int64_t>(
+                  PpoCheckpointAccess::envSteps(trainer)));
+    binPut(p, cfg.entropyCoef);
+    return p;
+}
+
+void
+applyPayload(const std::string &payload, PpoTrainer &trainer)
+{
+    ByteCursor c(payload, "checkpoint");
+
+    ActorCritic &net = PpoCheckpointAccess::net(trainer);
+    PpoConfig &cfg = PpoCheckpointAccess::config(trainer);
+    const auto obs_dim = c.get<std::uint64_t>();
+    const auto num_actions = c.get<std::uint64_t>();
+    const auto hidden = c.get<std::uint64_t>();
+    const auto layers = c.get<std::uint64_t>();
+    if (obs_dim != net.obsDim() || num_actions != net.numActions() ||
+        hidden != cfg.hidden || layers != cfg.layers) {
+        throw std::runtime_error(
+            "checkpoint: network shape mismatch (checkpoint " +
+            std::to_string(obs_dim) + "x" + std::to_string(num_actions) +
+            " hidden " + std::to_string(hidden) + "x" +
+            std::to_string(layers) + ", trainer " +
+            std::to_string(net.obsDim()) + "x" +
+            std::to_string(net.numActions()) + " hidden " +
+            std::to_string(cfg.hidden) + "x" +
+            std::to_string(cfg.layers) + ")");
+    }
+
+    auto blocks = net.paramBlocks();
+    const auto num_blocks = c.get<std::uint32_t>();
+    if (num_blocks != blocks.size())
+        throw std::runtime_error(
+            "checkpoint: parameter block count mismatch");
+    // Stage everything before touching the trainer so a truncated file
+    // cannot leave it half-restored.
+    std::vector<std::vector<float>> params(blocks.size());
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+        const auto size = c.get<std::uint64_t>();
+        if (size != blocks[k].size)
+            throw std::runtime_error(
+                "checkpoint: parameter block size mismatch");
+        params[k].resize(size);
+        c.getFloats(params[k].data(), size);
+    }
+
+    Adam::State adam;
+    adam.t = static_cast<long>(c.get<std::int64_t>());
+    adam.m.resize(blocks.size());
+    adam.v.resize(blocks.size());
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+        adam.m[k].resize(blocks[k].size);
+        c.getFloats(adam.m[k].data(), blocks[k].size);
+    }
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+        adam.v[k].resize(blocks[k].size);
+        c.getFloats(adam.v[k].data(), blocks[k].size);
+    }
+
+    Rng::State rng;
+    for (int i = 0; i < 4; ++i)
+        rng.s[i] = c.get<std::uint64_t>();
+    rng.hasSpare = c.get<std::uint8_t>() != 0;
+    rng.spare = c.get<double>();
+
+    const auto epoch = c.get<std::int32_t>();
+    const auto env_steps = c.get<std::int64_t>();
+    const auto entropy_coef = c.get<double>();
+    c.expectExhausted();
+
+    for (std::size_t k = 0; k < blocks.size(); ++k)
+        std::memcpy(blocks[k].params, params[k].data(),
+                    blocks[k].size * sizeof(float));
+    PpoCheckpointAccess::adam(trainer).setState(adam);
+    PpoCheckpointAccess::rng(trainer).setState(rng);
+    PpoCheckpointAccess::epoch(trainer) = epoch;
+    PpoCheckpointAccess::envSteps(trainer) = env_steps;
+    cfg.entropyCoef = entropy_coef;
+    trainer.restartCollection();
+}
+
+} // namespace
+
+void
+writePpoCheckpoint(std::ostream &os, PpoTrainer &trainer)
+{
+    writeBinarySection(os, kMagic, kPpoCheckpointVersion,
+                       buildPayload(trainer), "checkpoint");
+}
+
+void
+readPpoCheckpoint(std::istream &is, PpoTrainer &trainer)
+{
+    const std::string payload =
+        readBinarySection(is, kMagic, kPpoCheckpointVersion, "checkpoint");
+    applyPayload(payload, trainer);
+}
+
+void
+savePpoCheckpoint(const std::string &path, PpoTrainer &trainer)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("checkpoint: cannot open " + path +
+                                 " for writing");
+    writePpoCheckpoint(out, trainer);
+    out.flush();
+    if (!out)
+        throw std::runtime_error("checkpoint: write failed: " + path);
+}
+
+void
+loadPpoCheckpoint(const std::string &path, PpoTrainer &trainer)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("checkpoint: cannot open " + path);
+    readPpoCheckpoint(in, trainer);
+}
+
+} // namespace autocat

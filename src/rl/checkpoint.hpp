@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Versioned binary checkpoints of a PpoTrainer.
+ *
+ * A checkpoint captures everything the trainer owns that training
+ * consumes: the actor-critic parameters, the Adam moment estimates and
+ * step counter, the sampling RNG (including the Box-Muller spare), the
+ * epoch counter, the cumulative env-step counter, and the *decayed*
+ * entropy coefficient. It deliberately does NOT capture environment
+ * state — campaign checkpoint boundaries (core/campaign.hpp) reseed
+ * every stream deterministically and restart collection instead, which
+ * is what makes "resume from checkpoint" bit-identical to "never
+ * stopped" without serializing cache simulators.
+ *
+ * Format: a fixed magic + format version, a little-endian payload, and
+ * a trailing FNV-1a checksum over the payload. Readers reject wrong
+ * magic, unknown versions, truncated files, and checksum mismatches
+ * with distinct error messages; loading into a trainer whose network
+ * shape (obs/action/hidden/layers) differs fails before any state is
+ * touched. save → load → save is a byte-level fixed point.
+ */
+
+#ifndef AUTOCAT_RL_CHECKPOINT_HPP
+#define AUTOCAT_RL_CHECKPOINT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "rl/ppo.hpp"
+
+namespace autocat {
+
+/** Current checkpoint format version. */
+constexpr std::uint32_t kPpoCheckpointVersion = 1;
+
+/**
+ * Serialize @p trainer's training state to @p os.
+ *
+ * @throws std::runtime_error on stream write failure
+ */
+void writePpoCheckpoint(std::ostream &os, PpoTrainer &trainer);
+
+/**
+ * Restore @p trainer from a checkpoint previously written by
+ * writePpoCheckpoint. The trainer must have been constructed with the
+ * same network shape (observation size, action count, hidden width,
+ * layer count); its collection state is restarted.
+ *
+ * @throws std::runtime_error for bad magic, unsupported version,
+ *         truncation, checksum mismatch, or shape mismatch
+ */
+void readPpoCheckpoint(std::istream &is, PpoTrainer &trainer);
+
+/** File-path convenience wrappers (binary mode). */
+void savePpoCheckpoint(const std::string &path, PpoTrainer &trainer);
+void loadPpoCheckpoint(const std::string &path, PpoTrainer &trainer);
+
+} // namespace autocat
+
+#endif // AUTOCAT_RL_CHECKPOINT_HPP

@@ -59,6 +59,17 @@ class Environment
 
     /** Take @p action; must not be called after done without reset. */
     virtual StepResult step(std::size_t action) = 0;
+
+    /**
+     * Re-seed the environment's RNG so the next reset() starts a
+     * deterministic fresh episode sequence. Campaign checkpoint
+     * boundaries (core/campaign.hpp) reseed every stream with a seed
+     * derived from the boundary's epoch, which is what makes a resumed
+     * run bit-identical to an uninterrupted one without serializing
+     * environment state. Environments without internal randomness may
+     * keep the default no-op.
+     */
+    virtual void reseed(std::uint64_t seed) { (void)seed; }
 };
 
 } // namespace autocat

@@ -1,5 +1,7 @@
 #include "rl/mat.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -459,6 +461,42 @@ matmulTransA(const Matrix &a, const Matrix &b)
     Matrix c;
     matmulTransAInto(c, a, b);
     return c;
+}
+
+void
+softmaxEntropyRowsInto(std::vector<double> &probs,
+                       std::vector<double> &entropies,
+                       const Matrix &logits)
+{
+    const std::size_t rows = logits.rows();
+    const std::size_t cols = logits.cols();
+    assert(cols >= 1);
+    probs.resize(rows * cols);
+    entropies.resize(rows);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *in = logits.rowPtr(r);
+        double *p = probs.data() + r * cols;
+
+        // Identical per-row math (and order) to
+        // ActorCritic::softmaxRow: sequential max, sequential exp-sum,
+        // then normalization — bitwise-equal results, zero allocations.
+        double maxv = -1e30;
+        for (std::size_t c = 0; c < cols; ++c)
+            maxv = std::max(maxv, static_cast<double>(in[c]));
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            p[c] = std::exp(static_cast<double>(in[c]) - maxv);
+            sum += p[c];
+        }
+        double ent = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            p[c] /= sum;
+            if (p[c] > 1e-12)
+                ent -= p[c] * std::log(p[c]);
+        }
+        entropies[r] = ent;
+    }
 }
 
 void

@@ -157,6 +157,24 @@ Matrix matmulTransB(const Matrix &a, const Matrix &b);
 /** C = A^T * B. A: k x m, B: k x n. */
 Matrix matmulTransA(const Matrix &a, const Matrix &b);
 
+/**
+ * Fused row-wise softmax + entropy over a logits matrix: for each row
+ * r, probs[r * cols + c] receives softmax(row r)[c] (double precision,
+ * max-subtracted) and entropies[r] receives -sum p log p, in one pass
+ * over reusable flat buffers — no per-row allocations, no second
+ * traversal. The per-row arithmetic and accumulation order are exactly
+ * those of ActorCritic::softmaxRow()/entropy(), so results are bitwise
+ * identical to the per-row helpers; this is the PPO minibatch update's
+ * batch kernel (rl/ppo.cpp).
+ *
+ *  Pre:  logits is B x A with A >= 1.
+ *  Post: probs.size() == B * A, entropies.size() == B, fully
+ *        overwritten.
+ */
+void softmaxEntropyRowsInto(std::vector<double> &probs,
+                            std::vector<double> &entropies,
+                            const Matrix &logits);
+
 /** Add row vector @p bias (length cols) to every row of @p m in place. */
 void addRowVector(Matrix &m, const std::vector<float> &bias);
 

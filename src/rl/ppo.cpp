@@ -406,7 +406,14 @@ PpoTrainer::update(EpochStats &stats)
             const Matrix obs = buffer_->gatherObs(idx);
             AcOutput out = net_->forward(obs);
 
-            Matrix dlogits(bsz, net_->numActions());
+            // Batch softmax + entropy in one fused pass over reusable
+            // workspaces (rl/mat.hpp): bitwise-identical per-row math
+            // to the old softmaxRow()/inline-entropy loops, without
+            // the per-row vector allocations and second traversal.
+            const std::size_t na = net_->numActions();
+            softmaxEntropyRowsInto(probs_ws_, entropy_ws_, out.logits);
+
+            Matrix dlogits(bsz, na);
             std::vector<float> dvalues(bsz, 0.0f);
             const double inv_b = 1.0 / static_cast<double>(bsz);
 
@@ -417,8 +424,8 @@ PpoTrainer::update(EpochStats &stats)
                 const double old_logp = buffer_->logProbs()[i];
                 const double ret = buffer_->returns()[i];
 
-                const std::vector<double> p =
-                    ActorCritic::softmaxRow(out.logits, r);
+                const double *p = probs_ws_.data() + r * na;
+                const double ent = entropy_ws_[r];
                 const double logp =
                     std::log(std::max(p[act], 1e-12));
                 const double ratio = std::exp(logp - old_logp);
@@ -432,13 +439,7 @@ PpoTrainer::update(EpochStats &stats)
 
                 // Entropy bonus gradient: d(-H)/dlogit_k =
                 // p_k * (log p_k + H).
-                double ent = 0.0;
-                for (double pv : p) {
-                    if (pv > 1e-12)
-                        ent -= pv * std::log(pv);
-                }
-
-                for (std::size_t k = 0; k < p.size(); ++k) {
+                for (std::size_t k = 0; k < na; ++k) {
                     const double ind = (k == act) ? 1.0 : 0.0;
                     double g = dl_dlogp * (ind - p[k]);
                     g += config_.entropyCoef * p[k] *

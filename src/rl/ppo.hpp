@@ -150,6 +150,21 @@ class PpoTrainer
     /** Total environment steps taken during training so far. */
     long long totalEnvSteps() const { return total_env_steps_; }
 
+    /** Epochs completed so far (runEpoch() calls). */
+    int epochsCompleted() const { return epoch_; }
+
+    /** Live hyper-parameters (entropyCoef reflects the decay). */
+    const PpoConfig &config() const { return config_; }
+
+    /**
+     * Drop the persistent cross-epoch collection state so the next
+     * collect() starts from fresh environment resets. Campaign
+     * checkpoint boundaries call this (paired with deterministic env
+     * reseeds) to make trainer + environment state a pure function of
+     * the checkpoint.
+     */
+    void restartCollection() { collection_active_ = false; }
+
     /** Stream count the trainer collects with. */
     std::size_t numStreams() const { return envs_->numEnvs(); }
 
@@ -165,6 +180,9 @@ class PpoTrainer
     void setEnvironment(Environment &env);
 
   private:
+    /** Serialization backdoor (rl/checkpoint.cpp only). */
+    friend struct PpoCheckpointAccess;
+
     /** Background env-stepping worker for double-buffered collection. */
     struct Pipeline;
 
@@ -186,6 +204,12 @@ class PpoTrainer
     std::unique_ptr<RolloutBuffer> buffer_;
     std::unique_ptr<Pipeline> pipeline_;  ///< lazily started worker
     AcOutput fwd_out_;                    ///< reusable inference output
+
+    // Minibatch-update workspaces (softmaxEntropyRowsInto); reused
+    // across minibatches so the update loop allocates no per-row
+    // buffers.
+    std::vector<double> probs_ws_;
+    std::vector<double> entropy_ws_;
 
     // Persistent per-stream episode state so collection can span epoch
     // boundaries.

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Little-endian binary serialization helpers shared by the checkpoint
+ * writers (rl/checkpoint.cpp, core/campaign.cpp).
+ *
+ * The on-disk convention is a *section*: an 8-byte magic, a u32 format
+ * version, a u64 payload size, the payload bytes, and a trailing
+ * FNV-1a 64 checksum over the payload. Readers reject wrong magic,
+ * unknown versions, truncation, and checksum mismatches with distinct
+ * error messages, so corrupt or mismatched files fail loudly instead
+ * of restoring garbage state. Multiple sections may be concatenated in
+ * one stream (the campaign checkpoint embeds a PPO section after its
+ * own).
+ */
+
+#ifndef AUTOCAT_UTIL_BINIO_HPP
+#define AUTOCAT_UTIL_BINIO_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace autocat {
+
+/** FNV-1a 64-bit over a byte buffer. */
+inline std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Append a trivially-copyable value to the payload buffer. */
+template <typename T>
+void
+binPut(std::string &out, const T &v)
+{
+    static_assert(std::is_trivially_copyable<T>::value, "POD only");
+    const char *p = reinterpret_cast<const char *>(&v);
+    out.append(p, sizeof(T));
+}
+
+/** Append a raw float array. */
+inline void
+binPutFloats(std::string &out, const float *data, std::size_t n)
+{
+    out.append(reinterpret_cast<const char *>(data), n * sizeof(float));
+}
+
+/** Append a length-prefixed string. */
+inline void
+binPutString(std::string &out, const std::string &s)
+{
+    binPut(out, static_cast<std::uint64_t>(s.size()));
+    out.append(s);
+}
+
+/** Bounds-checked payload reader; throws instead of reading past
+ *  the end, so truncated payloads fail deterministically. */
+class ByteCursor
+{
+  public:
+    explicit ByteCursor(const std::string &bytes, std::string what)
+        : bytes_(bytes), what_(std::move(what))
+    {
+    }
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable<T>::value, "POD only");
+        T v;
+        need(sizeof(T));
+        std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    void
+    getFloats(float *data, std::size_t n)
+    {
+        need(n * sizeof(float));
+        std::memcpy(data, bytes_.data() + pos_, n * sizeof(float));
+        pos_ += n * sizeof(float);
+    }
+
+    std::string
+    getString()
+    {
+        const auto len = get<std::uint64_t>();
+        need(len);
+        std::string s(bytes_.data() + pos_, len);
+        pos_ += len;
+        return s;
+    }
+
+    bool exhausted() const { return pos_ == bytes_.size(); }
+
+    /** Throw unless every payload byte was consumed. */
+    void
+    expectExhausted() const
+    {
+        if (!exhausted())
+            throw std::runtime_error(
+                what_ + ": trailing bytes after payload (corrupt file?)");
+    }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (bytes_.size() - pos_ < n)
+            throw std::runtime_error(what_ +
+                                     ": payload truncated (corrupt file?)");
+    }
+
+    const std::string &bytes_;
+    std::string what_;
+    std::size_t pos_ = 0;
+};
+
+/** Write one checksummed section (see the file comment). */
+inline void
+writeBinarySection(std::ostream &os, const char (&magic)[8],
+                   std::uint32_t version, const std::string &payload,
+                   const std::string &what)
+{
+    os.write(magic, 8);
+    os.write(reinterpret_cast<const char *>(&version), sizeof(version));
+    const std::uint64_t size = payload.size();
+    os.write(reinterpret_cast<const char *>(&size), sizeof(size));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const std::uint64_t checksum = fnv1a64(payload);
+    os.write(reinterpret_cast<const char *>(&checksum), sizeof(checksum));
+    if (!os)
+        throw std::runtime_error(what + ": write failed");
+}
+
+/**
+ * Read and validate one section; returns the payload.
+ *
+ * @throws std::runtime_error for bad magic, version mismatch,
+ *         truncation, or checksum mismatch, prefixed with @p what
+ */
+inline std::string
+readBinarySection(std::istream &is, const char (&magic)[8],
+                  std::uint32_t expected_version, const std::string &what)
+{
+    char seen[8];
+    is.read(seen, sizeof(seen));
+    if (!is || std::memcmp(seen, magic, sizeof(seen)) != 0)
+        throw std::runtime_error(what + ": bad magic (wrong file type?)");
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!is || version != expected_version)
+        throw std::runtime_error(
+            what + ": unsupported format version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(expected_version) + ")");
+    std::uint64_t size = 0;
+    is.read(reinterpret_cast<char *>(&size), sizeof(size));
+    // Cap far above any real payload so a corrupt size field fails
+    // cleanly instead of attempting a huge allocation.
+    if (!is || size > (1ull << 33))
+        throw std::runtime_error(
+            what + ": implausible payload size (corrupt file?)");
+    std::string payload(size, '\0');
+    is.read(&payload[0], static_cast<std::streamsize>(size));
+    if (!is || is.gcount() != static_cast<std::streamsize>(size))
+        throw std::runtime_error(what +
+                                 ": payload truncated (corrupt file?)");
+    std::uint64_t checksum = 0;
+    is.read(reinterpret_cast<char *>(&checksum), sizeof(checksum));
+    if (!is)
+        throw std::runtime_error(what +
+                                 ": missing checksum (corrupt file?)");
+    if (checksum != fnv1a64(payload))
+        throw std::runtime_error(what + ": checksum mismatch (corrupt "
+                                        "file)");
+    return payload;
+}
+
+} // namespace autocat
+
+#endif // AUTOCAT_UTIL_BINIO_HPP

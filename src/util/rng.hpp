@@ -186,6 +186,38 @@ class Rng
         return Rng(next() ^ 0xd1b54a32d192ed03ull);
     }
 
+    /**
+     * Full generator state, including the Box-Muller spare, so a
+     * restored generator continues the exact draw sequence
+     * (rl/checkpoint.hpp serializes this).
+     */
+    struct State
+    {
+        std::uint64_t s[4] = {};
+        bool hasSpare = false;
+        double spare = 0.0;
+    };
+
+    State
+    state() const
+    {
+        State st;
+        for (int i = 0; i < 4; ++i)
+            st.s[i] = state_[i];
+        st.hasSpare = has_spare_;
+        st.spare = spare_;
+        return st;
+    }
+
+    void
+    setState(const State &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = st.s[i];
+        has_spare_ = st.hasSpare;
+        spare_ = st.spare;
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

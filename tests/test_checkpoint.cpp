@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests of the versioned PPO checkpoint format (rl/checkpoint.hpp):
+ * round-trip fixed point, resume-vs-uninterrupted bitwise equality
+ * under the campaign boundary protocol, and loud rejection of
+ * corrupted / truncated / version-mismatched files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/campaign.hpp"
+#include "env/env_registry.hpp"
+#include "rl/checkpoint.hpp"
+
+namespace autocat {
+namespace {
+
+EnvConfig
+tinyEnv(std::uint64_t seed = 11)
+{
+    EnvConfig cfg;
+    cfg.cache.numSets = 1;
+    cfg.cache.numWays = 2;
+    cfg.cache.policy = ReplPolicy::Lru;
+    cfg.cache.addressSpaceSize = 6;
+    cfg.attackAddrS = 0;
+    cfg.attackAddrE = 2;
+    cfg.victimAddrS = 0;
+    cfg.victimAddrE = 0;
+    cfg.victimNoAccessEnable = true;
+    cfg.windowSize = 8;
+    cfg.randomInit = false;
+    cfg.seed = seed;
+    return cfg;
+}
+
+PpoConfig
+tinyPpo()
+{
+    PpoConfig ppo;
+    ppo.stepsPerEpoch = 200;
+    ppo.minibatchSize = 64;
+    ppo.hidden = 16;
+    ppo.seed = 5;
+    return ppo;
+}
+
+std::string
+checkpointBytes(PpoTrainer &trainer)
+{
+    std::ostringstream oss(std::ios::binary);
+    writePpoCheckpoint(oss, trainer);
+    return oss.str();
+}
+
+TEST(Checkpoint, SaveLoadSaveIsAFixedPoint)
+{
+    auto vec_a = makeVecEnv("guessing_game", tinyEnv(), 2);
+    PpoTrainer a(*vec_a, tinyPpo());
+    a.runEpoch();
+    a.runEpoch();
+    const std::string first = checkpointBytes(a);
+
+    auto vec_b = makeVecEnv("guessing_game", tinyEnv(), 2);
+    PpoTrainer b(*vec_b, tinyPpo());
+    std::istringstream in(first, std::ios::binary);
+    readPpoCheckpoint(in, b);
+    const std::string second = checkpointBytes(b);
+
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(b.epochsCompleted(), a.epochsCompleted());
+    EXPECT_EQ(b.totalEnvSteps(), a.totalEnvSteps());
+    EXPECT_DOUBLE_EQ(b.config().entropyCoef, a.config().entropyCoef);
+}
+
+TEST(Checkpoint, ResumeMatchesUninterruptedBitwise)
+{
+    // Trainer A: 2 epochs, boundary sync, 2 more epochs.
+    auto vec_a = makeVecEnv("guessing_game", tinyEnv(), 2);
+    PpoTrainer a(*vec_a, tinyPpo());
+    a.runEpoch();
+    a.runEpoch();
+    // Campaign boundary protocol: reseed every stream from the global
+    // epoch, restart collection, then serialize.
+    const auto boundary = [](VecEnv &vec, PpoTrainer &t,
+                             std::uint64_t base_seed) {
+        for (std::size_t i = 0; i < vec.numEnvs(); ++i)
+            vec.env(i).reseed(checkpointBoundarySeed(
+                base_seed + i, t.epochsCompleted()));
+        t.restartCollection();
+    };
+    boundary(*vec_a, a, tinyEnv().seed);
+    const std::string blob = checkpointBytes(a);
+    a.runEpoch();
+    a.runEpoch();
+
+    // Trainer B: fresh everything, restore the boundary, same 2 epochs.
+    auto vec_b = makeVecEnv("guessing_game", tinyEnv(), 2);
+    PpoTrainer b(*vec_b, tinyPpo());
+    std::istringstream in(blob, std::ios::binary);
+    readPpoCheckpoint(in, b);
+    boundary(*vec_b, b, tinyEnv().seed);
+    b.runEpoch();
+    b.runEpoch();
+
+    EXPECT_EQ(checkpointBytes(a), checkpointBytes(b));
+    EXPECT_EQ(a.totalEnvSteps(), b.totalEnvSteps());
+}
+
+TEST(Checkpoint, CorruptedPayloadIsRejected)
+{
+    auto vec = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer trainer(*vec, tinyPpo());
+    trainer.runEpoch();
+    std::string bytes = checkpointBytes(trainer);
+
+    // Flip one payload byte (past the 20-byte header).
+    std::string corrupt = bytes;
+    corrupt[bytes.size() / 2] ^= 0x40;
+    auto vec2 = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer fresh(*vec2, tinyPpo());
+    std::istringstream in(corrupt, std::ios::binary);
+    try {
+        readPpoCheckpoint(in, fresh);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Checkpoint, WrongVersionIsRejected)
+{
+    auto vec = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer trainer(*vec, tinyPpo());
+    std::string bytes = checkpointBytes(trainer);
+    bytes[8] = char(0x7f);  // version field follows the 8-byte magic
+
+    auto vec2 = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer fresh(*vec2, tinyPpo());
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+        readPpoCheckpoint(in, fresh);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Checkpoint, TruncatedFileIsRejected)
+{
+    auto vec = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer trainer(*vec, tinyPpo());
+    const std::string bytes = checkpointBytes(trainer);
+
+    auto vec2 = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer fresh(*vec2, tinyPpo());
+    std::istringstream in(bytes.substr(0, bytes.size() / 3),
+                          std::ios::binary);
+    EXPECT_THROW(readPpoCheckpoint(in, fresh), std::runtime_error);
+}
+
+TEST(Checkpoint, BadMagicIsRejected)
+{
+    auto vec = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer fresh(*vec, tinyPpo());
+    std::istringstream in(std::string("definitely not a checkpoint"),
+                          std::ios::binary);
+    try {
+        readPpoCheckpoint(in, fresh);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Checkpoint, NetworkShapeMismatchIsRejected)
+{
+    auto vec = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer trainer(*vec, tinyPpo());
+    const std::string bytes = checkpointBytes(trainer);
+
+    PpoConfig wider = tinyPpo();
+    wider.hidden = 32;
+    auto vec2 = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer fresh(*vec2, wider);
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+        readPpoCheckpoint(in, fresh);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("shape"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Checkpoint, FileRoundTripThroughDisk)
+{
+    const std::string path =
+        ::testing::TempDir() + "autocat_ckpt_roundtrip.bin";
+    auto vec = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer trainer(*vec, tinyPpo());
+    trainer.runEpoch();
+    savePpoCheckpoint(path, trainer);
+
+    auto vec2 = makeVecEnv("guessing_game", tinyEnv(), 1);
+    PpoTrainer fresh(*vec2, tinyPpo());
+    loadPpoCheckpoint(path, fresh);
+    EXPECT_EQ(checkpointBytes(trainer), checkpointBytes(fresh));
+    std::remove(path.c_str());
+
+    EXPECT_THROW(loadPpoCheckpoint("/nonexistent/dir/x.ckpt", fresh),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace autocat

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/campaign_config.hpp"
 #include "core/config_parser.hpp"
 #include "util/rng.hpp"
 
@@ -416,6 +417,116 @@ TEST(ConfigParserFuzz, RenderParseRenderIsAFixedPointOnRandomConfigs)
             << "round " << round << "\n" << once;
         const std::string twice = renderExplorationConfig(reparsed);
         ASSERT_EQ(once, twice) << "round " << round;
+    }
+}
+
+/** Random campaign layered on a random base: every campaign.* /
+ *  phase[N].* knob family is exercised. */
+CampaignConfig
+randomCampaignConfig(Rng &rng)
+{
+    CampaignConfig cfg;
+    cfg.base = randomConfig(rng);
+    if (rng.bernoulli(0.5))
+        cfg.checkpointPath =
+            "ckpt_" + std::to_string(rng.uniformInt(100)) + ".bin";
+    cfg.checkpointEvery = static_cast<int>(rng.uniformInt(10));
+    cfg.resume = rng.bernoulli(0.5);
+
+    const char *kinds[] = {"miss", "cchunter", "cyclone"};
+    const std::size_t num_phases = 1 + rng.uniformInt(3);
+    for (std::size_t k = 0; k < num_phases; ++k) {
+        CurriculumPhase phase;
+        if (rng.bernoulli(0.5))
+            phase.name = "p" + std::to_string(k);
+        if (rng.bernoulli(0.3))
+            phase.scenario = "guessing_game";
+        phase.maxEpochs = 1 + static_cast<int>(rng.uniformInt(100));
+        if (rng.bernoulli(0.5))
+            phase.targetAccuracy =
+                0.01 * static_cast<double>(rng.uniformInt(100));
+        if (rng.bernoulli(0.5))
+            phase.maxDetectionRate =
+                0.01 * static_cast<double>(rng.uniformInt(100));
+        if (rng.bernoulli(0.5)) {
+            DetectorSpec d;
+            d.kind = kinds[rng.uniformInt(3)];
+            d.mode = rng.bernoulli(0.5) ? DetectorMode::Terminate
+                                        : DetectorMode::Penalize;
+            d.penalty = -0.1 * static_cast<double>(rng.uniformInt(50));
+            d.missThreshold = 1 + static_cast<unsigned>(rng.uniformInt(4));
+            d.cycloneInterval =
+                8 + static_cast<unsigned>(rng.uniformInt(32));
+            phase.detectors.push_back(d);
+        }
+        if (rng.bernoulli(0.4))
+            phase.detectionEnable = rng.bernoulli(0.5);
+        if (rng.bernoulli(0.4))
+            phase.multiSecret = rng.bernoulli(0.5);
+        if (rng.bernoulli(0.4))
+            phase.multiSecretEpisodeSteps =
+                1 + static_cast<unsigned>(rng.uniformInt(200));
+        if (rng.bernoulli(0.4))
+            phase.rewards.stepReward =
+                -0.001 * static_cast<double>(rng.uniformInt(50));
+        if (rng.bernoulli(0.4))
+            phase.rewards.correctGuessReward =
+                0.5 * static_cast<double>(rng.uniformInt(6));
+        if (rng.bernoulli(0.4))
+            phase.rewards.detectionReward =
+                -0.5 * static_cast<double>(rng.uniformInt(6));
+        if (rng.bernoulli(0.3))
+            phase.rewards.wrongGuessReward =
+                -0.5 * static_cast<double>(rng.uniformInt(6));
+        if (rng.bernoulli(0.3))
+            phase.rewards.lengthViolationReward =
+                -0.5 * static_cast<double>(rng.uniformInt(6));
+        if (rng.bernoulli(0.3))
+            phase.rewards.noGuessReward =
+                -0.5 * static_cast<double>(rng.uniformInt(6));
+        cfg.phases.push_back(std::move(phase));
+    }
+    return cfg;
+}
+
+TEST(ConfigParserFuzz, CampaignRenderParseRenderIsAFixedPoint)
+{
+    Rng rng(0xbada11ce);
+    for (int round = 0; round < 50; ++round) {
+        const CampaignConfig cfg = randomCampaignConfig(rng);
+        const std::string once = renderCampaignConfig(cfg);
+        CampaignConfig reparsed;
+        ASSERT_NO_THROW(reparsed = parseCampaignConfig(once))
+            << "round " << round << "\n" << once;
+        const std::string twice = renderCampaignConfig(reparsed);
+        ASSERT_EQ(once, twice) << "round " << round;
+    }
+}
+
+TEST(ConfigParserFuzz, CorruptedCampaignKeysNeverParseSilently)
+{
+    Rng rng(0xdecade);
+    const std::string rendered =
+        renderCampaignConfig(randomCampaignConfig(rng));
+    std::vector<std::string> lines;
+    std::istringstream iss(rendered);
+    std::string line;
+    while (std::getline(iss, line))
+        lines.push_back(line);
+
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::string> mutated = lines;
+        std::string &victim = mutated[rng.uniformInt(mutated.size())];
+        const auto eq = victim.find('=');
+        ASSERT_NE(eq, std::string::npos);
+        const std::size_t pos = rng.uniformInt(eq);
+        victim.insert(pos, 1, 'z');
+
+        std::string text;
+        for (const std::string &l : mutated)
+            text += l + "\n";
+        EXPECT_THROW(parseCampaignConfig(text), std::exception)
+            << "round " << round << ": '" << victim << "'";
     }
 }
 

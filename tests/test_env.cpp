@@ -440,6 +440,36 @@ TEST(Detectors, MissBasedTerminatesEpisode)
     EXPECT_NEAR(sr.reward, cfg.stepReward + cfg.detectionReward, 1e-9);
 }
 
+TEST(Detectors, AttachResetsPerEpisodeState)
+{
+    // Campaign phases attach detectors mid-session — possibly after
+    // reset(), when nothing delivers onEpisodeReset() until the next
+    // episode. attachDetector must clear per-episode state itself, so
+    // a detector carrying stale state never flags the current episode.
+    EnvConfig cfg = ppConfig();
+    cfg.detectionEnable = true;
+    CacheGuessingGame env(cfg);
+    env.reset();
+
+    auto detector = std::make_shared<MissBasedDetector>();
+    // Pre-flag the detector with a victim demand miss observed
+    // elsewhere (e.g. a previous environment).
+    CacheEvent miss;
+    miss.op = CacheOp::DemandAccess;
+    miss.domain = Domain::Victim;
+    miss.hit = false;
+    detector->onEvent(miss);
+    ASSERT_TRUE(detector->flagged());
+
+    env.attachDetector(detector, DetectorMode::Terminate);
+    EXPECT_FALSE(detector->flagged());
+    EXPECT_EQ(detector->victimMisses(), 0u);
+
+    // The stale flag must not end the episode on the next step.
+    const StepResult sr = env.step(env.actionSpace().accessIndex(4));
+    EXPECT_FALSE(sr.info.detected);
+}
+
 TEST(Detectors, MissBasedSilentWhenVictimHits)
 {
     EnvConfig cfg = ppConfig();

@@ -446,8 +446,8 @@ TEST(Registry, CustomScenarioPlugsIn)
 
     const bool fresh = registerScenario(
         "test_counting",
-        [](const EnvConfig &cfg, std::unique_ptr<MemorySystem>) {
-            return std::make_unique<SeedProbe>(cfg.seed);
+        [](const ScenarioContext &ctx, std::unique_ptr<MemorySystem>) {
+            return std::make_unique<SeedProbe>(ctx.env.seed);
         });
     EXPECT_TRUE(fresh);
     EXPECT_TRUE(hasScenario("test_counting"));
