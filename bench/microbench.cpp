@@ -22,6 +22,8 @@
 
 #include "core/autocat.hpp"
 #include "env/env_registry.hpp"
+#include "eval/sweep.hpp"
+#include "serve/wire.hpp"
 
 namespace autocat {
 namespace {
@@ -312,6 +314,78 @@ BM_CovertChannelRound(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_CovertChannelRound)->Arg(8)->Arg(12);
+
+/** A resolved sweep cell of realistic size for the wire benches. */
+SweepCell
+benchCell()
+{
+    SweepConfig cfg;
+    cfg.base.env = benchEnvConfig();
+    cfg.grid.scenarios = {"l1l2_private"};
+    cfg.grid.policies = {ReplPolicy::TreePlru};
+    cfg.grid.seeds = {7};
+    CurriculumPhase warmup;
+    warmup.name = "warmup";
+    warmup.scenario = "guessing_game";
+    warmup.maxEpochs = 40;
+    warmup.targetAccuracy = 0.95;
+    cfg.phases = {warmup, warmup};
+    return expandSweepGrid(cfg)[0];
+}
+
+// Scheduler overhead: a job/row blob is serialized and parsed once per
+// cell *attempt*, so these bound the per-cell dispatch cost the
+// distributed scheduler adds over the in-process pool (the cells
+// themselves train for seconds — the wire must stay microseconds).
+void
+BM_CellJobSerialize(benchmark::State &state)
+{
+    const SweepCell cell = benchCell();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(serializeCellJob(cell));
+}
+BENCHMARK(BM_CellJobSerialize);
+
+void
+BM_CellJobDeserialize(benchmark::State &state)
+{
+    const std::string blob = serializeCellJob(benchCell());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(deserializeCellJob(blob));
+}
+BENCHMARK(BM_CellJobDeserialize);
+
+void
+BM_CellRowSerialize(benchmark::State &state)
+{
+    SweepCellResult row;
+    row.cell = benchCell();
+    row.completed = true;
+    row.result.converged = true;
+    row.result.finalAccuracy = 0.97;
+    for (int i = 0; i < 24; ++i)
+        row.result.sequence.push(
+            {i % 3 ? ActionKind::Access : ActionKind::Guess,
+             static_cast<std::uint64_t>(i % 4)});
+    row.result.finalGuess = "guess 2";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(serializeCellRow(row));
+}
+BENCHMARK(BM_CellRowSerialize);
+
+void
+BM_CellRowDeserialize(benchmark::State &state)
+{
+    SweepCellResult row;
+    row.cell = benchCell();
+    row.completed = true;
+    for (int i = 0; i < 24; ++i)
+        row.result.sequence.push({ActionKind::Access, 1});
+    const std::string blob = serializeCellRow(row);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(deserializeCellRow(blob));
+}
+BENCHMARK(BM_CellRowDeserialize);
 
 /**
  * Harness self-test: a depth-1 CacheHierarchy must cost the same as a

@@ -7,15 +7,28 @@
  *   $ ./examples/sweep_from_config my_sweep.cfg
  *   $ ./examples/sweep_from_config my_sweep.cfg --json out.json
  *   $ ./examples/sweep_from_config --print-default > sweep.cfg
+ *   $ ./examples/sweep_from_config my_sweep.cfg --dist 3 \
+ *         --checkpoint-dir ckpt --workdir work
  *
  * With no config argument, runs a built-in 2x2 smoke grid (two
  * hierarchy scenarios x two replacement policies). Reports are byte-
  * deterministic for fixed seeds unless sweep.include_timing is set
- * (docs/EVALUATION.md documents the schema).
+ * (docs/EVALUATION.md documents the schema) — including across
+ * --dist process counts, provided the checkpoint settings match.
  *
- * Exit status: 0 when every cell completed, 1 when any cell failed.
+ * Distributed flags: --dist N shards cells across N cell_runner
+ * processes (resolved via --runner, $AUTOCAT_CELL_RUNNER, or a
+ * cell_runner next to this binary); --checkpoint-dir/--workdir place
+ * the per-cell checkpoints and job/row blobs; --chaos-kill IDX:AFTER
+ * is the CI fault-injection hook (kill cell IDX's first attempt after
+ * its AFTER-th checkpoint write).
+ *
+ * Exit status: 0 when every cell completed, 1 when any cell failed
+ * (including cells whose worker died beyond the retry budget), 2 on
+ * config or report-I/O errors.
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -64,6 +77,25 @@ writeReportFile(const std::string &path,
     return true;
 }
 
+/** Resolve the cell_runner executable: explicit flag, then the
+ *  AUTOCAT_CELL_RUNNER environment variable, then a cell_runner
+ *  sitting next to this binary (the layout CMake produces). */
+std::string
+resolveRunner(const std::string &flag, const char *argv0)
+{
+    if (!flag.empty())
+        return flag;
+    if (const char *env = std::getenv("AUTOCAT_CELL_RUNNER")) {
+        if (*env)
+            return env;
+    }
+    std::string dir(argv0 ? argv0 : "");
+    const std::size_t slash = dir.rfind('/');
+    return (slash == std::string::npos ? std::string(".")
+                                       : dir.substr(0, slash)) +
+           "/cell_runner";
+}
+
 } // namespace
 
 int
@@ -73,6 +105,10 @@ main(int argc, char **argv)
 
     SweepConfig cfg;
     std::string config_path, json_override, csv_override;
+    std::string runner_flag, workdir_flag, checkpoint_dir_flag;
+    std::string chaos_kill;
+    int dist_override = -1;    // -1 = keep the config's value
+    int workers_override = 0;  // 0 = keep the config's value
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--print-default") {
@@ -84,10 +120,25 @@ main(int argc, char **argv)
             json_override = argv[++i];
         } else if (arg == "--csv" && i + 1 < argc) {
             csv_override = argv[++i];
+        } else if (arg == "--workers" && i + 1 < argc) {
+            workers_override = std::atoi(argv[++i]);
+        } else if (arg == "--dist" && i + 1 < argc) {
+            dist_override = std::atoi(argv[++i]);
+        } else if (arg == "--runner" && i + 1 < argc) {
+            runner_flag = argv[++i];
+        } else if (arg == "--workdir" && i + 1 < argc) {
+            workdir_flag = argv[++i];
+        } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+            checkpoint_dir_flag = argv[++i];
+        } else if (arg == "--chaos-kill" && i + 1 < argc) {
+            chaos_kill = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "usage: sweep_from_config [config.cfg] "
                          "[--json out.json] [--csv out.csv] "
-                         "[--print-default]\n";
+                         "[--print-default] [--workers N] [--dist N] "
+                         "[--runner PATH] [--workdir DIR] "
+                         "[--checkpoint-dir DIR] "
+                         "[--chaos-kill IDX:AFTER]\n";
             return 2;
         } else {
             config_path = arg;
@@ -107,6 +158,24 @@ main(int argc, char **argv)
             cfg.reportJsonPath = json_override;
         if (!csv_override.empty())
             cfg.reportCsvPath = csv_override;
+        if (workers_override > 0)
+            cfg.workers = workers_override;
+        if (dist_override >= 0)
+            cfg.distProcesses = dist_override;
+        if (!workdir_flag.empty())
+            cfg.distWorkDir = workdir_flag;
+        if (!checkpoint_dir_flag.empty())
+            cfg.checkpointDir = checkpoint_dir_flag;
+        if (!chaos_kill.empty()) {
+            const std::size_t colon = chaos_kill.find(':');
+            cfg.chaosKillCell =
+                std::atol(chaos_kill.substr(0, colon).c_str());
+            if (colon != std::string::npos)
+                cfg.chaosKillAfter =
+                    std::atoi(chaos_kill.substr(colon + 1).c_str());
+        }
+        if (cfg.distProcesses > 0)
+            cfg.runnerPath = resolveRunner(runner_flag, argv[0]);
 
         SweepRunner runner(std::move(cfg));
         std::cout << "Sweep expands to " << runner.cells().size()

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "rl/checkpoint.hpp"
+#include "util/atomic_file.hpp"
 #include "util/binio.hpp"
 #include "util/logging.hpp"
 
@@ -233,21 +235,18 @@ void
 TrainingSession::writeCheckpoint(std::size_t next_phase, int epochs_done,
                                  const std::vector<PhaseResult> &results)
 {
-    std::ofstream out(config_.checkpointPath,
-                      std::ios::binary | std::ios::trunc);
-    if (!out)
-        throw std::runtime_error(
-            "campaign: cannot open checkpoint for writing: " +
-            config_.checkpointPath);
-    writeBinarySection(out, kCampaignMagic, kCampaignVersion,
+    // Crash-safe: both sections are staged in memory and land on disk
+    // via temp file + fsync + atomic rename, so a worker killed at any
+    // instant leaves either the previous complete checkpoint or the
+    // new one — never a truncated file that blocks resume.
+    std::ostringstream oss(std::ios::binary);
+    writeBinarySection(oss, kCampaignMagic, kCampaignVersion,
                        buildCampaignPayload(next_phase, epochs_done,
                                             results),
                        "campaign checkpoint");
-    writePpoCheckpoint(out, *trainer_);
-    out.flush();
-    if (!out)
-        throw std::runtime_error("campaign: checkpoint write failed: " +
-                                 config_.checkpointPath);
+    writePpoCheckpoint(oss, *trainer_);
+    atomicWriteFile(config_.checkpointPath, oss.str(),
+                    "campaign checkpoint");
 }
 
 std::unique_ptr<std::ifstream>

@@ -200,6 +200,10 @@ parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
              cfg.env.cache.addressSpaceSize =
                  parseConfigUint(v, "address_space");
          }},
+        {"cache_seed",
+         [&](const std::string &v) {
+             cfg.env.cache.seed = parseConfigUint(v, "cache_seed");
+         }},
         // ----- attack & victim configuration (Table II)
         {"attack_addr_s",
          [&](const std::string &v) {
@@ -235,6 +239,11 @@ parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
          [&](const std::string &v) {
              cfg.env.plCacheLockVictim =
                  parseConfigBool(v, "pl_cache_lock_victim");
+         }},
+        {"require_trigger_before_guess",
+         [&](const std::string &v) {
+             cfg.env.requireTriggerBeforeGuess =
+                 parseConfigBool(v, "require_trigger_before_guess");
          }},
         // ----- episode / RL configuration (Table II)
         {"window_size",
@@ -292,6 +301,11 @@ parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
              cfg.env.detectionReward =
                  parseConfigDouble(v, "detection_reward");
          }},
+        {"no_guess_reward",
+         [&](const std::string &v) {
+             cfg.env.noGuessReward =
+                 parseConfigDouble(v, "no_guess_reward");
+         }},
         {"seed",
          [&](const std::string &v) {
              cfg.env.seed = parseConfigUint(v, "seed");
@@ -317,9 +331,45 @@ parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
          [&](const std::string &v) {
              cfg.ppo.gamma = parseConfigDouble(v, "gamma");
          }},
+        {"lambda",
+         [&](const std::string &v) {
+             cfg.ppo.lambda = parseConfigDouble(v, "lambda");
+         }},
+        {"clip",
+         [&](const std::string &v) {
+             cfg.ppo.clip = parseConfigDouble(v, "clip");
+         }},
+        {"update_passes",
+         [&](const std::string &v) {
+             cfg.ppo.updatePasses = parseConfigInt(v, "update_passes");
+         }},
+        {"minibatch_size",
+         [&](const std::string &v) {
+             cfg.ppo.minibatchSize = parseConfigInt(v, "minibatch_size");
+         }},
+        {"entropy_decay",
+         [&](const std::string &v) {
+             cfg.ppo.entropyDecay = parseConfigDouble(v, "entropy_decay");
+         }},
+        {"entropy_min",
+         [&](const std::string &v) {
+             cfg.ppo.entropyMin = parseConfigDouble(v, "entropy_min");
+         }},
+        {"value_coef",
+         [&](const std::string &v) {
+             cfg.ppo.valueCoef = parseConfigDouble(v, "value_coef");
+         }},
+        {"max_grad_norm",
+         [&](const std::string &v) {
+             cfg.ppo.maxGradNorm = parseConfigDouble(v, "max_grad_norm");
+         }},
         {"hidden",
          [&](const std::string &v) {
              cfg.ppo.hidden = parseConfigUint(v, "hidden");
+         }},
+        {"layers",
+         [&](const std::string &v) {
+             cfg.ppo.layers = parseConfigUint(v, "layers");
          }},
         // ----- exploration control
         {"scenario",
@@ -454,6 +504,7 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << "random_set_mapping = "
         << (cfg.env.cache.randomSetMapping ? "true" : "false") << "\n"
         << "address_space = " << cfg.env.cache.addressSpaceSize << "\n"
+        << "cache_seed = " << cfg.env.cache.seed << "\n"
         << "attack_addr_s = " << cfg.env.attackAddrS << "\n"
         << "attack_addr_e = " << cfg.env.attackAddrE << "\n"
         << "victim_addr_s = " << cfg.env.victimAddrS << "\n"
@@ -466,6 +517,8 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << (cfg.env.detectionEnable ? "true" : "false") << "\n"
         << "pl_cache_lock_victim = "
         << (cfg.env.plCacheLockVictim ? "true" : "false") << "\n"
+        << "require_trigger_before_guess = "
+        << (cfg.env.requireTriggerBeforeGuess ? "true" : "false") << "\n"
         << "window_size = " << cfg.env.windowSize << "\n"
         << "episode_length_limit = " << cfg.env.episodeLengthLimit << "\n";
     if (!cfg.env.hierarchy.levels.empty()) {
@@ -512,6 +565,8 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << renderConfigDouble(cfg.env.lengthViolationReward) << "\n"
         << "detection_reward = " << renderConfigDouble(cfg.env.detectionReward)
         << "\n"
+        << "no_guess_reward = " << renderConfigDouble(cfg.env.noGuessReward)
+        << "\n"
         << "seed = " << cfg.env.seed << "\n"
         << "scenario = " << cfg.scenario << "\n"
         << "num_streams = " << cfg.numStreams << "\n"
@@ -524,7 +579,19 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << "learning_rate = " << renderConfigDouble(cfg.ppo.lr) << "\n"
         << "entropy_coef = " << renderConfigDouble(cfg.ppo.entropyCoef) << "\n"
         << "gamma = " << renderConfigDouble(cfg.ppo.gamma) << "\n"
+        << "lambda = " << renderConfigDouble(cfg.ppo.lambda) << "\n"
+        << "clip = " << renderConfigDouble(cfg.ppo.clip) << "\n"
+        << "update_passes = " << cfg.ppo.updatePasses << "\n"
+        << "minibatch_size = " << cfg.ppo.minibatchSize << "\n"
+        << "entropy_decay = " << renderConfigDouble(cfg.ppo.entropyDecay)
+        << "\n"
+        << "entropy_min = " << renderConfigDouble(cfg.ppo.entropyMin)
+        << "\n"
+        << "value_coef = " << renderConfigDouble(cfg.ppo.valueCoef) << "\n"
+        << "max_grad_norm = " << renderConfigDouble(cfg.ppo.maxGradNorm)
+        << "\n"
         << "hidden = " << cfg.ppo.hidden << "\n"
+        << "layers = " << cfg.ppo.layers << "\n"
         << "max_epochs = " << cfg.maxEpochs << "\n"
         << "target_accuracy = " << renderConfigDouble(cfg.targetAccuracy) << "\n"
         << "eval_episodes = " << cfg.evalEpisodes << "\n"

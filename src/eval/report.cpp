@@ -118,7 +118,12 @@ writeSweepReportJson(std::ostream &os, const SweepReport &report,
            << "      \"category\": "
            << jsonString(c.completed ? categoryLabel(r.category) : "");
         if (options.includeTiming) {
-            os << ",\n      \"wall_s\": " << jsonNumber(c.wallSeconds);
+            // attempts travels with the timing block: like wall time it
+            // depends on how the run went (worker deaths, retries), not
+            // on what the cells computed, and must stay out of the
+            // byte-deterministic default report.
+            os << ",\n      \"wall_s\": " << jsonNumber(c.wallSeconds)
+               << ",\n      \"attempts\": " << c.attempts;
         }
         os << "\n    }";
     }
@@ -144,7 +149,7 @@ writeSweepReportCsv(std::ostream &os, const SweepReport &report,
           "converged,epochs_to_converge,env_steps,accuracy,"
           "episode_length,bit_rate,detection_rate,sequence,category";
     if (options.includeTiming)
-        os << ",wall_s";
+        os << ",wall_s,attempts";
     os << "\n";
     for (const SweepCellResult &c : report.cells) {
         const ExplorationResult &r = c.result;
@@ -162,7 +167,7 @@ writeSweepReportCsv(std::ostream &os, const SweepReport &report,
            << csvField(sequenceString(c)) << ','
            << csvField(c.completed ? categoryLabel(r.category) : "");
         if (options.includeTiming)
-            os << ',' << jsonNumber(c.wallSeconds);
+            os << ',' << jsonNumber(c.wallSeconds) << ',' << c.attempts;
         os << "\n";
     }
 }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <mutex>
 #include <stdexcept>
 
 #include "env/env_registry.hpp"
 #include "hw/machines.hpp"
+#include "serve/cell_exec.hpp"
+#include "serve/dist_scheduler.hpp"
 #include "util/task_pool.hpp"
 
 namespace autocat {
@@ -175,9 +178,20 @@ expandSweepGrid(const SweepConfig &config)
 
 SweepReport
 runSweepCells(const std::string &name, std::vector<SweepCell> cells,
-              int workers, const SweepProgress &progress)
+              int workers, const SweepProgress &progress,
+              const std::string &checkpoint_dir, int checkpoint_every)
 {
     using Clock = std::chrono::steady_clock;
+
+    if (!checkpoint_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(checkpoint_dir, ec);
+        if (ec || !std::filesystem::is_directory(checkpoint_dir)) {
+            throw std::invalid_argument(
+                "sweep: cannot create checkpoint directory \"" +
+                checkpoint_dir + "\"" + (ec ? ": " + ec.message() : ""));
+        }
+    }
 
     SweepReport report;
     report.name = name;
@@ -186,32 +200,20 @@ runSweepCells(const std::string &name, std::vector<SweepCell> cells,
     const auto t0 = Clock::now();
     std::mutex progress_mutex;
 
+    // Cell execution is shared with the cell_runner worker executable
+    // (serve/cell_exec.hpp): in-process and distributed runs MUST
+    // compute rows through identical code for report byte-identity.
     const auto run_cell = [&](std::size_t i) {
-        SweepCellResult &out = report.cells[i];
-        out.cell = std::move(cells[i]);
-        const auto c0 = Clock::now();
-        try {
-            if (out.cell.phases.empty()) {
-                out.result = explore(out.cell.config);
-            } else {
-                // Campaign cell: the cell's resolved config is the
-                // campaign base; phases carry the curriculum.
-                CampaignConfig campaign;
-                campaign.base = out.cell.config;
-                campaign.phases = out.cell.phases;
-                out.result = runCampaign(std::move(campaign)).final;
-            }
-            out.completed = true;
-        } catch (const std::exception &e) {
-            out.error = e.what();
-        } catch (...) {
-            out.error = "unknown error";
+        CellExecOptions options;
+        if (!checkpoint_dir.empty()) {
+            options.checkpointPath =
+                cellCheckpointPath(checkpoint_dir, cells[i].index);
+            options.checkpointEvery = checkpoint_every;
         }
-        out.wallSeconds =
-            std::chrono::duration<double>(Clock::now() - c0).count();
+        report.cells[i] = runSweepCell(std::move(cells[i]), options);
         if (progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
-            progress(out);
+            progress(report.cells[i]);
         }
     };
 
@@ -239,7 +241,27 @@ SweepRunner::SweepRunner(SweepConfig config)
 SweepReport
 SweepRunner::run(const SweepProgress &progress)
 {
-    return runSweepCells(config_.name, cells_, config_.workers, progress);
+    if (config_.distProcesses > 0) {
+        DistSweepOptions options;
+        options.processes = config_.distProcesses;
+        options.runnerPath = config_.runnerPath;
+        options.workDir =
+            config_.distWorkDir.empty()
+                ? (config_.checkpointDir.empty() ? "."
+                                                 : config_.checkpointDir) +
+                      std::string("/dist_work")
+                : config_.distWorkDir;
+        options.checkpointDir = config_.checkpointDir;
+        options.checkpointEvery = config_.checkpointInterval;
+        options.maxRetries = config_.distRetries;
+        options.heartbeatTimeoutS = config_.heartbeatTimeoutS;
+        options.chaosKillCell = config_.chaosKillCell;
+        options.chaosKillAfter = config_.chaosKillAfter;
+        return runSweepCellsDist(config_.name, cells_, options, progress);
+    }
+    return runSweepCells(config_.name, cells_, config_.workers, progress,
+                         config_.checkpointDir,
+                         config_.checkpointInterval);
 }
 
 } // namespace autocat

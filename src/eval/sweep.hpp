@@ -96,6 +96,63 @@ struct SweepConfig
      *  empty = don't write. */
     std::string reportJsonPath;
     std::string reportCsvPath;
+
+    // ----- checkpointed cells (config keys sweep.checkpoint_*)
+    /**
+     * Directory for per-cell campaign checkpoints (`cell_<index>.ckpt`,
+     * created on demand); empty disables cell checkpointing. With a
+     * directory set, every cell — in-process or remote — runs as a
+     * checkpointing campaign (core/campaign.hpp) and is resumable
+     * bit-for-bit, so a killed run re-launched over the same directory
+     * loses at most checkpointInterval epochs per in-flight cell.
+     * Checkpoint boundaries resync the env streams, so reports from
+     * checkpointed runs differ from uncheckpointed ones; runs being
+     * byte-compared must agree on checkpointDir-emptiness and
+     * checkpointInterval.
+     */
+    std::string checkpointDir;
+
+    /** Mid-cell checkpoint cadence in epochs; 0 checkpoints at phase
+     *  ends only (see CampaignConfig::checkpointEvery). */
+    int checkpointInterval = 0;
+
+    // ----- distributed execution (serve/dist_scheduler.hpp)
+    /**
+     * Worker *processes* to shard the grid across; 0 runs cells
+     * in-process on `workers` pool threads. Config key
+     * sweep.dist_processes.
+     */
+    int distProcesses = 0;
+
+    /** Re-spawns per cell after a worker death or hang (config key
+     *  sweep.dist_retries). */
+    int distRetries = 1;
+
+    /**
+     * Kill and requeue a worker whose heartbeat file goes stale for
+     * this many seconds; 0 disables hang detection. Config key
+     * sweep.heartbeat_timeout_s.
+     */
+    double heartbeatTimeoutS = 0.0;
+
+    /** Scratch directory for job/result blobs and heartbeats; empty
+     *  derives `<checkpointDir or .>/dist_work`. Config key
+     *  sweep.dist_work_dir. */
+    std::string distWorkDir;
+
+    /** cell_runner executable path; resolved by the driver (CLI flag /
+     *  AUTOCAT_CELL_RUNNER env), never a config-file key. Required
+     *  when distProcesses > 0. */
+    std::string runnerPath;
+
+    /**
+     * Fault-injection harness hooks (CLI only, used by the dist-smoke
+     * CI job and tests): SIGKILL the first attempt of cell
+     * chaosKillCell after chaosKillAfter checkpoint writes; -1
+     * disables.
+     */
+    long chaosKillCell = -1;
+    int chaosKillAfter = 1;
 };
 
 /** One expanded grid cell: a fully-resolved exploration run. */
@@ -121,6 +178,13 @@ struct SweepCellResult
     std::string error;        ///< exception message when !completed
     ExplorationResult result; ///< valid when completed
     double wallSeconds = 0.0;
+
+    /**
+     * Runner attempts this cell consumed (1 = first try; >1 means the
+     * scheduler retried after a worker death or hang). Run-dependent,
+     * so rendered only with ReportOptions::includeTiming.
+     */
+    int attempts = 1;
 };
 
 /** Aggregated campaign outcome, cells in expansion order. */
@@ -153,12 +217,21 @@ using SweepProgress = std::function<void(const SweepCellResult &)>;
 /**
  * Run pre-built cells on @p workers pool threads and aggregate the
  * report. Cell failures (exceptions out of explore()) are captured
- * per cell, not rethrown. Deterministic for fixed cell configs: the
- * report content is independent of worker count and scheduling.
+ * per cell — index, scenario, and error text land in the cell's
+ * report row — and never abort the rest of the grid. Deterministic
+ * for fixed cell configs: the report content is independent of worker
+ * count and scheduling.
+ *
+ * A non-empty @p checkpoint_dir runs every cell as a checkpointing
+ * campaign (per-cell file `cell_<index>.ckpt`, cadence
+ * @p checkpoint_every), making cells resumable bit-for-bit; see
+ * SweepConfig::checkpointDir for the determinism caveat.
  */
 SweepReport runSweepCells(const std::string &name,
                           std::vector<SweepCell> cells, int workers,
-                          const SweepProgress &progress = {});
+                          const SweepProgress &progress = {},
+                          const std::string &checkpoint_dir = "",
+                          int checkpoint_every = 0);
 
 /** Expand + run a sweep config (report paths are NOT written here —
  *  the caller renders the report via eval/report.hpp). */

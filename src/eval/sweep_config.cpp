@@ -67,6 +67,34 @@ applySweepKey(SweepConfig &cfg, const std::string &key,
         cfg.reportJsonPath = value;
     } else if (key == "sweep.report_csv") {
         cfg.reportCsvPath = value;
+    } else if (key == "sweep.checkpoint_dir") {
+        cfg.checkpointDir = value;
+    } else if (key == "sweep.checkpoint_interval") {
+        const std::uint64_t every = parseConfigUint(value, key);
+        if (every > 1000000)
+            throw std::invalid_argument("config: " + key +
+                                        " must be in [0, 1000000]");
+        cfg.checkpointInterval = static_cast<int>(every);
+    } else if (key == "sweep.dist_processes") {
+        const std::uint64_t n = parseConfigUint(value, key);
+        if (n > 1024)
+            throw std::invalid_argument("config: " + key +
+                                        " must be in [0, 1024]");
+        cfg.distProcesses = static_cast<int>(n);
+    } else if (key == "sweep.dist_retries") {
+        const std::uint64_t n = parseConfigUint(value, key);
+        if (n > 100)
+            throw std::invalid_argument("config: " + key +
+                                        " must be in [0, 100]");
+        cfg.distRetries = static_cast<int>(n);
+    } else if (key == "sweep.heartbeat_timeout_s") {
+        const double t = parseConfigDouble(value, key);
+        if (t < 0)
+            throw std::invalid_argument("config: " + key +
+                                        " must be >= 0");
+        cfg.heartbeatTimeoutS = t;
+    } else if (key == "sweep.dist_work_dir") {
+        cfg.distWorkDir = value;
     } else {
         throw std::invalid_argument("config: unknown sweep option '" +
                                     key + "'");
@@ -130,6 +158,8 @@ renderSweepConfig(const SweepConfig &cfg)
     reject(cfg.name, "#\n");
     reject(cfg.reportJsonPath, "#\n");
     reject(cfg.reportCsvPath, "#\n");
+    reject(cfg.checkpointDir, "#\n");
+    reject(cfg.distWorkDir, "#\n");
     for (const std::string &scenario : cfg.grid.scenarios)
         reject(scenario, "#,\n");
 
@@ -165,6 +195,16 @@ renderSweepConfig(const SweepConfig &cfg)
         out << "sweep.report_json = " << cfg.reportJsonPath << "\n";
     if (!cfg.reportCsvPath.empty())
         out << "sweep.report_csv = " << cfg.reportCsvPath << "\n";
+    if (!cfg.checkpointDir.empty())
+        out << "sweep.checkpoint_dir = " << cfg.checkpointDir << "\n";
+    out << "sweep.checkpoint_interval = " << cfg.checkpointInterval
+        << "\n"
+        << "sweep.dist_processes = " << cfg.distProcesses << "\n"
+        << "sweep.dist_retries = " << cfg.distRetries << "\n"
+        << "sweep.heartbeat_timeout_s = "
+        << renderConfigDouble(cfg.heartbeatTimeoutS) << "\n";
+    if (!cfg.distWorkDir.empty())
+        out << "sweep.dist_work_dir = " << cfg.distWorkDir << "\n";
     out << renderPhaseKeys(cfg.phases);
     return out.str();
 }

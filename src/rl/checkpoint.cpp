@@ -2,8 +2,10 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/binio.hpp"
 
 namespace autocat {
@@ -162,14 +164,12 @@ readPpoCheckpoint(std::istream &is, PpoTrainer &trainer)
 void
 savePpoCheckpoint(const std::string &path, PpoTrainer &trainer)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        throw std::runtime_error("checkpoint: cannot open " + path +
-                                 " for writing");
-    writePpoCheckpoint(out, trainer);
-    out.flush();
-    if (!out)
-        throw std::runtime_error("checkpoint: write failed: " + path);
+    // Crash-safe: serialize to memory, then temp file + fsync + atomic
+    // rename, so a process killed mid-save never leaves a truncated
+    // checkpoint under the final name (which would block resume).
+    std::ostringstream oss(std::ios::binary);
+    writePpoCheckpoint(oss, trainer);
+    atomicWriteFile(path, oss.str(), "checkpoint");
 }
 
 void

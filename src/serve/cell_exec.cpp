@@ -1,0 +1,59 @@
+#include "serve/cell_exec.hpp"
+
+#include <chrono>
+
+#include "util/logging.hpp"
+
+namespace autocat {
+
+std::string
+cellCheckpointPath(const std::string &dir, std::size_t index)
+{
+    return dir + "/cell_" + std::to_string(index) + ".ckpt";
+}
+
+SweepCellResult
+runSweepCell(SweepCell cell, const CellExecOptions &options)
+{
+    using Clock = std::chrono::steady_clock;
+
+    SweepCellResult out;
+    out.cell = std::move(cell);
+    const auto t0 = Clock::now();
+    try {
+        CampaignConfig campaign;
+        campaign.base = out.cell.config;
+        campaign.phases = out.cell.phases;
+        campaign.checkpointPath = options.checkpointPath;
+        campaign.checkpointEvery = options.checkpointEvery;
+        campaign.resume =
+            options.resume && !options.checkpointPath.empty();
+
+        const bool verbose = out.cell.config.verbose;
+        const PpoTrainer::EpochCallback epoch_cb =
+            [&](const EpochStats &stats) {
+                if (verbose) {
+                    AUTOCAT_LOG_INFO
+                        << out.cell.label << " epoch " << stats.epoch
+                        << " return " << stats.meanReturn << " eval-acc "
+                        << stats.eval.guessAccuracy;
+                }
+                if (options.epochCb)
+                    options.epochCb(stats);
+            };
+
+        TrainingSession session(std::move(campaign));
+        out.result =
+            session.run(epoch_cb, {}, options.checkpointCb).final;
+        out.completed = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown error";
+    }
+    out.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return out;
+}
+
+} // namespace autocat

@@ -1,0 +1,322 @@
+#include "serve/dist_scheduler.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/cell_exec.hpp"
+#include "serve/wire.hpp"
+#include "util/atomic_file.hpp"
+#include "util/logging.hpp"
+
+namespace autocat {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** One pending spawn: which cell, and which attempt this would be. */
+struct PendingCell
+{
+    std::size_t cell = 0;
+    int attempt = 1;
+};
+
+/** One occupied worker slot. */
+struct ActiveWorker
+{
+    pid_t pid = -1;
+    std::size_t cell = 0;
+    int attempt = 1;
+    std::time_t spawnTime = 0;
+    bool timedOut = false; ///< scheduler SIGKILLed it for a stale heartbeat
+};
+
+std::string
+jobPath(const std::string &work_dir, std::size_t cell)
+{
+    return work_dir + "/job_" + std::to_string(cell) + ".blob";
+}
+
+std::string
+rowPath(const std::string &work_dir, std::size_t cell)
+{
+    return work_dir + "/row_" + std::to_string(cell) + ".blob";
+}
+
+std::string
+heartbeatPath(const std::string &work_dir, std::size_t cell)
+{
+    return work_dir + "/hb_" + std::to_string(cell);
+}
+
+/** mtime of @p path as a time_t, or 0 when the file does not exist. */
+std::time_t
+fileMtime(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return st.st_mtime;
+}
+
+/** Describe how a reaped runner ended, for retry/error messages. */
+std::string
+describeExit(int status)
+{
+    if (WIFSIGNALED(status))
+        return std::string("killed by signal ") +
+               std::to_string(WTERMSIG(status));
+    if (WIFEXITED(status))
+        return "exit code " + std::to_string(WEXITSTATUS(status));
+    return "unknown wait status " + std::to_string(status);
+}
+
+/** fork/exec one runner attempt. @throws std::runtime_error on fork
+ *  failure (grid-level: no worker was started). */
+pid_t
+spawnRunner(const DistSweepOptions &options, const SweepCell &cell,
+            int attempt)
+{
+    std::vector<std::string> args;
+    args.push_back(options.runnerPath);
+    args.push_back(jobPath(options.workDir, cell.index));
+    args.push_back(rowPath(options.workDir, cell.index));
+    if (!options.checkpointDir.empty()) {
+        args.push_back("--checkpoint");
+        args.push_back(
+            cellCheckpointPath(options.checkpointDir, cell.index));
+        args.push_back("--checkpoint-every");
+        args.push_back(std::to_string(options.checkpointEvery));
+    }
+    args.push_back("--heartbeat");
+    args.push_back(heartbeatPath(options.workDir, cell.index));
+    args.push_back("--attempt");
+    args.push_back(std::to_string(attempt));
+    // Fault injection hits the FIRST attempt only: the retry must then
+    // finish the cell, which is exactly the recovery path under test.
+    if (static_cast<long>(cell.index) == options.chaosKillCell &&
+        attempt == 1) {
+        if (options.chaosHang) {
+            args.push_back("--chaos-hang");
+        } else {
+            args.push_back("--chaos-kill-after");
+            args.push_back(std::to_string(options.chaosKillAfter));
+        }
+    }
+
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        throw std::runtime_error(std::string("dist sweep: fork: ") +
+                                 std::strerror(errno));
+    if (pid == 0) {
+        ::execv(argv[0], argv.data());
+        // Exec failure in the child: nothing sane to do but die with a
+        // recognizable code (the parent records "exit code 127").
+        ::_exit(127);
+    }
+    return pid;
+}
+
+} // namespace
+
+SweepReport
+runSweepCellsDist(const std::string &name, std::vector<SweepCell> cells,
+                  const DistSweepOptions &options,
+                  const SweepProgress &progress)
+{
+    using Clock = std::chrono::steady_clock;
+
+    if (options.runnerPath.empty() ||
+        ::access(options.runnerPath.c_str(), X_OK) != 0) {
+        throw std::invalid_argument(
+            "dist sweep: cell_runner executable not found at \"" +
+            options.runnerPath +
+            "\" (pass --runner or set AUTOCAT_CELL_RUNNER)");
+    }
+    if (options.workDir.empty())
+        throw std::invalid_argument("dist sweep: work directory not set");
+
+    std::error_code ec;
+    fs::create_directories(options.workDir, ec);
+    if (ec || !fs::is_directory(options.workDir)) {
+        throw std::invalid_argument(
+            "dist sweep: cannot create work directory \"" +
+            options.workDir + "\"" + (ec ? ": " + ec.message() : ""));
+    }
+    if (!options.checkpointDir.empty()) {
+        fs::create_directories(options.checkpointDir, ec);
+        if (ec || !fs::is_directory(options.checkpointDir)) {
+            throw std::invalid_argument(
+                "dist sweep: cannot create checkpoint directory \"" +
+                options.checkpointDir + "\"" +
+                (ec ? ": " + ec.message() : ""));
+        }
+    }
+
+    SweepReport report;
+    report.name = name;
+    report.cells.resize(cells.size());
+
+    const auto t0 = Clock::now();
+
+    // Stage every job blob up front: a worker needs nothing from the
+    // scheduler but its argv, and a crashed scheduler leaves a
+    // complete, restartable job set on disk.
+    for (const SweepCell &cell : cells) {
+        atomicWriteFile(jobPath(options.workDir, cell.index),
+                        serializeCellJob(cell), "cell job");
+        // A row left over from a previous run over the same work dir
+        // must not satisfy this run's cell.
+        fs::remove(rowPath(options.workDir, cell.index), ec);
+    }
+
+    const int slots = static_cast<int>(
+        std::min<std::size_t>(std::max(options.processes, 1),
+                              cells.size()));
+    report.workersUsed = slots;
+
+    std::deque<PendingCell> pending;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        pending.push_back({i, 1});
+
+    std::vector<ActiveWorker> active;
+    std::size_t done = 0;
+
+    // Record a final (success or exhausted-retries) outcome for a cell.
+    const auto finish = [&](std::size_t idx, SweepCellResult row) {
+        row.cell = std::move(cells[idx]);
+        report.cells[idx] = std::move(row);
+        ++done;
+        if (progress)
+            progress(report.cells[idx]);
+    };
+
+    // A dead/hung/garbled attempt either requeues (at the back: the
+    // rest of the grid keeps flowing, the retry is picked up by the
+    // next free slot — the work-stealing discipline) or exhausts the
+    // cell's budget and lands as a per-cell failure row.
+    const auto attemptFailed = [&](const ActiveWorker &w,
+                                   const std::string &why) {
+        if (w.attempt <= options.maxRetries) {
+            AUTOCAT_LOG_WARN << "dist sweep: cell " << w.cell << " attempt "
+                             << w.attempt << " failed (" << why
+                             << "); requeueing";
+            pending.push_back({w.cell, w.attempt + 1});
+            return;
+        }
+        SweepCellResult row;
+        row.error = "worker " + why + " (after " +
+                    std::to_string(w.attempt) + " attempt" +
+                    (w.attempt == 1 ? "" : "s") + ")";
+        row.attempts = w.attempt;
+        finish(w.cell, std::move(row));
+    };
+
+    // The runner exited cleanly; its row blob is the attempt's verdict.
+    const auto reapSuccess = [&](const ActiveWorker &w) {
+        SweepCellResult row;
+        try {
+            row = deserializeCellRow(readWholeFile(
+                rowPath(options.workDir, w.cell), "cell row"));
+        } catch (const std::exception &e) {
+            attemptFailed(w, std::string("returned a bad row: ") +
+                                 e.what());
+            return;
+        }
+        if (row.cell.index != w.cell) {
+            attemptFailed(w, "returned a row for cell " +
+                                 std::to_string(row.cell.index));
+            return;
+        }
+        row.attempts = w.attempt;
+        finish(w.cell, std::move(row));
+    };
+
+    while (done < report.cells.size()) {
+        // Claim pending cells into free slots.
+        while (!pending.empty() &&
+               active.size() < static_cast<std::size_t>(slots)) {
+            const PendingCell next = pending.front();
+            pending.pop_front();
+            // A stale row from a killed previous attempt cannot exist
+            // (the runner writes it only on clean completion), but a
+            // stale heartbeat can — the spawn timestamp below masks it.
+            ActiveWorker w;
+            w.cell = next.cell;
+            w.attempt = next.attempt;
+            w.spawnTime = std::time(nullptr);
+            w.pid = spawnRunner(options, cells[next.cell], next.attempt);
+            active.push_back(w);
+        }
+
+        // Reap any finished worker (non-blocking).
+        bool reaped = false;
+        for (std::size_t s = 0; s < active.size();) {
+            int status = 0;
+            const pid_t r = ::waitpid(active[s].pid, &status, WNOHANG);
+            if (r == 0) {
+                ++s;
+                continue;
+            }
+            const ActiveWorker w = active[s];
+            active.erase(active.begin() + static_cast<long>(s));
+            reaped = true;
+            if (r < 0) {
+                attemptFailed(w, std::string("could not be reaped: ") +
+                                     std::strerror(errno));
+            } else if (w.timedOut) {
+                attemptFailed(w, "timed out (stale heartbeat)");
+            } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                reapSuccess(w);
+            } else {
+                attemptFailed(w, "died (" + describeExit(status) + ")");
+            }
+        }
+        if (reaped)
+            continue;
+
+        // Hang detection: a healthy runner touches its heartbeat on
+        // every epoch and checkpoint; staleness beyond the budget gets
+        // SIGKILL and the normal death path (which consumes a retry).
+        if (options.heartbeatTimeoutS > 0) {
+            const std::time_t now = std::time(nullptr);
+            for (ActiveWorker &w : active) {
+                if (w.timedOut)
+                    continue;
+                const std::time_t hb =
+                    fileMtime(heartbeatPath(options.workDir, w.cell));
+                const std::time_t last = std::max(hb, w.spawnTime);
+                if (std::difftime(now, last) > options.heartbeatTimeoutS) {
+                    w.timedOut = true;
+                    ::kill(w.pid, SIGKILL);
+                }
+            }
+        }
+
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    report.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return report;
+}
+
+} // namespace autocat

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * DistScheduler: shard an expanded sweep grid across worker
+ * *processes* running the cell_runner executable.
+ *
+ * Execution model — the process-boundary analogue of util/TaskPool's
+ * claiming discipline:
+ *
+ *  - Every cell is serialized to a job blob (serve/wire.hpp) under
+ *    the work directory before anything is spawned.
+ *  - N worker slots each hold at most one cell_runner process. A slot
+ *    that frees up dynamically claims the next pending cell (initial
+ *    order first, then the retry queue), so unequal cell costs
+ *    balance across workers exactly like TaskPool's atomic cursor —
+ *    work stealing without a central lock because the scheduler loop
+ *    is the only claimer.
+ *  - A runner that exits 0 has written a checksummed row blob
+ *    atomically; the scheduler validates it (magic/version/checksum +
+ *    cell-index match) and fills the cell's report slot. A runner
+ *    that dies (signal, nonzero exit, corrupt row) or hangs (stale
+ *    heartbeat -> SIGKILL) consumes one attempt; the cell is requeued
+ *    until maxRetries re-spawns are exhausted, then recorded as a
+ *    per-cell failure — the rest of the grid keeps running either
+ *    way.
+ *  - Retried cells resume from their campaign checkpoint (the runner
+ *    opens `cell_<index>.ckpt` with resume semantics), so a worker
+ *    death costs at most checkpointEvery epochs, not the whole cell.
+ *
+ * Determinism: cells are bit-reproducible campaigns writing disjoint,
+ * index-addressed report slots, so the report content is identical to
+ * an in-process `runSweepCells(..., workers=1, ...)` run with the
+ * same checkpoint cadence — including runs where workers were killed
+ * and resumed. That identity is the test oracle (test_dist, the
+ * dist-smoke CI job).
+ */
+
+#ifndef AUTOCAT_SERVE_DIST_SCHEDULER_HPP
+#define AUTOCAT_SERVE_DIST_SCHEDULER_HPP
+
+#include <string>
+#include <vector>
+
+#include "eval/sweep.hpp"
+
+namespace autocat {
+
+/** Scheduler configuration. */
+struct DistSweepOptions
+{
+    /** Worker process slots (clamped to the cell count). */
+    int processes = 3;
+
+    /** cell_runner executable path (required). */
+    std::string runnerPath;
+
+    /** Scratch directory for job/row blobs and heartbeat files;
+     *  created on demand (required). */
+    std::string workDir;
+
+    /** Per-cell campaign checkpoint directory; empty disables
+     *  mid-cell checkpoints (a retried cell then restarts — still
+     *  deterministic, just slower). */
+    std::string checkpointDir;
+
+    /** Mid-cell checkpoint cadence in epochs. */
+    int checkpointEvery = 0;
+
+    /** Re-spawns allowed per cell after a death or hang. */
+    int maxRetries = 1;
+
+    /** Kill a worker whose heartbeat is older than this (seconds);
+     *  0 disables hang detection. */
+    double heartbeatTimeoutS = 0.0;
+
+    // ----- fault-injection hooks (tests / CI harness only)
+    /** Cell whose FIRST attempt is asked to SIGKILL itself after
+     *  chaosKillAfter checkpoint writes; -1 disables. */
+    long chaosKillCell = -1;
+    int chaosKillAfter = 1;
+
+    /** Make chaosKillCell's first attempt hang before doing any work
+     *  (exercises the heartbeat timeout) instead of self-killing. */
+    bool chaosHang = false;
+};
+
+/**
+ * Run @p cells across worker processes and aggregate the report.
+ * Blocks until every cell has completed, failed deterministically, or
+ * exhausted its retry budget.
+ *
+ * @throws std::invalid_argument for a missing/non-executable runner
+ *         or an unusable work directory (grid-level misconfiguration,
+ *         as opposed to per-cell failures which land in the report)
+ */
+SweepReport runSweepCellsDist(const std::string &name,
+                              std::vector<SweepCell> cells,
+                              const DistSweepOptions &options,
+                              const SweepProgress &progress = {});
+
+} // namespace autocat
+
+#endif // AUTOCAT_SERVE_DIST_SCHEDULER_HPP

@@ -1,0 +1,156 @@
+#include "serve/wire.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/campaign_config.hpp"
+#include "core/config_parser.hpp"
+#include "util/binio.hpp"
+
+namespace autocat {
+
+namespace {
+
+constexpr char kJobMagic[8] = {'A', 'C', 'D', 'J', 'O', 'B', 'V', '1'};
+constexpr char kRowMagic[8] = {'A', 'C', 'D', 'R', 'O', 'W', 'V', '1'};
+
+std::string
+sectionToString(const char (&magic)[8], std::uint32_t version,
+                const std::string &payload, const std::string &what)
+{
+    std::ostringstream oss(std::ios::binary);
+    writeBinarySection(oss, magic, version, payload, what);
+    return oss.str();
+}
+
+std::string
+sectionFromString(const std::string &bytes, const char (&magic)[8],
+                  std::uint32_t version, const std::string &what)
+{
+    std::istringstream iss(bytes, std::ios::binary);
+    const std::string payload =
+        readBinarySection(iss, magic, version, what);
+    // A blob is exactly one section; trailing bytes mean a concatenated
+    // or damaged file.
+    if (iss.peek() != std::istringstream::traits_type::eof())
+        throw std::runtime_error(what +
+                                 ": trailing bytes after section "
+                                 "(corrupt blob?)");
+    return payload;
+}
+
+} // namespace
+
+std::string
+serializeCellJob(const SweepCell &cell)
+{
+    std::string p;
+    binPut(p, static_cast<std::uint64_t>(cell.index));
+    binPutString(p, cell.label);
+    binPutString(p, cell.scenario);
+    binPutString(p, cell.hierarchy);
+    binPutString(p, cell.policy);
+    binPut(p, cell.seed);
+    // One config document: exploration base + phase[N].* lines. The
+    // renderers throw for unrepresentable values, so a cell that
+    // cannot survive the wire fails at serialization, not on the
+    // worker.
+    binPutString(p, renderExplorationConfig(cell.config) +
+                        renderPhaseKeys(cell.phases));
+    return sectionToString(kJobMagic, kCellJobVersion, p, "cell job");
+}
+
+SweepCell
+deserializeCellJob(const std::string &bytes)
+{
+    const std::string payload =
+        sectionFromString(bytes, kJobMagic, kCellJobVersion, "cell job");
+    ByteCursor c(payload, "cell job");
+
+    SweepCell cell;
+    cell.index = static_cast<std::size_t>(c.get<std::uint64_t>());
+    cell.label = c.getString();
+    cell.scenario = c.getString();
+    cell.hierarchy = c.getString();
+    cell.policy = c.getString();
+    cell.seed = c.get<std::uint64_t>();
+    const std::string config_text = c.getString();
+    c.expectExhausted();
+
+    cell.config = parseExplorationConfig(
+        config_text, [&cell](const std::string &key,
+                             const std::string &value) {
+            return applyPhaseKey(cell.phases, key, value);
+        });
+    validateConfigPhases(cell.phases);
+    return cell;
+}
+
+std::string
+serializeCellRow(const SweepCellResult &row)
+{
+    std::string p;
+    binPut(p, static_cast<std::uint64_t>(row.cell.index));
+    binPut(p, static_cast<std::uint8_t>(row.completed ? 1 : 0));
+    binPutString(p, row.error);
+    binPut(p, row.wallSeconds);
+
+    const ExplorationResult &r = row.result;
+    binPut(p, static_cast<std::uint8_t>(r.converged ? 1 : 0));
+    binPut(p, static_cast<std::int32_t>(r.epochsToConverge));
+    binPut(p, r.finalAccuracy);
+    binPut(p, r.finalEpisodeLength);
+    binPut(p, r.bitRate);
+    binPut(p, r.detectionRate);
+    binPut(p, static_cast<std::int64_t>(r.envSteps));
+    binPut(p, static_cast<std::uint32_t>(r.sequence.size()));
+    for (const AttackStep &s : r.sequence.steps()) {
+        binPut(p, static_cast<std::uint8_t>(s.kind));
+        binPut(p, s.addr);
+    }
+    binPutString(p, r.finalGuess);
+    binPut(p, static_cast<std::uint8_t>(r.category));
+    return sectionToString(kRowMagic, kCellRowVersion, p, "cell row");
+}
+
+SweepCellResult
+deserializeCellRow(const std::string &bytes)
+{
+    const std::string payload =
+        sectionFromString(bytes, kRowMagic, kCellRowVersion, "cell row");
+    ByteCursor c(payload, "cell row");
+
+    SweepCellResult row;
+    row.cell.index = static_cast<std::size_t>(c.get<std::uint64_t>());
+    row.completed = c.get<std::uint8_t>() != 0;
+    row.error = c.getString();
+    row.wallSeconds = c.get<double>();
+
+    ExplorationResult &r = row.result;
+    r.converged = c.get<std::uint8_t>() != 0;
+    r.epochsToConverge = c.get<std::int32_t>();
+    r.finalAccuracy = c.get<double>();
+    r.finalEpisodeLength = c.get<double>();
+    r.bitRate = c.get<double>();
+    r.detectionRate = c.get<double>();
+    r.envSteps = c.get<std::int64_t>();
+    const auto steps = c.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < steps; ++i) {
+        const auto kind = c.get<std::uint8_t>();
+        if (kind > static_cast<std::uint8_t>(ActionKind::GuessNoAccess))
+            throw std::runtime_error(
+                "cell row: invalid action kind (corrupt blob?)");
+        const auto addr = c.get<std::uint64_t>();
+        r.sequence.push({static_cast<ActionKind>(kind), addr});
+    }
+    r.finalGuess = c.getString();
+    const auto category = c.get<std::uint8_t>();
+    if (category > static_cast<std::uint8_t>(AttackCategory::Unknown))
+        throw std::runtime_error(
+            "cell row: invalid attack category (corrupt blob?)");
+    r.category = static_cast<AttackCategory>(category);
+    c.expectExhausted();
+    return row;
+}
+
+} // namespace autocat

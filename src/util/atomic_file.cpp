@@ -1,0 +1,97 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace autocat {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what, const std::string &action,
+     const std::string &path)
+{
+    throw std::runtime_error(what + ": " + action + " failed for " +
+                             path + ": " + std::strerror(errno));
+}
+
+/** Write all of @p bytes to @p fd, resuming across short writes. */
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const std::string &bytes,
+                const std::string &what)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        fail(what, "open", tmp);
+    if (!writeAll(fd, bytes) || ::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fail(what, "write", tmp);
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        fail(what, "close", tmp);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fail(what, "rename", path);
+    }
+
+    // Make the rename durable: fsync the containing directory. Failure
+    // here is non-fatal for correctness of the file content (the data
+    // is either the old or the new version), so only real errors on
+    // paths we could open are reported.
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+std::string
+readWholeFile(const std::string &path, const std::string &what)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error(what + ": cannot open " + path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    if (!in && !in.eof())
+        throw std::runtime_error(what + ": read failed: " + path);
+    return oss.str();
+}
+
+} // namespace autocat

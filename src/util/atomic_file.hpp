@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Crash-safe whole-file writes: temp file + fsync + atomic rename.
+ *
+ * Checkpoint and wire-blob writers must never leave a truncated file
+ * under the final name — a worker process killed mid-write would
+ * otherwise block its own resume (the reader rejects the corrupt file
+ * and the scheduler retries into the same wall forever). The contract
+ * here is all-or-nothing: after atomicWriteFile returns, the path
+ * holds exactly the given bytes and is durable; if the writer dies at
+ * any point before the rename, the previous file (or its absence) is
+ * untouched and only a `<path>.tmp.<pid>` remnant is left behind,
+ * which readers never open and which the next successful write of the
+ * same path from the same pid overwrites.
+ */
+
+#ifndef AUTOCAT_UTIL_ATOMIC_FILE_HPP
+#define AUTOCAT_UTIL_ATOMIC_FILE_HPP
+
+#include <string>
+
+namespace autocat {
+
+/**
+ * Atomically replace @p path with @p bytes: write them to a sibling
+ * temp file, fsync it, rename it over @p path, and fsync the parent
+ * directory so the rename itself is durable.
+ *
+ * @throws std::runtime_error (prefixed with @p what) on any I/O
+ *         failure; the temp file is unlinked before throwing
+ */
+void atomicWriteFile(const std::string &path, const std::string &bytes,
+                     const std::string &what);
+
+/**
+ * Read a whole file into a string (binary).
+ *
+ * @throws std::runtime_error (prefixed with @p what) when the file
+ *         cannot be opened or read
+ */
+std::string readWholeFile(const std::string &path,
+                          const std::string &what);
+
+} // namespace autocat
+
+#endif // AUTOCAT_UTIL_ATOMIC_FILE_HPP
