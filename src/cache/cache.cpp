@@ -41,6 +41,9 @@ Cache::Cache(const CacheConfig &config)
 
     prefetcher_ = makePrefetcher(config_.prefetcher,
                                  config_.addressSpaceSize);
+
+    if ((config_.numSets & (config_.numSets - 1)) == 0)
+        set_mask_ = config_.numSets - 1;
 }
 
 std::uint64_t
@@ -48,6 +51,8 @@ Cache::setIndexOf(std::uint64_t addr) const
 {
     if (!setMap_.empty())
         return setMap_[addr % setMap_.size()];
+    if (set_mask_ != ~std::uint64_t{0})
+        return addr & set_mask_;
     return addr % config_.numSets;
 }
 
@@ -78,17 +83,22 @@ Cache::accessInternal(std::uint64_t addr, Domain domain, CacheOp op)
     const std::uint64_t idx = setIndexOf(addr);
     const AccessResult res = sets_[idx].access(repl_, addr, domain);
 
-    CacheEvent ev;
-    ev.op = op;
-    ev.domain = domain;
-    ev.addr = addr;
-    ev.setIndex = idx;
-    ev.hit = res.hit;
-    ev.evicted = res.evicted;
-    ev.evictedAddr = res.evictedAddr;
-    ev.evictedOwner = res.evictedOwner;
-    ev.servedUncached = res.servedUncached;
-    emit(ev);
+    // Constructing the event is wasted work on the listener-free hot
+    // path (the batch env engine steps detector-free streams by the
+    // million), so gate it rather than relying on emit()'s check.
+    if (listener_) {
+        CacheEvent ev;
+        ev.op = op;
+        ev.domain = domain;
+        ev.addr = addr;
+        ev.setIndex = idx;
+        ev.hit = res.hit;
+        ev.evicted = res.evicted;
+        ev.evictedAddr = res.evictedAddr;
+        ev.evictedOwner = res.evictedOwner;
+        ev.servedUncached = res.servedUncached;
+        emit(ev);
+    }
 
     return res;
 }
@@ -108,6 +118,16 @@ Cache::access(std::uint64_t addr, Domain domain)
     return res;
 }
 
+bool
+Cache::accessFast(std::uint64_t addr, Domain domain)
+{
+    // Listeners and prefetchers need the full result/event machinery;
+    // the lean path is for the detector-free, prefetcher-free hot loop.
+    if (listener_ || prefetcher_)
+        return access(addr, domain).hit;
+    return sets_[setIndexOf(addr)].accessFast(repl_, addr, domain);
+}
+
 AccessResult
 Cache::install(std::uint64_t addr, Domain domain)
 {
@@ -120,13 +140,15 @@ Cache::flush(std::uint64_t addr, Domain domain)
     const std::uint64_t idx = setIndexOf(addr);
     const bool dropped = sets_[idx].invalidate(repl_, addr);
 
-    CacheEvent ev;
-    ev.op = CacheOp::Flush;
-    ev.domain = domain;
-    ev.addr = addr;
-    ev.setIndex = idx;
-    ev.hit = dropped;
-    emit(ev);
+    if (listener_) {
+        CacheEvent ev;
+        ev.op = CacheOp::Flush;
+        ev.domain = domain;
+        ev.addr = addr;
+        ev.setIndex = idx;
+        ev.hit = dropped;
+        emit(ev);
+    }
 
     return dropped;
 }

@@ -56,6 +56,13 @@ class Cache
     AccessResult access(std::uint64_t addr, Domain domain);
 
     /**
+     * access() returning only the hit flag — the batch env engine's
+     * entry point. Identical state transitions and events; the hit
+     * path just skips materializing the full AccessResult.
+     */
+    bool accessFast(std::uint64_t addr, Domain domain);
+
+    /**
      * Install @p addr without a demand lookup: used by an exclusive
      * outer level absorbing a line evicted from an inner level. No
      * prefetches are triggered; the event is tagged CacheOp::VictimFill.
@@ -117,6 +124,10 @@ class Cache
     ReplacementState repl_;
     std::vector<CacheSet> sets_;
     std::vector<std::uint64_t> setMap_;
+    /** numSets - 1 when numSets is a power of two (the common case),
+     *  so the per-access set lookup is a mask instead of a 64-bit
+     *  modulo; ~0 selects the modulo fallback. */
+    std::uint64_t set_mask_ = ~std::uint64_t{0};
     std::unique_ptr<Prefetcher> prefetcher_;
     CacheEventListener listener_;
 };

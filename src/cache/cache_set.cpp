@@ -71,6 +71,31 @@ CacheSet::access(ReplacementState &repl, std::uint64_t addr, Domain domain)
 }
 
 bool
+CacheSet::accessFast(ReplacementState &repl, std::uint64_t addr,
+                     Domain domain)
+{
+    const int hit_way = findWay(addr);
+    if (hit_way >= 0) {
+        owner_[hit_way] = domain;
+        repl.onHit(index_, static_cast<unsigned>(hit_way));
+        return true;
+    }
+
+    int way = findInvalidWay();
+    if (way < 0) {
+        way = repl.victimWay(index_, valid_.data(), locked_.data());
+        if (way < 0)
+            return false;  // PL cache: served uncached
+    }
+    tags_[way] = addr;
+    valid_[way] = 1;
+    locked_[way] = 0;
+    owner_[way] = domain;
+    repl.onFill(index_, static_cast<unsigned>(way));
+    return false;
+}
+
+bool
 CacheSet::invalidate(ReplacementState &repl, std::uint64_t addr)
 {
     const int way = findWay(addr);

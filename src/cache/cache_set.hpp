@@ -44,6 +44,14 @@ class CacheSet
     AccessResult access(ReplacementState &repl, std::uint64_t addr,
                         Domain domain);
 
+    /**
+     * access() returning only the hit flag: identical state
+     * transitions, but no AccessResult is materialized (a PL-cache
+     * uncached serve returns false, matching the miss latency class).
+     */
+    bool accessFast(ReplacementState &repl, std::uint64_t addr,
+                    Domain domain);
+
     /** Invalidate @p addr if present; true when a line was dropped. */
     bool invalidate(ReplacementState &repl, std::uint64_t addr);
 

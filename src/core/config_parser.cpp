@@ -382,6 +382,10 @@ parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
          [&](const std::string &v) {
              cfg.threadedEnvs = parseConfigBool(v, "threaded_envs");
          }},
+        {"batch_env",
+         [&](const std::string &v) {
+             cfg.batchEnv = parseConfigBool(v, "batch_env");
+         }},
         {"double_buffered",
          [&](const std::string &v) {
              cfg.ppo.doubleBuffered =
@@ -572,6 +576,7 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << "num_streams = " << cfg.numStreams << "\n"
         << "threaded_envs = " << (cfg.threadedEnvs ? "true" : "false")
         << "\n"
+        << "batch_env = " << (cfg.batchEnv ? "true" : "false") << "\n"
         << "double_buffered = "
         << (cfg.ppo.doubleBuffered ? "true" : "false") << "\n"
         << "ppo_seed = " << cfg.ppo.seed << "\n"

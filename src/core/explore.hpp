@@ -50,6 +50,15 @@ struct ExplorationConfig
      */
     bool threadedEnvs = false;
 
+    /**
+     * Collect through the SoA batch engine (BatchVecEnv): observation
+     * rows are maintained in place inside the matrix the policy GEMM
+     * consumes (config key batch_env). Trajectories are
+     * bitwise-identical to the sync/threaded adapters. Takes
+     * precedence over threadedEnvs when both are set.
+     */
+    bool batchEnv = false;
+
     /** Give up after this many epochs (paper: 1 epoch = 3000 steps). */
     int maxEpochs = 150;
 

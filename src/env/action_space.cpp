@@ -21,29 +21,6 @@ ActionSpace::ActionSpace(const EnvConfig &config)
     size_ = guess_base_ + num_guess_ + (guess_empty_ ? 1 : 0);
 }
 
-Action
-ActionSpace::decode(std::size_t index) const
-{
-    assert(index < size_);
-    Action a;
-    if (index < flush_base_) {
-        a.kind = ActionKind::Access;
-        a.addr = attack_s_ + index;
-    } else if (index < trigger_base_) {
-        a.kind = ActionKind::Flush;
-        a.addr = attack_s_ + (index - flush_base_);
-    } else if (index == trigger_base_) {
-        a.kind = ActionKind::TriggerVictim;
-    } else if (index < guess_base_ + num_guess_) {
-        a.kind = ActionKind::Guess;
-        a.addr = victim_s_ + (index - guess_base_);
-    } else {
-        assert(guess_empty_);
-        a.kind = ActionKind::GuessNoAccess;
-    }
-    return a;
-}
-
 std::size_t
 ActionSpace::encode(const Action &action) const
 {

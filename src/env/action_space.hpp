@@ -13,6 +13,7 @@
 #ifndef AUTOCAT_ENV_ACTION_SPACE_HPP
 #define AUTOCAT_ENV_ACTION_SPACE_HPP
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -52,8 +53,30 @@ class ActionSpace
     /** Total number of discrete actions. */
     std::size_t size() const { return size_; }
 
-    /** Decode an index into an Action. */
-    Action decode(std::size_t index) const;
+    /** Decode an index into an Action. Inline: this runs once per
+     *  environment step on the batch engine's hot path. */
+    Action
+    decode(std::size_t index) const
+    {
+        assert(index < size_);
+        Action a;
+        if (index < flush_base_) {
+            a.kind = ActionKind::Access;
+            a.addr = attack_s_ + index;
+        } else if (index < trigger_base_) {
+            a.kind = ActionKind::Flush;
+            a.addr = attack_s_ + (index - flush_base_);
+        } else if (index == trigger_base_) {
+            a.kind = ActionKind::TriggerVictim;
+        } else if (index < guess_base_ + num_guess_) {
+            a.kind = ActionKind::Guess;
+            a.addr = victim_s_ + (index - guess_base_);
+        } else {
+            assert(guess_empty_);
+            a.kind = ActionKind::GuessNoAccess;
+        }
+        return a;
+    }
 
     /** Encode an Action into its index. */
     std::size_t encode(const Action &action) const;

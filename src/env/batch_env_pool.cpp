@@ -1,0 +1,149 @@
+#include "env/batch_env_pool.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace autocat {
+
+BatchEnvPool::BatchEnvPool(std::vector<std::unique_ptr<Environment>> envs)
+    : envs_(std::move(envs))
+{
+    if (envs_.empty())
+        throw std::invalid_argument(
+            "BatchEnvPool: need at least one stream");
+    for (const auto &e : envs_) {
+        if (!e)
+            throw std::invalid_argument("BatchEnvPool: null environment");
+        if (e->observationSize() != envs_.front()->observationSize() ||
+            e->numActions() != envs_.front()->numActions()) {
+            throw std::invalid_argument(
+                "BatchEnvPool: streams must share observation/action "
+                "dimensions");
+        }
+    }
+    obs_dim_ = envs_.front()->observationSize();
+    num_actions_ = envs_.front()->numActions();
+    obs_.resize(envs_.size(), obs_dim_);
+
+    fast_.reserve(envs_.size());
+    for (std::size_t i = 0; i < envs_.size(); ++i) {
+        auto *game = dynamic_cast<CacheGuessingGame *>(envs_[i].get());
+        fast_.push_back(game);
+        if (game)
+            game->bindObservationRow(obs_.rowPtr(i));
+    }
+}
+
+void
+BatchEnvPool::resetAll()
+{
+    for (std::size_t i = 0; i < envs_.size(); ++i) {
+        if (CacheGuessingGame *game = fast_[i]) {
+            game->resetRow();
+        } else {
+            const std::vector<float> row = envs_[i]->reset();
+            std::memcpy(obs_.rowPtr(i), row.data(),
+                        obs_dim_ * sizeof(float));
+        }
+    }
+}
+
+void
+BatchEnvPool::stepOne(std::size_t i, std::size_t action, double *rewards,
+                      std::uint8_t *dones, StepInfo *infos)
+{
+    if (CacheGuessingGame *game = fast_[i]) {
+        const CacheGuessingGame::FastStep fs = game->stepFast(action);
+        rewards[i] = fs.reward;
+        dones[i] = fs.done ? 1 : 0;
+        infos[i] = fs.info;
+        if (fs.done)
+            game->resetRow();  // row becomes the next episode's start
+    } else {
+        Environment &e = *envs_[i];
+        StepResult sr = e.step(action);
+        rewards[i] = sr.reward;
+        dones[i] = sr.done ? 1 : 0;
+        infos[i] = sr.info;
+        const std::vector<float> obs =
+            sr.done ? e.reset() : std::move(sr.obs);
+        assert(obs.size() == obs_dim_);
+        std::memcpy(obs_.rowPtr(i), obs.data(), obs_dim_ * sizeof(float));
+    }
+}
+
+void
+BatchEnvPool::stepBatch(const std::size_t *actions, float *obs_matrix,
+                        double *rewards, std::uint8_t *dones,
+                        StepInfo *infos)
+{
+    const std::size_t n = envs_.size();
+    for (std::size_t i = 0; i < n; ++i)
+        stepOne(i, actions[i], rewards, dones, infos);
+    if (obs_matrix && obs_matrix != obs_.data())
+        std::memcpy(obs_matrix, obs_.data(),
+                    n * obs_dim_ * sizeof(float));
+}
+
+void
+BatchEnvPool::stepRange(std::size_t begin, std::size_t end,
+                        const std::size_t *actions, float *obs_matrix,
+                        double *rewards, std::uint8_t *dones,
+                        StepInfo *infos)
+{
+    assert(begin <= end && end <= envs_.size());
+    for (std::size_t i = begin; i < end; ++i)
+        stepOne(i, actions[i], rewards, dones, infos);
+    if (obs_matrix && obs_matrix != obs_.data()) {
+        std::memcpy(obs_matrix + begin * obs_dim_, obs_.rowPtr(begin),
+                    (end - begin) * obs_dim_ * sizeof(float));
+    }
+}
+
+// ------------------------------------------------------------ BatchVecEnv
+
+BatchVecEnv::BatchVecEnv(std::vector<std::unique_ptr<Environment>> envs)
+    : pool_(std::move(envs))
+{
+}
+
+Matrix
+BatchVecEnv::resetAll()
+{
+    pool_.resetAll();
+    return pool_.obs();  // copy: the interface hands out a snapshot
+}
+
+VecStepResult
+BatchVecEnv::stepAll(const std::vector<std::size_t> &actions)
+{
+    assert(actions.size() == pool_.numStreams());
+    const std::size_t n = pool_.numStreams();
+    VecStepResult r;
+    r.obs.resizeUninit(n, pool_.observationSize());
+    r.rewards.resize(n);
+    r.dones.resize(n);
+    r.infos.resize(n);
+    pool_.stepBatch(actions.data(), r.obs.data(), r.rewards.data(),
+                    r.dones.data(), r.infos.data());
+    return r;
+}
+
+void
+BatchVecEnv::stepRange(std::size_t begin, std::size_t end,
+                       const std::vector<std::size_t> &actions,
+                       VecStepResult &out)
+{
+    assert(begin <= end && end <= numEnvs());
+    assert(actions.size() == numEnvs());
+    assert(out.obs.rows() == numEnvs() &&
+           out.obs.cols() == observationSize());
+    assert(out.rewards.size() == numEnvs() &&
+           out.dones.size() == numEnvs() && out.infos.size() == numEnvs());
+    pool_.stepRange(begin, end, actions.data(), out.obs.data(),
+                    out.rewards.data(), out.dones.data(),
+                    out.infos.data());
+}
+
+} // namespace autocat

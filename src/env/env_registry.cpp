@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "env/batch_env_pool.hpp"
 #include "env/guessing_game.hpp"
 
 namespace autocat {
@@ -246,7 +247,7 @@ makeEnv(const std::string &name, const EnvConfig &config,
 
 std::unique_ptr<VecEnv>
 makeVecEnv(const std::string &name, const ScenarioContext &ctx,
-           std::size_t num_streams, bool threaded,
+           std::size_t num_streams, VecEnvKind kind,
            const std::function<void(Environment &)> &decorate)
 {
     if (num_streams == 0)
@@ -260,9 +261,34 @@ makeVecEnv(const std::string &name, const ScenarioContext &ctx,
         if (decorate)
             decorate(*envs.back());
     }
-    if (threaded)
+    switch (kind) {
+      case VecEnvKind::Threaded:
         return std::make_unique<ThreadedVecEnv>(std::move(envs));
+      case VecEnvKind::Batch:
+        return std::make_unique<BatchVecEnv>(std::move(envs));
+      case VecEnvKind::Sync:
+        break;
+    }
     return std::make_unique<SyncVecEnv>(std::move(envs));
+}
+
+std::unique_ptr<VecEnv>
+makeVecEnv(const std::string &name, const ScenarioContext &ctx,
+           std::size_t num_streams, bool threaded,
+           const std::function<void(Environment &)> &decorate)
+{
+    return makeVecEnv(name, ctx, num_streams,
+                      threaded ? VecEnvKind::Threaded : VecEnvKind::Sync,
+                      decorate);
+}
+
+std::unique_ptr<VecEnv>
+makeVecEnv(const std::string &name, const EnvConfig &config,
+           std::size_t num_streams, VecEnvKind kind,
+           const std::function<void(Environment &)> &decorate)
+{
+    return makeVecEnv(name, ScenarioContext(config), num_streams, kind,
+                      decorate);
 }
 
 std::unique_ptr<VecEnv>

@@ -1,6 +1,8 @@
 #include "env/guessing_game.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace autocat {
@@ -34,7 +36,52 @@ CacheGuessingGame::CacheGuessingGame(const EnvConfig &config,
     // Per-slot features: latency one-hot (3) + action one-hot (A) +
     // normalized step (1) + victim-triggered flag (1).
     slot_dim_ = 3 + actions_.size() + 2;
-    installListener();
+    row_storage_.assign(observationSize(), 0.0f);
+    row_ = row_storage_.data();
+
+    if (auto *flat = dynamic_cast<SingleLevelMemory *>(memory_.get()))
+        flat_cache_ = &flat->cache();
+
+    history_.resize(window_);
+
+    // Step counts never exceed the mode's episode length (stepFast
+    // raises done_ at the boundary), so these tables cover every value
+    // the encode can see.
+    const unsigned max_steps =
+        std::max(length_limit_, config_.multiSecret
+                                    ? config_.multiSecretEpisodeSteps
+                                    : 0u);
+    const float slot_denom =
+        static_cast<float>(std::max(1u, length_limit_));
+    const float prog_denom = static_cast<float>(
+        std::max(1u, config_.multiSecret ? config_.multiSecretEpisodeSteps
+                                         : length_limit_));
+    slot_norm_.resize(static_cast<std::size_t>(max_steps) + 1);
+    prog_norm_.resize(static_cast<std::size_t>(max_steps) + 1);
+    for (unsigned t = 0; t <= max_steps; ++t) {
+        slot_norm_[t] = static_cast<float>(t) / slot_denom;
+        prog_norm_[t] = static_cast<float>(t) / prog_denom;
+    }
+
+    for (std::uint64_t a = config_.attackAddrS; a <= config_.attackAddrE;
+         ++a) {
+        warm_pool_.push_back({a, Domain::Attacker});
+    }
+    for (std::uint64_t a = config_.victimAddrS; a <= config_.victimAddrE;
+         ++a) {
+        if (a < config_.attackAddrS || a > config_.attackAddrE)
+            warm_pool_.push_back({a, Domain::Victim});
+    }
+
+    // Size the summary state so the fresh-episode template can be
+    // rendered now; resetRow() re-assigns the same values each episode.
+    addr_lat_actual_.assign(
+        static_cast<std::size_t>(config_.numAttackAddrs()), AddrNever);
+    addr_lat_visible_ = addr_lat_actual_;
+    addr_lat_post_actual_ = addr_lat_actual_;
+    addr_lat_post_visible_ = addr_lat_actual_;
+    fresh_row_.resize(observationSize());
+    buildObservationInto(fresh_row_.data());
 }
 
 void
@@ -51,6 +98,11 @@ CacheGuessingGame::attachDetector(std::shared_ptr<Detector> detector,
                                   DetectorMode mode)
 {
     assert(detector);
+    // The event listener is installed lazily on the first attachment:
+    // a detector-free environment pays no per-event std::function
+    // dispatch in the cache model's access path.
+    if (detectors_.empty())
+        installListener();
     // A detector attached after reset() would otherwise carry whatever
     // per-episode state it accumulated elsewhere until the *next*
     // episode delivers onEpisodeReset() — campaign phases attach
@@ -115,24 +167,12 @@ CacheGuessingGame::initializeEpisodeState()
     // the attack and victim address ranges (Section VI-B initialization
     // scheme). Locked lines survive.
     const unsigned warmups = config_.resolvedInitAccesses();
-    if (warmups > 0) {
-        std::vector<std::uint64_t> pool;
-        for (std::uint64_t a = config_.attackAddrS;
-             a <= config_.attackAddrE; ++a) {
-            pool.push_back(a);
-        }
-        for (std::uint64_t a = config_.victimAddrS;
-             a <= config_.victimAddrE; ++a) {
-            if (a < config_.attackAddrS || a > config_.attackAddrE)
-                pool.push_back(a);
-        }
-        for (unsigned i = 0; i < warmups; ++i) {
-            const std::uint64_t a = pool[rng_.uniformInt(pool.size())];
-            const bool attacker_addr =
-                a >= config_.attackAddrS && a <= config_.attackAddrE;
-            memory_->access(a, attacker_addr ? Domain::Attacker
-                                             : Domain::Victim);
-        }
+    for (unsigned i = 0; i < warmups; ++i) {
+        const WarmupAddr &w = warm_pool_[rng_.uniformInt(warm_pool_.size())];
+        if (flat_cache_)
+            flat_cache_->accessFast(w.addr, w.domain);
+        else
+            memory_->access(w.addr, w.domain);
     }
 
     // Detectors must not see the warm-up traffic.
@@ -143,6 +183,13 @@ CacheGuessingGame::initializeEpisodeState()
 std::vector<float>
 CacheGuessingGame::reset()
 {
+    resetRow();
+    return std::vector<float>(row_, row_ + observationSize());
+}
+
+void
+CacheGuessingGame::resetRow()
+{
     initializeEpisodeState();
     secret_ = sampleSecret();
     victim_triggered_ = false;
@@ -150,13 +197,27 @@ CacheGuessingGame::reset()
     done_ = false;
     step_count_ = 0;
     guesses_this_episode_ = 0;
-    history_.clear();
-    addr_lat_actual_.assign(
-        static_cast<std::size_t>(config_.numAttackAddrs()), AddrNever);
+    hist_head_ = 0;
+    hist_count_ = 0;
+    std::fill(addr_lat_actual_.begin(), addr_lat_actual_.end(),
+              static_cast<int>(AddrNever));
     addr_lat_visible_ = addr_lat_actual_;
     addr_lat_post_actual_ = addr_lat_actual_;
     addr_lat_post_visible_ = addr_lat_actual_;
-    return buildObservation();
+    // The fresh row is episode-independent; copy the template instead
+    // of re-encoding it.
+    std::memcpy(row_, fresh_row_.data(),
+                observationSize() * sizeof(float));
+}
+
+void
+CacheGuessingGame::bindObservationRow(float *row)
+{
+    float *target = row ? row : row_storage_.data();
+    if (target == row_)
+        return;
+    std::memcpy(target, row_, observationSize() * sizeof(float));
+    row_ = target;
 }
 
 void
@@ -174,7 +235,9 @@ CacheGuessingGame::forceSecret(std::optional<std::uint64_t> secret)
 void
 CacheGuessingGame::pushHistory(std::size_t action, int actual_lat)
 {
-    HistorySlot slot;
+    HistorySlot &slot = hist_count_ < window_
+                            ? histSlot(hist_count_)
+                            : histSlot(0);
     slot.actualLat = actual_lat;
     // In reveal mode latencies stay masked until the reveal point.
     slot.visibleLat =
@@ -182,71 +245,159 @@ CacheGuessingGame::pushHistory(std::size_t action, int actual_lat)
     slot.action = action;
     slot.step = step_count_;
     slot.victimTriggered = victim_triggered_;
-    history_.push_back(slot);
-    while (history_.size() > window_)
-        history_.pop_front();
+    if (hist_count_ < window_) {
+        ++hist_count_;
+    } else {
+        // Full ring: the oldest slot was just overwritten in place.
+        ++hist_head_;
+        if (hist_head_ >= window_)
+            hist_head_ = 0;
+    }
 }
 
 std::vector<float>
-CacheGuessingGame::buildObservation() const
+CacheGuessingGame::rebuildObservation() const
 {
-    std::vector<float> obs(observationSize(), 0.0f);
+    std::vector<float> obs(observationSize());
+    buildObservationInto(obs.data());
+    return obs;
+}
+
+void
+CacheGuessingGame::buildObservationInto(float *out) const
+{
+    std::fill(out, out + observationSize(), 0.0f);
     // Newest slot occupies the last window position so the most recent
     // context always lives at a fixed offset.
-    const std::size_t count = history_.size();
+    const std::size_t count = hist_count_;
     for (std::size_t i = 0; i < count; ++i) {
-        const HistorySlot &slot = history_[i];
+        const HistorySlot &slot = histSlot(i);
         const std::size_t pos = window_ - count + i;
-        float *base = obs.data() + pos * slot_dim_;
+        float *base = out + pos * slot_dim_;
         base[slot.visibleLat] = 1.0f;
         base[3 + slot.action] = 1.0f;
-        base[3 + actions_.size()] =
-            static_cast<float>(slot.step) /
-            static_cast<float>(std::max(1u, length_limit_));
+        base[3 + actions_.size()] = slot_norm_[slot.step];
         base[3 + actions_.size() + 1] = slot.victimTriggered ? 1.0f : 0.0f;
     }
     // Per-address latency summaries (fixed positions).
     std::size_t offset = window_ * slot_dim_;
     for (std::size_t a = 0; a < addr_lat_visible_.size(); ++a)
-        obs[offset + 4 * a + addr_lat_visible_[a]] = 1.0f;
+        out[offset + 4 * a + addr_lat_visible_[a]] = 1.0f;
     offset += 4 * addr_lat_visible_.size();
     for (std::size_t a = 0; a < addr_lat_post_visible_.size(); ++a)
-        obs[offset + 4 * a + addr_lat_post_visible_[a]] = 1.0f;
+        out[offset + 4 * a + addr_lat_post_visible_[a]] = 1.0f;
     offset += 4 * addr_lat_post_visible_.size();
 
-    obs[offset] = revealed_ ? 1.0f : 0.0f;
-    obs[offset + 1] = victim_triggered_ ? 1.0f : 0.0f;
-    const unsigned denom = config_.multiSecret
-                               ? config_.multiSecretEpisodeSteps
-                               : length_limit_;
-    obs[offset + 2] = static_cast<float>(step_count_) /
-                      static_cast<float>(std::max(1u, denom));
-    return obs;
+    out[offset] = revealed_ ? 1.0f : 0.0f;
+    out[offset + 1] = victim_triggered_ ? 1.0f : 0.0f;
+    out[offset + 2] = prog_norm_[step_count_];
+}
+
+/*
+ * Incremental row maintenance. A normal step changes the observation
+ * in three small, disjoint places: the window shifts left by one slot
+ * and the newest history entry is encoded at the end; at most one
+ * attacker address changes its summary one-hots (or the post-trigger
+ * region resets); and the three global features are rewritten. The
+ * rare structural events — reset, the reveal transition, a
+ * multi-secret symbol boundary — rewrite state across the whole window
+ * and fall back to buildObservationInto().
+ */
+
+void
+CacheGuessingGame::advanceRowWindow()
+{
+    float *w = row_;
+    std::memmove(w, w + slot_dim_,
+                 (static_cast<std::size_t>(window_) - 1) * slot_dim_ *
+                     sizeof(float));
+    float *slot = w + (static_cast<std::size_t>(window_) - 1) * slot_dim_;
+    std::fill(slot, slot + slot_dim_, 0.0f);
+    const HistorySlot &hs = histSlot(hist_count_ - 1);
+    slot[hs.visibleLat] = 1.0f;
+    slot[3 + hs.action] = 1.0f;
+    slot[3 + actions_.size()] = slot_norm_[hs.step];
+    slot[3 + actions_.size() + 1] = hs.victimTriggered ? 1.0f : 0.0f;
+}
+
+void
+CacheGuessingGame::refreshSummaryCells(std::size_t off)
+{
+    const std::size_t num_addrs = addr_lat_visible_.size();
+    float *episode =
+        row_ + static_cast<std::size_t>(window_) * slot_dim_ + 4 * off;
+    episode[0] = episode[1] = episode[2] = episode[3] = 0.0f;
+    episode[addr_lat_visible_[off]] = 1.0f;
+    float *post = episode + 4 * num_addrs;
+    post[0] = post[1] = post[2] = post[3] = 0.0f;
+    post[addr_lat_post_visible_[off]] = 1.0f;
+}
+
+void
+CacheGuessingGame::refreshPostRegion()
+{
+    const std::size_t num_addrs = addr_lat_post_visible_.size();
+    float *post = row_ + static_cast<std::size_t>(window_) * slot_dim_ +
+                  4 * num_addrs;
+    std::fill(post, post + 4 * num_addrs, 0.0f);
+    for (std::size_t a = 0; a < num_addrs; ++a)
+        post[4 * a + addr_lat_post_visible_[a]] = 1.0f;
+}
+
+void
+CacheGuessingGame::writeRowGlobals()
+{
+    float *g = row_ + static_cast<std::size_t>(window_) * slot_dim_ +
+               8 * addr_lat_visible_.size();
+    g[0] = revealed_ ? 1.0f : 0.0f;
+    g[1] = victim_triggered_ ? 1.0f : 0.0f;
+    g[2] = prog_norm_[step_count_];
 }
 
 StepResult
 CacheGuessingGame::step(std::size_t action_index)
 {
+    const FastStep fs = stepFast(action_index);
+    StepResult result;
+    result.reward = fs.reward;
+    result.done = fs.done;
+    result.info = fs.info;
+    result.obs.assign(row_, row_ + observationSize());
+    return result;
+}
+
+CacheGuessingGame::FastStep
+CacheGuessingGame::stepFast(std::size_t action_index)
+{
     if (done_)
         throw std::logic_error("step() after episode end; call reset()");
     assert(action_index < actions_.size());
 
-    StepResult result;
+    FastStep result;
     const Action action = actions_.decode(action_index);
     ++step_count_;
+
+    // How the observation row must be refreshed after this step:
+    // full rebuild on structural events, otherwise the summary cells
+    // of at most one touched address (or a post-region reset).
+    bool rebuild = false;
+    bool post_reset = false;
+    std::ptrdiff_t touched_addr = -1;
 
     int lat = LatNa;
     double reward = 0.0;
 
     switch (action.kind) {
       case ActionKind::Access: {
-        const MemoryAccessResult res =
-            memory_->access(action.addr, Domain::Attacker);
-        lat = res.hit ? LatHit : LatMiss;
+        const bool hit =
+            flat_cache_
+                ? flat_cache_->accessFast(action.addr, Domain::Attacker)
+                : memory_->access(action.addr, Domain::Attacker).hit;
+        lat = hit ? LatHit : LatMiss;
         reward += config_.stepReward;
         const std::size_t off =
             static_cast<std::size_t>(action.addr - config_.attackAddrS);
-        const int cls = res.hit ? AddrHit : AddrMiss;
+        const int cls = hit ? AddrHit : AddrMiss;
         const bool masked = config_.revealOnGuess && !revealed_;
         addr_lat_actual_[off] = cls;
         addr_lat_visible_[off] = masked ? AddrMasked : cls;
@@ -254,6 +405,7 @@ CacheGuessingGame::step(std::size_t action_index)
             addr_lat_post_actual_[off] = cls;
             addr_lat_post_visible_[off] = masked ? AddrMasked : cls;
         }
+        touched_addr = static_cast<std::ptrdiff_t>(off);
         break;
       }
       case ActionKind::Flush: {
@@ -262,14 +414,19 @@ CacheGuessingGame::step(std::size_t action_index)
         break;
       }
       case ActionKind::TriggerVictim: {
-        if (secret_)
-            memory_->access(*secret_, Domain::Victim);
+        if (secret_) {
+            if (flat_cache_)
+                flat_cache_->accessFast(*secret_, Domain::Victim);
+            else
+                memory_->access(*secret_, Domain::Victim);
+        }
         victim_triggered_ = true;
         reward += config_.stepReward;
         // The post-trigger summary restarts at each trigger.
         addr_lat_post_actual_.assign(addr_lat_post_actual_.size(),
                                      AddrNever);
         addr_lat_post_visible_ = addr_lat_post_actual_;
+        post_reset = true;
         break;
       }
       case ActionKind::Guess:
@@ -279,11 +436,14 @@ CacheGuessingGame::step(std::size_t action_index)
             // the blind phase. The latency history becomes visible and
             // the agent guesses again with full information.
             revealed_ = true;
-            for (auto &slot : history_)
+            for (std::size_t i = 0; i < hist_count_; ++i) {
+                HistorySlot &slot = histSlot(i);
                 slot.visibleLat = slot.actualLat;
+            }
             addr_lat_visible_ = addr_lat_actual_;
             addr_lat_post_visible_ = addr_lat_post_actual_;
             reward += config_.stepReward;
+            rebuild = true;  // every window slot's latency unmasked
             break;
         }
         const bool match =
@@ -309,6 +469,7 @@ CacheGuessingGame::step(std::size_t action_index)
             addr_lat_visible_ = addr_lat_actual_;
             addr_lat_post_actual_ = addr_lat_actual_;
             addr_lat_post_visible_ = addr_lat_actual_;
+            rebuild = true;  // both summary regions restart
         } else {
             done_ = true;
         }
@@ -356,11 +517,21 @@ CacheGuessingGame::step(std::size_t action_index)
 
     pushHistory(action_index, lat);
 
+    if (rebuild) {
+        buildObservationInto(row_);
+    } else {
+        advanceRowWindow();
+        if (touched_addr >= 0)
+            refreshSummaryCells(static_cast<std::size_t>(touched_addr));
+        else if (post_reset)
+            refreshPostRegion();
+        writeRowGlobals();
+    }
+
     result.reward = reward;
     result.done = done_;
     result.info.observedLatency =
         (config_.revealOnGuess && !revealed_) ? LatNa : lat;
-    result.obs = buildObservation();
     return result;
 }
 

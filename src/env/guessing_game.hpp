@@ -13,7 +13,6 @@
 #define AUTOCAT_ENV_GUESSING_GAME_HPP
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -60,6 +59,46 @@ class CacheGuessingGame : public Environment
     std::size_t numActions() const override;
     std::vector<float> reset() override;
     StepResult step(std::size_t action) override;
+
+    // Batch-stepping fast path ---------------------------------------
+    /**
+     * step() without materializing the observation vector. The
+     * persistent observation row (see bindObservationRow) is kept up
+     * to date incrementally; step() is a thin wrapper that copies it
+     * into the returned StepResult.
+     */
+    struct FastStep
+    {
+        double reward = 0.0;
+        bool done = false;
+        StepInfo info;
+    };
+    FastStep stepFast(std::size_t action);
+
+    /** reset() without materializing the observation vector; the
+     *  bound observation row is rebuilt in place. */
+    void resetRow();
+
+    /**
+     * Re-home the persistent observation row at @p row (size
+     * observationSize()), which the environment keeps current across
+     * reset()/step()/stepFast(). BatchEnvPool binds each stream's row
+     * into the batch matrix the policy GEMM consumes, so stepping
+     * writes observations straight into it — no per-env allocation,
+     * no copy. Pass nullptr to rebind the internal storage. The
+     * current row contents move to the new location.
+     */
+    void bindObservationRow(float *row);
+
+    /** The persistent observation row (valid after reset()). */
+    const float *observationRow() const { return row_; }
+
+    /**
+     * Encode the full observation from scratch. This is the oracle the
+     * incrementally-maintained row is tested against; hot paths never
+     * call it outside reset/reveal/multi-secret boundaries.
+     */
+    std::vector<float> rebuildObservation() const;
 
     // Introspection ---------------------------------------------------
     /** The action-space layout. */
@@ -120,12 +159,46 @@ class CacheGuessingGame : public Environment
     void installListener();
     void initializeEpisodeState();
     void pushHistory(std::size_t action, int actual_lat);
-    std::vector<float> buildObservation() const;
+    void buildObservationInto(float *out) const;
     std::optional<std::uint64_t> sampleSecret();
+
+    /** The @p i-th oldest live history slot (i < hist_count_). */
+    HistorySlot &
+    histSlot(std::size_t i)
+    {
+        std::size_t idx = hist_head_ + i;
+        if (idx >= window_)
+            idx -= window_;
+        return history_[idx];
+    }
+    const HistorySlot &
+    histSlot(std::size_t i) const
+    {
+        std::size_t idx = hist_head_ + i;
+        if (idx >= window_)
+            idx -= window_;
+        return history_[idx];
+    }
+
+    // Incremental maintenance of the persistent observation row.
+    void advanceRowWindow();
+    void refreshSummaryCells(std::size_t off);
+    void refreshPostRegion();
+    void writeRowGlobals();
 
     EnvConfig config_;
     ActionSpace actions_;
     std::unique_ptr<MemorySystem> memory_;
+
+    /**
+     * Devirtualized access path when memory_ is a SingleLevelMemory
+     * (the common scenario): demand accesses go straight to
+     * Cache::accessFast, skipping the virtual wrapper and the
+     * MemoryAccessResult translation. Null for hierarchies and custom
+     * memory systems, which keep the interface path.
+     */
+    Cache *flat_cache_ = nullptr;
+
     Rng rng_;
 
     struct DetectorEntry
@@ -146,7 +219,15 @@ class CacheGuessingGame : public Environment
     bool done_ = true;
     unsigned step_count_ = 0;
     unsigned guesses_this_episode_ = 0;
-    std::deque<HistorySlot> history_;
+
+    /**
+     * Fixed-capacity ring of the last window_ steps (oldest at
+     * hist_head_). A deque here would pay an allocation check and a
+     * size test on every push of the hottest path.
+     */
+    std::vector<HistorySlot> history_;
+    std::size_t hist_head_ = 0;   ///< index of the oldest live slot
+    std::size_t hist_count_ = 0;  ///< live slots (<= window_)
 
     /**
      * Summary feature state: the latency class last observed for each
@@ -162,6 +243,42 @@ class CacheGuessingGame : public Environment
     /** Same summary restricted to accesses after the last trigger. */
     std::vector<int> addr_lat_post_actual_;
     std::vector<int> addr_lat_post_visible_;
+
+    /**
+     * Persistent observation row. Defaults to internal storage; the
+     * batch engine re-homes it inside its SoA observation matrix
+     * (bindObservationRow). Invariant after reset()/step()/stepFast():
+     * row_[0..observationSize()) == rebuildObservation().
+     */
+    std::vector<float> row_storage_;
+    float *row_ = nullptr;
+
+    /**
+     * Normalized step fractions, precomputed so the per-step row
+     * encode performs table lookups instead of float divisions. The
+     * entries are the exact divisions the observation contract
+     * specifies (slot: t / max(1, length_limit); globals: t over the
+     * mode's episode length), done once at construction — the encoded
+     * floats are bitwise-unchanged.
+     */
+    std::vector<float> slot_norm_;
+    std::vector<float> prog_norm_;
+
+    /**
+     * A fresh episode's observation row is a pure function of the
+     * layout (empty window, all-AddrNever summaries, zero globals), so
+     * reset memcpys this template instead of re-encoding it.
+     */
+    std::vector<float> fresh_row_;
+
+    /** Warm-up address pool (Section VI-B), built once: the union of
+     *  the attack and victim ranges with their access domains. */
+    struct WarmupAddr
+    {
+        std::uint64_t addr;
+        Domain domain;
+    };
+    std::vector<WarmupAddr> warm_pool_;
 };
 
 } // namespace autocat

@@ -205,8 +205,11 @@ PpoTrainer::collect()
     last_dones_.assign(n, 0);
 
     // Double buffering needs two stream groups to alternate between.
+    BatchStepSurface *surface = envs_->batchSurface();
     if (config_.doubleBuffered && n >= 2)
         collectPipelined();
+    else if (surface)
+        collectBatchInPlace(*surface);
     else
         collectSerial();
 
@@ -250,6 +253,52 @@ PpoTrainer::collectSerial()
         last_dones_ = vr.dones;
         current_obs_ = std::move(vr.obs);
     }
+}
+
+/*
+ * In-place collection over a BatchStepSurface: the policy GEMM reads
+ * the engine's persistent observation matrix directly and the
+ * environments rewrite its rows as they step, so the per-step Matrix
+ * allocation and row copies of collectSerial() disappear. The acting
+ * observations are staged into the rollout *before* the step
+ * overwrites them (RolloutBuffer::stageObs) — the same single copy the
+ * serial path performs inside stepAll(), just without the allocation.
+ * Forward, sampling, stepping, and bookkeeping run in the serial order
+ * on identical values, so the rollout is bitwise-identical to
+ * collectSerial() over SyncVecEnv with the same seeds.
+ */
+void
+PpoTrainer::collectBatchInPlace(BatchStepSurface &surface)
+{
+    const std::size_t n = envs_->numEnvs();
+    std::vector<std::size_t> actions(n);
+    std::vector<double> values(n), log_probs(n);
+    std::vector<double> rewards(n);
+    std::vector<std::uint8_t> dones(n);
+    std::vector<StepInfo> infos(n);
+
+    const Matrix &obs = surface.obsMatrix();
+    while (!buffer_->full()) {
+        net_->forwardNoGrad(obs, fwd_out_);
+        for (std::size_t s = 0; s < n; ++s) {
+            actions[s] = net_->sample(fwd_out_.logits, s, rng_);
+            log_probs[s] =
+                ActorCritic::logProb(fwd_out_.logits, s, actions[s]);
+            values[s] = fwd_out_.values[s];
+        }
+
+        buffer_->stageObs(obs);
+        surface.stepBatchInPlace(actions.data(), rewards.data(),
+                                 dones.data(), infos.data());
+        total_env_steps_ += static_cast<long long>(n);
+        recordEpisodeStats(rewards, dones);
+        buffer_->commitStep(actions, rewards, dones, values, log_probs);
+        last_dones_ = dones;
+    }
+
+    // Refresh the cross-epoch mirror the shared bootstrap code (and a
+    // possible later non-batch path) reads.
+    current_obs_ = obs;
 }
 
 /*

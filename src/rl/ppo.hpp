@@ -188,6 +188,7 @@ class PpoTrainer
 
     void collect();
     void collectSerial();
+    void collectBatchInPlace(BatchStepSurface &surface);
     void collectPipelined();
     void recordEpisodeStats(const std::vector<double> &rewards,
                             const std::vector<std::uint8_t> &dones);

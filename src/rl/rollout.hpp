@@ -55,6 +55,19 @@ class RolloutBuffer
                  const std::vector<double> &values,
                  const std::vector<double> &log_probs);
 
+    /**
+     * Two-phase variant for in-place collection (BatchStepSurface):
+     * stageObs() copies the acting observations into the pending step
+     * *before* the environments overwrite them, commitStep() records
+     * the step's outcomes afterwards. addStep() == stage(move)+commit.
+     */
+    void stageObs(const Matrix &obs);
+    void commitStep(const std::vector<std::size_t> &actions,
+                    const std::vector<double> &rewards,
+                    const std::vector<std::uint8_t> &dones,
+                    const std::vector<double> &values,
+                    const std::vector<double> &log_probs);
+
     /** Number of stored transitions (timesteps x streams). */
     std::size_t size() const { return steps_added_ * streams_; }
 
@@ -105,6 +118,7 @@ class RolloutBuffer
     std::size_t streams_;      ///< stream count N
     std::size_t obs_dim_;
     std::size_t steps_added_ = 0;
+    bool staged_ = false;  ///< stageObs() awaiting its commitStep()
     std::vector<Matrix> obs_steps_;  ///< one N x obs_dim matrix per step
     std::vector<std::size_t> actions_;
     std::vector<double> rewards_;

@@ -49,11 +49,49 @@ struct VecStepResult
     std::vector<StepInfo> infos;        ///< per-stream step metadata
 };
 
+/**
+ * Optional in-place batch-stepping capability. An adapter that keeps a
+ * persistent N x obs_dim observation matrix — each stream's row is
+ * rewritten in place as the stream advances, with auto-reset semantics
+ * identical to VecEnv::stepAll() — exposes this surface so the PPO
+ * trainer can run the policy GEMM directly on the engine's matrix and
+ * skip the per-step Matrix allocation + row copies of the generic
+ * stepAll() path. Implemented by BatchVecEnv (env/batch_env_pool.hpp).
+ */
+class BatchStepSurface
+{
+  public:
+    virtual ~BatchStepSurface() = default;
+
+    /** The persistent observation matrix (valid after resetAllInPlace
+     *  or VecEnv::resetAll on the same adapter). */
+    virtual const Matrix &obsMatrix() const = 0;
+
+    /**
+     * Advance every stream one step, rewriting obsMatrix() rows in
+     * place. @p actions, @p rewards, @p dones, @p infos all have one
+     * slot per stream.
+     */
+    virtual void stepBatchInPlace(const std::size_t *actions,
+                                  double *rewards, std::uint8_t *dones,
+                                  StepInfo *infos) = 0;
+
+    /** Reset every stream, refreshing obsMatrix() rows in place. */
+    virtual void resetAllInPlace() = 0;
+};
+
 /** Batched Gym-like interface over N environment streams. */
 class VecEnv
 {
   public:
     virtual ~VecEnv() = default;
+
+    /**
+     * The adapter's in-place batch-stepping surface, or nullptr when
+     * it does not maintain a persistent observation matrix (the
+     * generic adapters below).
+     */
+    virtual BatchStepSurface *batchSurface() { return nullptr; }
 
     /** Number of streams. */
     virtual std::size_t numEnvs() const = 0;

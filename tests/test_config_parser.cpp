@@ -98,6 +98,18 @@ TEST(ConfigParser, DefaultsWhenEmpty)
     EXPECT_EQ(cfg.maxEpochs, fresh.maxEpochs);
 }
 
+TEST(ConfigParser, BatchEnvKeyRoundTrips)
+{
+    const ExplorationConfig cfg =
+        parseExplorationConfig(std::string("batch_env = true"));
+    EXPECT_TRUE(cfg.batchEnv);
+    const ExplorationConfig fresh;
+    EXPECT_FALSE(fresh.batchEnv);
+    const std::string rendered = renderExplorationConfig(cfg);
+    EXPECT_NE(rendered.find("batch_env = true"), std::string::npos);
+    EXPECT_TRUE(parseExplorationConfig(rendered).batchEnv);
+}
+
 TEST(ConfigParser, UnknownKeyFailsLoudly)
 {
     EXPECT_THROW(parseExplorationConfig(std::string("num_waysss = 4")),
@@ -386,6 +398,7 @@ randomConfig(Rng &rng)
     cfg.verbose = rng.bernoulli(0.5);
     cfg.numStreams = 1 + static_cast<int>(rng.uniformInt(8));
     cfg.threadedEnvs = rng.bernoulli(0.5);
+    cfg.batchEnv = rng.bernoulli(0.5);
     cfg.ppo.doubleBuffered = rng.bernoulli(0.5);
 
     if (rng.bernoulli(0.6)) {

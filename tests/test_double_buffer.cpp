@@ -14,6 +14,7 @@
 #include <cstring>
 #include <memory>
 
+#include "env/batch_env_pool.hpp"
 #include "rl/ppo.hpp"
 #include "rl/vec_env.hpp"
 #include "util/rng.hpp"
@@ -199,6 +200,60 @@ TEST(DoubleBuffer, ConvergesWithPipelineEnabled)
     PpoTrainer trainer(*vec, cfg);
     const int epoch = trainer.trainUntil(0.99, 20, 200);
     EXPECT_GT(epoch, 0) << "pipelined probe env did not converge";
+}
+
+TEST(DoubleBuffer, BatchAdapterSerialMatchesSyncSerial)
+{
+    // The in-place batch collection path (collectBatchInPlace) must
+    // reproduce the allocating serial path bitwise: same RNG sampling
+    // order, same rollout contents, same weights after updates.
+    PpoConfig cfg;
+    cfg.seed = 41;
+    cfg.stepsPerEpoch = 600;
+    cfg.minibatchSize = 200;
+
+    auto sync_vec = makeProbeVec<SyncVecEnv>(4, 1700);
+    auto batch_vec = makeProbeVec<BatchVecEnv>(4, 1700);
+    PpoTrainer sync_trainer(*sync_vec, cfg);
+    PpoTrainer batch_trainer(*batch_vec, cfg);
+
+    for (int e = 0; e < 3; ++e) {
+        const EpochStats a = sync_trainer.runEpoch();
+        const EpochStats b = batch_trainer.runEpoch();
+        EXPECT_DOUBLE_EQ(a.meanReturn, b.meanReturn) << "epoch " << e;
+        EXPECT_DOUBLE_EQ(a.meanEpisodeLength, b.meanEpisodeLength);
+        EXPECT_DOUBLE_EQ(a.policyLoss, b.policyLoss) << "epoch " << e;
+        EXPECT_DOUBLE_EQ(a.valueLoss, b.valueLoss) << "epoch " << e;
+        EXPECT_DOUBLE_EQ(a.entropy, b.entropy) << "epoch " << e;
+    }
+    EXPECT_EQ(sync_trainer.totalEnvSteps(), batch_trainer.totalEnvSteps());
+    expectPoliciesBitwiseEqual(sync_trainer, batch_trainer);
+}
+
+TEST(DoubleBuffer, BatchAdapterPipelinedMatchesSyncSerial)
+{
+    // doubleBuffered over a BatchVecEnv routes through its stepRange
+    // (the pipeline wins the dispatch over the batch surface); the
+    // composition must still be bitwise-identical to serial sync.
+    PpoConfig off_cfg;
+    off_cfg.seed = 43;
+    off_cfg.stepsPerEpoch = 400;
+    PpoConfig on_cfg = off_cfg;
+    on_cfg.doubleBuffered = true;
+
+    auto sync_vec = makeProbeVec<SyncVecEnv>(5, 1900);
+    auto batch_vec = makeProbeVec<BatchVecEnv>(5, 1900);
+    PpoTrainer serial_trainer(*sync_vec, off_cfg);
+    PpoTrainer pipelined_trainer(*batch_vec, on_cfg);
+
+    for (int e = 0; e < 2; ++e) {
+        const EpochStats a = serial_trainer.runEpoch();
+        const EpochStats b = pipelined_trainer.runEpoch();
+        EXPECT_DOUBLE_EQ(a.meanReturn, b.meanReturn);
+        EXPECT_DOUBLE_EQ(a.policyLoss, b.policyLoss);
+        EXPECT_DOUBLE_EQ(a.valueLoss, b.valueLoss);
+    }
+    expectPoliciesBitwiseEqual(serial_trainer, pipelined_trainer);
 }
 
 TEST(VecEnvStepRange, SubBatchMatchesStepAllAndLeavesRestUntouched)

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "env/batch_env_pool.hpp"
 #include "env/env_registry.hpp"
 #include "env/guessing_game.hpp"
 #include "rl/vec_env.hpp"
@@ -434,6 +435,31 @@ TEST(VecEnvStepRange, EdgeCasesOnSyncAdapter)
 TEST(VecEnvStepRange, EdgeCasesOnThreadedAdapter)
 {
     runStepRangeEdgeCases<ThreadedVecEnv>();
+}
+
+TEST(VecEnvStepRange, EdgeCasesOnBatchAdapter)
+{
+    // CountingEnv is not a CacheGuessingGame, so this also pins the
+    // pool's generic (non-devirtualized) fallback path.
+    runStepRangeEdgeCases<BatchVecEnv>();
+}
+
+TEST(VecEnv, BatchMatchesSequentialRunsBitwise)
+{
+    constexpr std::uint64_t kBaseSeed = 27;
+    constexpr std::size_t kStreams = 4;
+    constexpr int kSteps = 200;
+
+    auto vec = makeVecEnv("guessing_game", tinyEnvConfig(kBaseSeed),
+                          kStreams, VecEnvKind::Batch);
+    EXPECT_NE(vec->batchSurface(), nullptr);
+    const std::vector<Trace> vec_traces = runVectorized(*vec, kSteps);
+
+    for (std::size_t s = 0; s < kStreams; ++s) {
+        const Trace seq = runSequential(kBaseSeed + s, s, kSteps);
+        EXPECT_TRUE(vec_traces[s] == seq)
+            << "stream " << s << " diverged from the sequential run";
+    }
 }
 
 TEST(Registry, CustomScenarioPlugsIn)
