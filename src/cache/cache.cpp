@@ -134,6 +134,12 @@ Cache::install(std::uint64_t addr, Domain domain)
     return accessInternal(addr, domain, CacheOp::VictimFill);
 }
 
+AccessResult
+Cache::prefetchInstall(std::uint64_t addr, Domain domain)
+{
+    return accessInternal(addr, domain, CacheOp::Prefetch);
+}
+
 bool
 Cache::flush(std::uint64_t addr, Domain domain)
 {

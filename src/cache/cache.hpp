@@ -70,6 +70,16 @@ class Cache
      */
     AccessResult install(std::uint64_t addr, Domain domain);
 
+    /**
+     * Install @p addr on behalf of an externally-modeled prefetcher
+     * (the prefetcher side channel drives its own stride detector and
+     * feeds the targets back here). Identical state transitions to the
+     * installs an internal prefetcher performs; the event is tagged
+     * CacheOp::Prefetch. Never recurses into this cache's own
+     * prefetcher.
+     */
+    AccessResult prefetchInstall(std::uint64_t addr, Domain domain);
+
     /** clflush: invalidate @p addr everywhere; true if it was cached. */
     bool flush(std::uint64_t addr, Domain domain);
 

@@ -1,0 +1,164 @@
+#include "cache/tlb.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace autocat {
+
+namespace {
+
+const TlbConfig &
+validated(const TlbConfig &config)
+{
+    if (config.numSets == 0 || config.numWays == 0)
+        throw std::invalid_argument("tlb: sets and ways must be > 0");
+    if (config.walkLevels == 0)
+        throw std::invalid_argument("tlb: need at least one walk level");
+    if (config.levelBits == 0)
+        throw std::invalid_argument("tlb: level_bits must be > 0");
+    if (config.pwcSets == 0 || config.pwcWays == 0)
+        throw std::invalid_argument("tlb: pwc sets and ways must be > 0");
+    return config;
+}
+
+} // namespace
+
+Tlb::Tlb(const TlbConfig &config)
+    : config_(validated(config)),
+      rng_(config_.seed),
+      repl_(config_.policy, config_.numSets, config_.numWays, &rng_)
+{
+    sets_.reserve(config_.numSets);
+    for (unsigned s = 0; s < config_.numSets; ++s)
+        sets_.emplace_back(config_.numWays, s);
+
+    walk_.reserve(config_.walkLevels);
+    for (unsigned k = 0; k < config_.walkLevels; ++k) {
+        // PWCs are small true-LRU structures regardless of the TLB's
+        // own policy (hardware paging-structure caches are not
+        // configurable the way the TLB replacement is).
+        WalkCache wc{ReplacementState(ReplPolicy::Lru, config_.pwcSets,
+                                      config_.pwcWays, &rng_),
+                     {}};
+        wc.sets.reserve(config_.pwcSets);
+        for (unsigned s = 0; s < config_.pwcSets; ++s)
+            wc.sets.emplace_back(config_.pwcWays, s);
+        walk_.push_back(std::move(wc));
+    }
+}
+
+std::uint64_t
+Tlb::setIndexOf(std::uint64_t page) const
+{
+    return page % config_.numSets;
+}
+
+const CacheSet &
+Tlb::set(std::uint64_t index) const
+{
+    assert(index < sets_.size());
+    return sets_[index];
+}
+
+std::uint64_t
+Tlb::walkPrefix(unsigned level, std::uint64_t page) const
+{
+    assert(level < config_.walkLevels);
+    const unsigned shift = config_.levelBits * (config_.walkLevels - level);
+    // A shift of >= 64 bits is UB; such a level translates the whole
+    // (small) address space, so every page shares prefix 0.
+    return shift >= 64 ? 0 : page >> shift;
+}
+
+bool
+Tlb::pwcContains(unsigned level, std::uint64_t prefix) const
+{
+    assert(level < config_.walkLevels);
+    const WalkCache &wc = walk_[level];
+    return wc.sets[prefix % config_.pwcSets].contains(prefix);
+}
+
+TlbLookupResult
+Tlb::lookup(std::uint64_t page, Domain domain)
+{
+    const std::uint64_t idx = setIndexOf(page);
+    const AccessResult res = sets_[idx].access(repl_, page, domain);
+
+    TlbLookupResult out;
+    out.hit = res.hit;
+    out.evicted = res.evicted;
+    out.evictedPage = res.evictedAddr;
+    out.evictedOwner = res.evictedOwner;
+
+    if (!res.hit) {
+        // Walk root -> leaf: each level whose prefix misses its PWC
+        // goes to memory and installs the prefix for later walks.
+        for (unsigned k = 0; k < config_.walkLevels; ++k) {
+            WalkCache &wc = walk_[k];
+            const std::uint64_t prefix = walkPrefix(k, page);
+            const bool cached = wc.sets[prefix % config_.pwcSets]
+                                    .accessFast(wc.repl, prefix, domain);
+            if (!cached)
+                ++out.walkedLevels;
+        }
+    }
+
+    if (listener_) {
+        CacheEvent ev;
+        ev.op = CacheOp::DemandAccess;
+        ev.domain = domain;
+        ev.addr = page;
+        ev.setIndex = idx;
+        ev.hit = res.hit;
+        ev.evicted = res.evicted;
+        ev.evictedAddr = res.evictedAddr;
+        ev.evictedOwner = res.evictedOwner;
+        listener_(ev);
+    }
+
+    return out;
+}
+
+bool
+Tlb::flushPage(std::uint64_t page, Domain domain)
+{
+    const std::uint64_t idx = setIndexOf(page);
+    const bool dropped = sets_[idx].invalidate(repl_, page);
+
+    if (listener_) {
+        CacheEvent ev;
+        ev.op = CacheOp::Flush;
+        ev.domain = domain;
+        ev.addr = page;
+        ev.setIndex = idx;
+        ev.hit = dropped;
+        listener_(ev);
+    }
+
+    return dropped;
+}
+
+bool
+Tlb::contains(std::uint64_t page) const
+{
+    return sets_[setIndexOf(page)].contains(page);
+}
+
+void
+Tlb::reset()
+{
+    for (auto &set : sets_)
+        set.reset(repl_);
+    for (auto &wc : walk_) {
+        for (auto &set : wc.sets)
+            set.reset(wc.repl);
+    }
+}
+
+void
+Tlb::setEventListener(CacheEventListener listener)
+{
+    listener_ = std::move(listener);
+}
+
+} // namespace autocat

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Set-associative TLB model with a multi-level page walk on miss.
+ *
+ * The TLB is the second attacked resource the channel layer exposes
+ * (env/channel_model.hpp): translations live in a set-associative
+ * structure built from the same CacheSet / ReplacementState machinery
+ * as the data cache, so prime+probe over TLB sets leaks victim page
+ * accesses exactly the way cache-set contention leaks line accesses.
+ *
+ * A lookup that misses walks a radix page table root -> leaf. Each
+ * walk level has its own small page-walk cache (PWC) of translation
+ * prefixes; a level whose prefix misses its PWC costs one memory
+ * access and installs the prefix. The lookup result reports how many
+ * levels actually went to memory (walkedLevels) — the timing signal a
+ * real page walk exposes — plus the eviction the fill caused, which is
+ * the differential-test surface.
+ *
+ * Flush semantics: flushPage models an invlpg of the leaf translation
+ * only; walk-cache entries persist (documented simplification — the
+ * attack channel needs the TLB entry gone, not the paging-structure
+ * caches).
+ *
+ * Addresses are page-granular integers, mirroring the cache model's
+ * line-granular convention.
+ */
+
+#ifndef AUTOCAT_CACHE_TLB_HPP
+#define AUTOCAT_CACHE_TLB_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_set.hpp"
+#include "cache/events.hpp"
+#include "cache/replacement.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+
+/** Geometry and walk parameters of a Tlb (config keys tlb.*). */
+struct TlbConfig
+{
+    /** Number of TLB sets; 1 makes it fully associative. */
+    unsigned numSets = 2;
+
+    /** TLB associativity. */
+    unsigned numWays = 2;
+
+    /** Replacement policy of the TLB sets. */
+    ReplPolicy policy = ReplPolicy::Lru;
+
+    /** Page-table levels walked on a TLB miss (>= 1). */
+    unsigned walkLevels = 2;
+
+    /** Address bits one walk level translates; level k's PWC caches
+     *  the prefix `page >> (levelBits * (walkLevels - k))`. */
+    unsigned levelBits = 2;
+
+    /** Page-walk cache geometry (one PWC per walk level, LRU). */
+    unsigned pwcSets = 1;
+    unsigned pwcWays = 2;
+
+    /** Size of the flat page address space the programs use. */
+    std::uint64_t addressSpaceSize = 64;
+
+    /** Seed for the random replacement policy. */
+    std::uint64_t seed = 1;
+
+    /** Total number of TLB entries (the channel's num_blocks). */
+    unsigned numEntries() const { return numSets * numWays; }
+};
+
+/** What one translation lookup observed. */
+struct TlbLookupResult
+{
+    bool hit = false;           ///< translation was TLB-resident
+    unsigned walkedLevels = 0;  ///< walk levels that missed their PWC
+    bool evicted = false;       ///< the fill displaced a translation
+    std::uint64_t evictedPage = 0;
+    Domain evictedOwner = Domain::Attacker;
+};
+
+/** Set-associative TLB with per-level page-walk caches. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    // The flat ReplacementState points at the TLB-owned RNG (same
+    // aliasing the Cache has); copying would leave it dangling.
+    Tlb(const Tlb &) = delete;
+    Tlb &operator=(const Tlb &) = delete;
+
+    /** The configuration this TLB was built with. */
+    const TlbConfig &config() const { return config_; }
+
+    /** Total TLB entries. */
+    unsigned numEntries() const { return config_.numEntries(); }
+
+    /**
+     * Translate @p page for @p domain: probe the TLB, walk the page
+     * table on miss (updating the PWCs), and install the translation.
+     */
+    TlbLookupResult lookup(std::uint64_t page, Domain domain);
+
+    /** invlpg: drop @p page's translation; true if it was resident.
+     *  Walk-cache entries for the page's prefixes are kept. */
+    bool flushPage(std::uint64_t page, Domain domain);
+
+    /** True when @p page's translation is TLB-resident. */
+    bool contains(std::uint64_t page) const;
+
+    /** Drop all translations, walk-cache entries, and metadata. */
+    void reset();
+
+    /** Register the (single) event listener; nullptr clears. One
+     *  DemandAccess event per lookup, one Flush event per flushPage —
+     *  the same taps the detector layer observes on caches. */
+    void setEventListener(CacheEventListener listener);
+
+    /** TLB set @p page maps to. */
+    std::uint64_t setIndexOf(std::uint64_t page) const;
+
+    /** One TLB set, for tests and state dumps. */
+    const CacheSet &set(std::uint64_t index) const;
+
+    /** Walk-level @p level's PWC prefix for @p page. */
+    std::uint64_t walkPrefix(unsigned level, std::uint64_t page) const;
+
+    /** True when walk level @p level's PWC holds @p prefix. */
+    bool pwcContains(unsigned level, std::uint64_t prefix) const;
+
+  private:
+    TlbConfig config_;
+    Rng rng_;
+    ReplacementState repl_;
+    std::vector<CacheSet> sets_;
+
+    /** One page-walk cache per walk level (root first), true-LRU. */
+    struct WalkCache
+    {
+        ReplacementState repl;
+        std::vector<CacheSet> sets;
+    };
+    std::vector<WalkCache> walk_;
+
+    CacheEventListener listener_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_CACHE_TLB_HPP

@@ -164,6 +164,58 @@ applyHierarchyKey(ExplorationConfig &cfg, const std::string &key,
                                     field + "' in '" + key + "'");
 }
 
+/**
+ * Apply a "tlb." key: the TLB channel's geometry / walk parameters
+ * (only the tlb_evict scenario reads them, but the keys parse and
+ * round-trip regardless of scenario).
+ */
+void
+applyTlbKey(ExplorationConfig &cfg, const std::string &key,
+            const std::string &value)
+{
+    TlbConfig &t = cfg.env.channel.tlb;
+    const std::string field = key.substr(4);
+    if (field == "num_sets")
+        t.numSets = parseConfigU32(value, key);
+    else if (field == "num_ways")
+        t.numWays = parseConfigU32(value, key);
+    else if (field == "rep_policy")
+        t.policy = replPolicyFromString(value);
+    else if (field == "walk_levels")
+        t.walkLevels = parseConfigU32(value, key);
+    else if (field == "level_bits")
+        t.levelBits = parseConfigU32(value, key);
+    else if (field == "pwc_sets")
+        t.pwcSets = parseConfigU32(value, key);
+    else if (field == "pwc_ways")
+        t.pwcWays = parseConfigU32(value, key);
+    else if (field == "address_space")
+        t.addressSpaceSize = parseConfigUint(value, key);
+    else if (field == "seed")
+        t.seed = parseConfigUint(value, key);
+    else
+        throw std::invalid_argument("config: unknown tlb field '" +
+                                    field + "' in '" + key + "'");
+}
+
+/**
+ * Apply a "channel." key: the prefetch_probe victim burst shape.
+ */
+void
+applyChannelKey(ExplorationConfig &cfg, const std::string &key,
+                const std::string &value)
+{
+    ChannelConfig &c = cfg.env.channel;
+    const std::string field = key.substr(8);
+    if (field == "prefetch_burst_len")
+        c.prefetchBurstLen = parseConfigU32(value, key);
+    else if (field == "prefetch_burst_base")
+        c.prefetchBurstBase = parseConfigUint(value, key);
+    else
+        throw std::invalid_argument("config: unknown channel field '" +
+                                    field + "' in '" + key + "'");
+}
+
 } // namespace
 
 ExplorationConfig
@@ -444,6 +496,10 @@ parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
             with_line([&] { it->second(value); });
         } else if (key.compare(0, 10, "hierarchy.") == 0) {
             with_line([&] { applyHierarchyKey(cfg, key, value); });
+        } else if (key.compare(0, 4, "tlb.") == 0) {
+            with_line([&] { applyTlbKey(cfg, key, value); });
+        } else if (key.compare(0, 8, "channel.") == 0) {
+            with_line([&] { applyChannelKey(cfg, key, value); });
         } else {
             bool handled = false;
             if (extra)
@@ -465,6 +521,8 @@ parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
         if (lvl.cache.addressSpaceSize < needed)
             lvl.cache.addressSpaceSize = needed;
     }
+    if (cfg.env.channel.tlb.addressSpaceSize < needed)
+        cfg.env.channel.tlb.addressSpaceSize = needed;
     return cfg;
 }
 
@@ -550,6 +608,20 @@ renderExplorationConfig(const ExplorationConfig &cfg)
                 << "\n";
         }
     }
+    const TlbConfig &tlb = cfg.env.channel.tlb;
+    out << "tlb.num_sets = " << tlb.numSets << "\n"
+        << "tlb.num_ways = " << tlb.numWays << "\n"
+        << "tlb.rep_policy = " << replPolicyName(tlb.policy) << "\n"
+        << "tlb.walk_levels = " << tlb.walkLevels << "\n"
+        << "tlb.level_bits = " << tlb.levelBits << "\n"
+        << "tlb.pwc_sets = " << tlb.pwcSets << "\n"
+        << "tlb.pwc_ways = " << tlb.pwcWays << "\n"
+        << "tlb.address_space = " << tlb.addressSpaceSize << "\n"
+        << "tlb.seed = " << tlb.seed << "\n"
+        << "channel.prefetch_burst_len = "
+        << cfg.env.channel.prefetchBurstLen << "\n"
+        << "channel.prefetch_burst_base = "
+        << cfg.env.channel.prefetchBurstBase << "\n";
     out
         << "multi_secret = "
         << (cfg.env.multiSecret ? "true" : "false") << "\n"

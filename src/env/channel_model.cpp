@@ -1,0 +1,215 @@
+#include "env/channel_model.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace autocat {
+
+// ------------------------------------------------------ MemoryChannel
+
+MemoryChannel::MemoryChannel(std::unique_ptr<MemorySystem> memory)
+    : memory_(std::move(memory))
+{
+    assert(memory_);
+    if (auto *flat = dynamic_cast<SingleLevelMemory *>(memory_.get()))
+        flat_ = &flat->cache();
+}
+
+bool
+MemoryChannel::attackerAccess(std::uint64_t addr)
+{
+    return memory_->access(addr, Domain::Attacker).hit;
+}
+
+void
+MemoryChannel::attackerFlush(std::uint64_t addr)
+{
+    memory_->flush(addr, Domain::Attacker);
+}
+
+void
+MemoryChannel::victimTransmit(std::uint64_t secret)
+{
+    memory_->access(secret, Domain::Victim);
+}
+
+void
+MemoryChannel::warmupAccess(std::uint64_t addr, Domain domain)
+{
+    memory_->access(addr, domain);
+}
+
+void
+MemoryChannel::reset()
+{
+    memory_->reset();
+}
+
+bool
+MemoryChannel::lockLine(std::uint64_t addr, Domain domain)
+{
+    return memory_->lockLine(addr, domain);
+}
+
+void
+MemoryChannel::setEventListener(CacheEventListener listener)
+{
+    memory_->setEventListener(std::move(listener));
+}
+
+unsigned
+MemoryChannel::numBlocks() const
+{
+    return memory_->numBlocks();
+}
+
+Cache *
+MemoryChannel::fastAttackerCache()
+{
+    return flat_;
+}
+
+Cache *
+MemoryChannel::fastVictimCache()
+{
+    return flat_;
+}
+
+// --------------------------------------------------------- TlbChannel
+
+TlbChannel::TlbChannel(const TlbConfig &config) : tlb_(config) {}
+
+bool
+TlbChannel::attackerAccess(std::uint64_t addr)
+{
+    return tlb_.lookup(addr, Domain::Attacker).hit;
+}
+
+void
+TlbChannel::attackerFlush(std::uint64_t addr)
+{
+    tlb_.flushPage(addr, Domain::Attacker);
+}
+
+void
+TlbChannel::victimTransmit(std::uint64_t secret)
+{
+    tlb_.lookup(secret, Domain::Victim);
+}
+
+void
+TlbChannel::warmupAccess(std::uint64_t addr, Domain domain)
+{
+    tlb_.lookup(addr, domain);
+}
+
+void
+TlbChannel::reset()
+{
+    tlb_.reset();
+}
+
+void
+TlbChannel::setEventListener(CacheEventListener listener)
+{
+    tlb_.setEventListener(std::move(listener));
+}
+
+unsigned
+TlbChannel::numBlocks() const
+{
+    return tlb_.numEntries();
+}
+
+// ----------------------------------------------- PrefetchProbeChannel
+
+namespace {
+
+CacheConfig
+stripPrefetcher(CacheConfig cache)
+{
+    // The channel models the prefetcher itself (victim-side stride
+    // detection); an internal one would also train on attacker probes.
+    cache.prefetcher = PrefetcherKind::None;
+    return cache;
+}
+
+} // namespace
+
+PrefetchProbeChannel::PrefetchProbeChannel(CacheConfig cache,
+                                           std::uint64_t victimAddrS,
+                                           unsigned burstLen,
+                                           std::uint64_t burstBase)
+    : cache_(stripPrefetcher(cache)),
+      prefetcher_(cache_.config().addressSpaceSize),
+      victim_addr_s_(victimAddrS),
+      burst_len_(burstLen == 0 ? 1 : burstLen),
+      burst_base_(burstBase),
+      space_(cache_.config().addressSpaceSize)
+{
+}
+
+bool
+PrefetchProbeChannel::attackerAccess(std::uint64_t addr)
+{
+    // accessFast bails to the full access() path by itself whenever a
+    // listener is attached, so detector events still flow.
+    return cache_.accessFast(addr, Domain::Attacker);
+}
+
+void
+PrefetchProbeChannel::attackerFlush(std::uint64_t addr)
+{
+    cache_.flush(addr, Domain::Attacker);
+}
+
+void
+PrefetchProbeChannel::victimTransmit(std::uint64_t secret)
+{
+    // Every secret is a distinct non-zero stride, so the prefetch the
+    // burst triggers lands on a secret-dependent address.
+    const std::uint64_t stride = secret - victim_addr_s_ + 1;
+
+    // Each transmission is an independent stream: the detector state
+    // never straddles triggers.
+    prefetcher_.reset();
+
+    std::uint64_t addr = burst_base_ % space_;
+    for (unsigned i = 0; i < burst_len_; ++i) {
+        const bool hit = cache_.accessFast(addr, Domain::Victim);
+        for (std::uint64_t pf : prefetcher_.onDemandAccess(addr, hit)) {
+            if (pf != addr)
+                cache_.prefetchInstall(pf, Domain::Victim);
+        }
+        addr = (addr + stride) % space_;
+    }
+}
+
+void
+PrefetchProbeChannel::warmupAccess(std::uint64_t addr, Domain domain)
+{
+    // Warm-up traffic fills the cache but never trains the victim's
+    // stride detector.
+    cache_.accessFast(addr, domain);
+}
+
+void
+PrefetchProbeChannel::reset()
+{
+    cache_.reset();
+    prefetcher_.reset();
+}
+
+void
+PrefetchProbeChannel::setEventListener(CacheEventListener listener)
+{
+    cache_.setEventListener(std::move(listener));
+}
+
+unsigned
+PrefetchProbeChannel::numBlocks() const
+{
+    return cache_.numBlocks();
+}
+
+} // namespace autocat

@@ -12,8 +12,29 @@
 #include <cstdint>
 
 #include "cache/cache_config.hpp"
+#include "cache/tlb.hpp"
 
 namespace autocat {
+
+/**
+ * Configuration of the non-cache attack channels (env/channel_model.hpp).
+ * Only the scenario that attacks the corresponding resource reads its
+ * block: `tlb_evict` builds its TLB from `tlb` (config keys tlb.*),
+ * `prefetch_probe` shapes the victim's burst from the prefetch knobs
+ * (config keys channel.*). Cache scenarios ignore this struct entirely.
+ */
+struct ChannelConfig
+{
+    /** TLB geometry / walk parameters for the tlb_evict scenario. */
+    TlbConfig tlb;
+
+    /** Accesses per victim burst in the prefetch_probe scenario; the
+     *  stream prefetcher needs 3 to lock onto a stride. */
+    unsigned prefetchBurstLen = 3;
+
+    /** First address of every victim burst. */
+    std::uint64_t prefetchBurstBase = 0;
+};
 
 /** Full configuration of a CacheGuessingGame. */
 struct EnvConfig
@@ -32,6 +53,9 @@ struct EnvConfig
      * (innermost level first — see cache/cache_config.hpp).
      */
     HierarchyConfig hierarchy;
+
+    /** Non-cache channel parameters (tlb_evict / prefetch_probe). */
+    ChannelConfig channel;
 
     // ----- attack & victim program configuration (Table II)
     /** Attack program address range, inclusive. */

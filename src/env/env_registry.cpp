@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "env/batch_env_pool.hpp"
+#include "env/channel_model.hpp"
 #include "env/guessing_game.hpp"
 
 namespace autocat {
@@ -111,6 +112,75 @@ detectorScenarioFactory(const DetectorSpec &default_spec,
 }
 
 /**
+ * tlb_evict: the guessing game over a TLB channel. The TLB geometry
+ * comes from EnvConfig::channel.tlb (config keys tlb.*); the episode
+ * knobs that default from "blocks in the attacked cache" are resolved
+ * here against the TLB's entry count instead, and the page address
+ * space is widened to cover the configured attack/victim ranges (the
+ * same guarantee the config parser gives the cache address space).
+ */
+std::unique_ptr<Environment>
+makeTlbEvictEnv(const ScenarioContext &ctx,
+                std::unique_ptr<MemorySystem> memory)
+{
+    if (memory) {
+        throw std::invalid_argument(
+            "tlb_evict: an external MemorySystem cannot back the TLB "
+            "channel");
+    }
+    EnvConfig cfg = ctx.env;
+    TlbConfig tlb = cfg.channel.tlb;
+    const std::uint64_t needed =
+        std::max(cfg.attackAddrE, cfg.victimAddrE) + 2;
+    if (tlb.addressSpaceSize < needed)
+        tlb.addressSpaceSize = needed;
+
+    const unsigned blocks = tlb.numEntries();
+    if (cfg.windowSize == 0)
+        cfg.windowSize = 6 * blocks;
+    if (cfg.randomInit && cfg.initAccesses == 0)
+        cfg.initAccesses = 2 * blocks;
+
+    return std::make_unique<CacheGuessingGame>(
+        cfg, std::make_unique<TlbChannel>(tlb));
+}
+
+/**
+ * prefetch_probe: the guessing game with the stream prefetcher as the
+ * attacked resource. The probed cache reuses EnvConfig::cache (its
+ * internal prefetcher stripped — the channel owns the modeled one);
+ * the victim's burst shape comes from EnvConfig::channel. The address
+ * space is widened so every secret's prefetch target (burst_base +
+ * burst_len * stride) is a distinct address rather than a wraparound
+ * alias.
+ */
+std::unique_ptr<Environment>
+makePrefetchProbeEnv(const ScenarioContext &ctx,
+                     std::unique_ptr<MemorySystem> memory)
+{
+    if (memory) {
+        throw std::invalid_argument(
+            "prefetch_probe: an external MemorySystem cannot back the "
+            "prefetcher channel");
+    }
+    EnvConfig cfg = ctx.env;
+    CacheConfig cache = cfg.cache;
+    const std::uint64_t max_stride =
+        cfg.victimAddrE - cfg.victimAddrS + 1;
+    const std::uint64_t needed = std::max(
+        std::max(cfg.attackAddrE, cfg.victimAddrE) + 2,
+        cfg.channel.prefetchBurstBase +
+            cfg.channel.prefetchBurstLen * max_stride + 1);
+    if (cache.addressSpaceSize < needed)
+        cache.addressSpaceSize = needed;
+
+    return std::make_unique<CacheGuessingGame>(
+        cfg, std::make_unique<PrefetchProbeChannel>(
+                 cache, cfg.victimAddrS, cfg.channel.prefetchBurstLen,
+                 cfg.channel.prefetchBurstBase));
+}
+
+/**
  * The registry singleton. Built-ins are installed on first access so
  * static-library linking cannot drop the registrations.
  */
@@ -138,6 +208,10 @@ registry()
             {2, InclusionPolicy::Exclusive, /*sharedL1=*/false});
         init->factories["three_level"] = hierarchyFactory(
             {3, InclusionPolicy::Inclusive, /*sharedL1=*/false});
+        // Channel scenarios: the same game over non-cache resources
+        // (env/channel_model.hpp).
+        init->factories["tlb_evict"] = makeTlbEvictEnv;
+        init->factories["prefetch_probe"] = makePrefetchProbeEnv;
         // Detector-in-the-loop scenarios (Section V-D / Tables VIII-IX).
         {
             DetectorSpec miss;

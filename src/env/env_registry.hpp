@@ -23,6 +23,15 @@
  * (the attacked outermost level) unless EnvConfig::hierarchy already
  * lists explicit levels.
  *
+ * Channel scenarios (non-cache attacked resources, see
+ * env/channel_model.hpp):
+ *  - "tlb_evict": prime+probe over TLB sets; the TLB geometry and walk
+ *    parameters come from EnvConfig::channel.tlb (config keys tlb.*).
+ *  - "prefetch_probe": the stream prefetcher as the leak — the
+ *    victim's secret selects its burst stride, and the prefetch the
+ *    stride triggers perturbs cache state the attacker probes (burst
+ *    shape from EnvConfig::channel, config keys channel.*).
+ *
  * Detector-in-the-loop scenarios (Section V-D case studies; Tables
  * VIII/IX rows run these by name through campaigns and sweeps):
  *  - "miss_detect_terminate": guessing game with the miss-count

@@ -22,9 +22,16 @@ CacheGuessingGame::CacheGuessingGame(const EnvConfig &config)
 
 CacheGuessingGame::CacheGuessingGame(const EnvConfig &config,
                                      std::unique_ptr<MemorySystem> memory)
+    : CacheGuessingGame(
+          config, std::make_unique<MemoryChannel>(std::move(memory)))
+{
+}
+
+CacheGuessingGame::CacheGuessingGame(const EnvConfig &config,
+                                     std::unique_ptr<ChannelModel> channel)
     : config_(config),
       actions_(config),
-      memory_(std::move(memory)),
+      channel_(std::move(channel)),
       rng_(config.seed),
       window_(config.resolvedWindowSize()),
       length_limit_(config.resolvedLengthLimit())
@@ -39,8 +46,8 @@ CacheGuessingGame::CacheGuessingGame(const EnvConfig &config,
     row_storage_.assign(observationSize(), 0.0f);
     row_ = row_storage_.data();
 
-    if (auto *flat = dynamic_cast<SingleLevelMemory *>(memory_.get()))
-        flat_cache_ = &flat->cache();
+    flat_cache_ = channel_->fastAttackerCache();
+    victim_flat_cache_ = channel_->fastVictimCache();
 
     history_.resize(window_);
 
@@ -84,10 +91,21 @@ CacheGuessingGame::CacheGuessingGame(const EnvConfig &config,
     buildObservationInto(fresh_row_.data());
 }
 
+MemorySystem &
+CacheGuessingGame::memory()
+{
+    MemorySystem *mem = channel_->memorySystem();
+    if (!mem) {
+        throw std::logic_error(
+            "CacheGuessingGame::memory(): channel has no MemorySystem");
+    }
+    return *mem;
+}
+
 void
 CacheGuessingGame::installListener()
 {
-    memory_->setEventListener([this](const CacheEvent &ev) {
+    channel_->setEventListener([this](const CacheEvent &ev) {
         for (auto &entry : detectors_)
             entry.detector->onEvent(ev);
     });
@@ -154,25 +172,25 @@ CacheGuessingGame::sampleSecret()
 void
 CacheGuessingGame::initializeEpisodeState()
 {
-    memory_->reset();
+    channel_->reset();
 
     if (config_.plCacheLockVictim) {
         for (std::uint64_t a = config_.victimAddrS;
              a <= config_.victimAddrE; ++a) {
-            memory_->lockLine(a, Domain::Victim);
+            channel_->lockLine(a, Domain::Victim);
         }
     }
 
-    // Warm the cache with accesses sampled uniformly over the union of
-    // the attack and victim address ranges (Section VI-B initialization
-    // scheme). Locked lines survive.
+    // Warm the channel with accesses sampled uniformly over the union
+    // of the attack and victim address ranges (Section VI-B
+    // initialization scheme). Locked lines survive.
     const unsigned warmups = config_.resolvedInitAccesses();
     for (unsigned i = 0; i < warmups; ++i) {
         const WarmupAddr &w = warm_pool_[rng_.uniformInt(warm_pool_.size())];
         if (flat_cache_)
             flat_cache_->accessFast(w.addr, w.domain);
         else
-            memory_->access(w.addr, w.domain);
+            channel_->warmupAccess(w.addr, w.domain);
     }
 
     // Detectors must not see the warm-up traffic.
@@ -392,7 +410,7 @@ CacheGuessingGame::stepFast(std::size_t action_index)
         const bool hit =
             flat_cache_
                 ? flat_cache_->accessFast(action.addr, Domain::Attacker)
-                : memory_->access(action.addr, Domain::Attacker).hit;
+                : channel_->attackerAccess(action.addr);
         lat = hit ? LatHit : LatMiss;
         reward += config_.stepReward;
         const std::size_t off =
@@ -409,16 +427,16 @@ CacheGuessingGame::stepFast(std::size_t action_index)
         break;
       }
       case ActionKind::Flush: {
-        memory_->flush(action.addr, Domain::Attacker);
+        channel_->attackerFlush(action.addr);
         reward += config_.stepReward;
         break;
       }
       case ActionKind::TriggerVictim: {
         if (secret_) {
-            if (flat_cache_)
-                flat_cache_->accessFast(*secret_, Domain::Victim);
+            if (victim_flat_cache_)
+                victim_flat_cache_->accessFast(*secret_, Domain::Victim);
             else
-                memory_->access(*secret_, Domain::Victim);
+                channel_->victimTransmit(*secret_);
         }
         victim_triggered_ = true;
         reward += config_.stepReward;

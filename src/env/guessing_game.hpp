@@ -4,9 +4,11 @@
  *
  * An RL agent controls the attack program: it accesses / flushes its
  * own addresses, decides when the victim runs, and finally guesses the
- * victim's secret address. The environment owns the memory system, the
- * secret, the guess evaluator, the reward shaping, and optional
- * detector hooks (Section V-D case studies).
+ * victim's secret address. The environment owns the attacked channel
+ * (a ChannelModel — the classic cache channel, the TLB, or the
+ * prefetcher side channel), the secret, the guess evaluator, the
+ * reward shaping, and optional detector hooks (Section V-D case
+ * studies).
  */
 
 #ifndef AUTOCAT_ENV_GUESSING_GAME_HPP
@@ -20,6 +22,7 @@
 #include "cache/memory_system.hpp"
 #include "detect/detector.hpp"
 #include "env/action_space.hpp"
+#include "env/channel_model.hpp"
 #include "env/env_config.hpp"
 #include "rl/env_interface.hpp"
 #include "util/rng.hpp"
@@ -44,12 +47,21 @@ class CacheGuessingGame : public Environment
     /**
      * Construct around an externally-provided memory system (e.g. the
      * simulated real-hardware target in src/hw). The environment takes
-     * ownership.
+     * ownership (wrapping it in a MemoryChannel).
      */
     CacheGuessingGame(const EnvConfig &config,
                       std::unique_ptr<MemorySystem> memory);
 
-    // The memory system's event listener captures `this`; copying or
+    /**
+     * Construct over an arbitrary attacked channel (TLB, prefetcher
+     * side channel, ...). The environment takes ownership. The config's
+     * window/episode knobs must already be resolved against the
+     * channel's geometry (the registry factories do this).
+     */
+    CacheGuessingGame(const EnvConfig &config,
+                      std::unique_ptr<ChannelModel> channel);
+
+    // The channel's event listener captures `this`; copying or
     // moving would leave it dangling.
     CacheGuessingGame(const CacheGuessingGame &) = delete;
     CacheGuessingGame &operator=(const CacheGuessingGame &) = delete;
@@ -119,8 +131,16 @@ class CacheGuessingGame : public Environment
      */
     void forceSecret(std::optional<std::uint64_t> secret);
 
-    /** The underlying memory system (tests, state dumps). */
-    MemorySystem &memory() { return *memory_; }
+    /** The attacked channel (tests, state dumps). */
+    ChannelModel &channel() { return *channel_; }
+
+    /**
+     * The underlying memory system (tests, state dumps). Only valid
+     * for cache-channel games — i.e. whenever the environment was
+     * built from an EnvConfig or a MemorySystem; throws for TLB /
+     * prefetcher channels, which have no MemorySystem behind them.
+     */
+    MemorySystem &memory();
 
     /**
      * Attach a detector. Terminate-mode detectors end the episode with
@@ -188,16 +208,19 @@ class CacheGuessingGame : public Environment
 
     EnvConfig config_;
     ActionSpace actions_;
-    std::unique_ptr<MemorySystem> memory_;
+    std::unique_ptr<ChannelModel> channel_;
 
     /**
-     * Devirtualized access path when memory_ is a SingleLevelMemory
-     * (the common scenario): demand accesses go straight to
-     * Cache::accessFast, skipping the virtual wrapper and the
-     * MemoryAccessResult translation. Null for hierarchies and custom
-     * memory systems, which keep the interface path.
+     * Devirtualized access path when the channel is backed by a plain
+     * Cache (the common scenario): attacker demand accesses go
+     * straight to Cache::accessFast, skipping the virtual channel
+     * dispatch. Null for hierarchies, the TLB channel, and custom
+     * channels, which keep the interface path. victim_flat_cache_ is
+     * the same shortcut for the victim's transmit, null whenever the
+     * channel's transmit is more than a single access.
      */
     Cache *flat_cache_ = nullptr;
+    Cache *victim_flat_cache_ = nullptr;
 
     Rng rng_;
 

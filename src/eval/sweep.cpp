@@ -25,13 +25,16 @@ derivePpoSeed(std::uint64_t base_ppo_seed, std::uint64_t grid_seed)
     return base_ppo_seed + 1000003ull * grid_seed;
 }
 
-/** Apply one grid policy to the attacked level of @p env. */
+/** Apply one grid policy to the attacked level of @p env. The TLB
+ *  channel config mirrors it so the policy dimension also varies
+ *  tlb_evict cells (cache scenarios never read channel.tlb). */
 void
 applyPolicy(EnvConfig &env, ReplPolicy policy)
 {
     env.cache.policy = policy;
     if (!env.hierarchy.levels.empty())
         env.hierarchy.levels.back().cache.policy = policy;
+    env.channel.tlb.policy = policy;
 }
 
 /** Table III hardware-target cell: guessing_game over the preset's

@@ -140,6 +140,83 @@ TEST(BatchEnv, IncrementalRowMatchesRebuildHierarchyScenarios)
     }
 }
 
+TEST(BatchEnv, IncrementalRowMatchesRebuildChannelScenarios)
+{
+    // The non-cache channels (TLB, prefetcher side channel) route
+    // victim transmits and flushes through paths the cache scenarios
+    // never take; the row invariant must survive them too.
+    for (const char *name : {"tlb_evict", "prefetch_probe"}) {
+        EnvConfig cfg = tinyEnvConfig(17);
+        auto env = makeEnv(name, cfg);
+        auto *game = dynamic_cast<CacheGuessingGame *>(env.get());
+        ASSERT_NE(game, nullptr) << name;
+        expectRowStaysFaithful(*game, 400, 7);
+    }
+}
+
+TEST(BatchEnv, IncrementalRowMatchesRebuildTlbWithFlush)
+{
+    // flush on the TLB channel is an invlpg (leaf translation only);
+    // the observation must track its latency effects faithfully.
+    EnvConfig cfg = tinyEnvConfig(18);
+    cfg.flushEnable = true;
+    auto env = makeEnv("tlb_evict", cfg);
+    auto *game = dynamic_cast<CacheGuessingGame *>(env.get());
+    ASSERT_NE(game, nullptr);
+    expectRowStaysFaithful(*game, 400, 8);
+}
+
+TEST(BatchEnv, ChannelScenarioRowsSurviveResetAllAndRebind)
+{
+    // Batch pool over the channel scenarios: fuzz random actions with a
+    // mid-run resetAll, checking row == rebuildObservation() for every
+    // stream after every batched step, then rebind a stream's row out
+    // of the pool and verify the invariant follows the new location.
+    for (const char *name : {"tlb_evict", "prefetch_probe"}) {
+        auto vec =
+            makeVecEnv(name, tinyEnvConfig(19), 3, VecEnvKind::Batch);
+        auto *batch = dynamic_cast<BatchVecEnv *>(vec.get());
+        ASSERT_NE(batch, nullptr) << name;
+        const std::size_t n = vec->numEnvs();
+        const std::size_t dim = vec->observationSize();
+
+        vec->resetAll();
+        Rng rng(20);
+        std::vector<std::size_t> actions(n);
+        for (int t = 0; t < 150; ++t) {
+            if (t == 70)
+                vec->resetAll();
+            for (std::size_t s = 0; s < n; ++s)
+                actions[s] = rng.uniformInt(vec->numActions());
+            vec->stepAll(actions);
+            for (std::size_t s = 0; s < n; ++s) {
+                auto *game =
+                    dynamic_cast<CacheGuessingGame *>(&vec->env(s));
+                ASSERT_NE(game, nullptr) << name;
+                const std::vector<float> want =
+                    game->rebuildObservation();
+                ASSERT_EQ(0,
+                          std::memcmp(batch->pool().obs().rowPtr(s),
+                                      want.data(),
+                                      dim * sizeof(float)))
+                    << name << ": stream " << s << " row stale at step "
+                    << t;
+            }
+        }
+
+        // Re-home stream 0's row outside the pool matrix.
+        auto *game = dynamic_cast<CacheGuessingGame *>(&vec->env(0));
+        ASSERT_NE(game, nullptr) << name;
+        std::vector<float> external(dim, -1.0f);
+        game->bindObservationRow(external.data());
+        game->step(0);
+        game->step(1 % game->numActions());
+        EXPECT_EQ(std::vector<float>(external.begin(), external.end()),
+                  game->rebuildObservation())
+            << name << ": rebound row diverged";
+    }
+}
+
 TEST(BatchEnv, BoundRowSurvivesRebind)
 {
     auto env = makeEnv("guessing_game", tinyEnvConfig(16));

@@ -311,6 +311,102 @@ TEST(ConfigParser, RenderRoundTripsHierarchy)
     EXPECT_TRUE(parsed.env.hierarchy.levels[1].shared);
 }
 
+TEST(ConfigParser, ParsesTlbAndChannelKeys)
+{
+    const ExplorationConfig cfg = parseExplorationConfig(std::string(R"(
+        scenario = tlb_evict
+        tlb.num_sets = 4
+        tlb.num_ways = 3
+        tlb.rep_policy = plru
+        tlb.walk_levels = 3
+        tlb.level_bits = 4
+        tlb.pwc_sets = 2
+        tlb.pwc_ways = 8
+        tlb.address_space = 128
+        tlb.seed = 9
+        channel.prefetch_burst_len = 5
+        channel.prefetch_burst_base = 2
+    )"));
+
+    const TlbConfig &t = cfg.env.channel.tlb;
+    EXPECT_EQ(t.numSets, 4u);
+    EXPECT_EQ(t.numWays, 3u);
+    EXPECT_EQ(t.policy, ReplPolicy::TreePlru);
+    EXPECT_EQ(t.walkLevels, 3u);
+    EXPECT_EQ(t.levelBits, 4u);
+    EXPECT_EQ(t.pwcSets, 2u);
+    EXPECT_EQ(t.pwcWays, 8u);
+    EXPECT_EQ(t.addressSpaceSize, 128u);
+    EXPECT_EQ(t.seed, 9u);
+    EXPECT_EQ(cfg.env.channel.prefetchBurstLen, 5u);
+    EXPECT_EQ(cfg.env.channel.prefetchBurstBase, 2u);
+}
+
+TEST(ConfigParser, TlbAddressSpaceAutoWidens)
+{
+    // The same guarantee the cache address space gets: the configured
+    // attack/victim ranges always fit the TLB's page space.
+    const ExplorationConfig cfg = parseExplorationConfig(
+        std::string("attack_addr_e = 100\ntlb.address_space = 8"));
+    EXPECT_GE(cfg.env.channel.tlb.addressSpaceSize, 102u);
+}
+
+TEST(ConfigParser, BadTlbAndChannelKeysFailLoudly)
+{
+    EXPECT_THROW(parseExplorationConfig(std::string("tlb.bogus = 1")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(std::string("channel.bogus = 1")),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(std::string("tlb.num_sets = -1")),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(std::string("tlb.rep_policy = fifo")),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parseExplorationConfig(
+            std::string("channel.prefetch_burst_len = 3x")),
+        std::invalid_argument);
+    // Errors carry the offending line number.
+    try {
+        parseExplorationConfig(std::string("\n\ntlb.bogus = 1\n"));
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(ConfigParser, RenderRoundTripsTlbAndChannel)
+{
+    ExplorationConfig original;
+    original.env.channel.tlb.numSets = 8;
+    original.env.channel.tlb.numWays = 4;
+    original.env.channel.tlb.policy = ReplPolicy::Rrip;
+    original.env.channel.tlb.walkLevels = 4;
+    original.env.channel.tlb.levelBits = 9;
+    original.env.channel.tlb.pwcSets = 2;
+    original.env.channel.tlb.pwcWays = 4;
+    original.env.channel.tlb.addressSpaceSize = 256;
+    original.env.channel.tlb.seed = 31;
+    original.env.channel.prefetchBurstLen = 6;
+    original.env.channel.prefetchBurstBase = 3;
+
+    const std::string text = renderExplorationConfig(original);
+    const ExplorationConfig parsed = parseExplorationConfig(text);
+    EXPECT_EQ(parsed.env.channel.tlb.numSets, 8u);
+    EXPECT_EQ(parsed.env.channel.tlb.numWays, 4u);
+    EXPECT_EQ(parsed.env.channel.tlb.policy, ReplPolicy::Rrip);
+    EXPECT_EQ(parsed.env.channel.tlb.walkLevels, 4u);
+    EXPECT_EQ(parsed.env.channel.tlb.levelBits, 9u);
+    EXPECT_EQ(parsed.env.channel.tlb.pwcSets, 2u);
+    EXPECT_EQ(parsed.env.channel.tlb.pwcWays, 4u);
+    EXPECT_EQ(parsed.env.channel.tlb.addressSpaceSize, 256u);
+    EXPECT_EQ(parsed.env.channel.tlb.seed, 31u);
+    EXPECT_EQ(parsed.env.channel.prefetchBurstLen, 6u);
+    EXPECT_EQ(parsed.env.channel.prefetchBurstBase, 3u);
+}
+
 TEST(ConfigParser, RenderRejectsUnrepresentableScenarioNames)
 {
     ExplorationConfig cfg;
@@ -389,6 +485,22 @@ randomConfig(Rng &rng)
     cfg.env.initAccesses = rng.uniformInt(16);
     cfg.env.stepReward = -0.001 * static_cast<double>(rng.uniformInt(50));
     cfg.env.seed = rng.uniformInt(1000);
+    // Channel knobs (tlb.* / channel.*) are rendered unconditionally,
+    // so every fuzz round exercises their round trip. The TLB address
+    // space floor mirrors the cache's: large enough that the parse
+    // epilogue's auto-widen never fires (widening would break the
+    // fixed point by design, tested separately).
+    cfg.env.channel.tlb.numSets = 1u << rng.uniformInt(3);
+    cfg.env.channel.tlb.numWays = 1u << rng.uniformInt(3);
+    cfg.env.channel.tlb.policy = policies[rng.uniformInt(4)];
+    cfg.env.channel.tlb.walkLevels = 1 + rng.uniformInt(4);
+    cfg.env.channel.tlb.levelBits = 1 + rng.uniformInt(8);
+    cfg.env.channel.tlb.pwcSets = 1 + rng.uniformInt(4);
+    cfg.env.channel.tlb.pwcWays = 1 + rng.uniformInt(4);
+    cfg.env.channel.tlb.addressSpaceSize = 16 + rng.uniformInt(64);
+    cfg.env.channel.tlb.seed = rng.uniformInt(100);
+    cfg.env.channel.prefetchBurstLen = 1 + rng.uniformInt(8);
+    cfg.env.channel.prefetchBurstBase = rng.uniformInt(8);
     cfg.ppo.seed = rng.uniformInt(1000);
     cfg.ppo.stepsPerEpoch = 100 + static_cast<int>(rng.uniformInt(5000));
     cfg.ppo.hidden = 16u << rng.uniformInt(4);

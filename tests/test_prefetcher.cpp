@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Prefetcher unit tests and the accessFast fallback contract.
+ *
+ * The prefetchers (cache/prefetcher.hpp) are now an attacked resource
+ * in their own right (the prefetch_probe channel leaks the victim's
+ * stride through them), so their stream-detection behavior is pinned
+ * here exactly: what triggers a prefetch, what breaks a stream, how
+ * the address space wraps.
+ *
+ * The second half pins the contract the batch engine's devirtualized
+ * hot path relies on: Cache::accessFast must fall back to the full
+ * access() machinery whenever a listener or an internal prefetcher is
+ * attached, so the lean path can never skip prefetch issue or event
+ * emission. That is checked differentially — a cache driven through
+ * accessFast must end every step bitwise-equivalent (same hit
+ * observables, same residency) to a twin driven through access().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/prefetcher.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+namespace {
+
+// ------------------------------------------------------ unit: nextline
+
+TEST(NextLinePrefetcher, PrefetchesSuccessorOnEveryAccess)
+{
+    NextLinePrefetcher pf(8);
+    EXPECT_EQ(pf.onDemandAccess(0, false),
+              std::vector<std::uint64_t>{1});
+    EXPECT_EQ(pf.onDemandAccess(3, true), std::vector<std::uint64_t>{4});
+    // Hit or miss makes no difference; the successor always comes.
+    EXPECT_EQ(pf.onDemandAccess(3, false),
+              std::vector<std::uint64_t>{4});
+}
+
+TEST(NextLinePrefetcher, WrapsAtAddressSpaceEnd)
+{
+    NextLinePrefetcher pf(8);
+    EXPECT_EQ(pf.onDemandAccess(7, false),
+              std::vector<std::uint64_t>{0});
+}
+
+// -------------------------------------------------------- unit: stream
+
+TEST(StreamPrefetcher, TwoEqualStridesLockOn)
+{
+    StreamPrefetcher pf(64);
+    EXPECT_TRUE(pf.onDemandAccess(10, false).empty());  // first touch
+    EXPECT_TRUE(pf.onDemandAccess(13, false).empty());  // one stride
+    // Second consecutive stride of +3: prefetch a+3s = 19.
+    EXPECT_EQ(pf.onDemandAccess(16, false),
+              std::vector<std::uint64_t>{19});
+    // The stream keeps running ahead while the stride holds.
+    EXPECT_EQ(pf.onDemandAccess(19, false),
+              std::vector<std::uint64_t>{22});
+}
+
+TEST(StreamPrefetcher, UnitStrideAndWrap)
+{
+    StreamPrefetcher pf(8);
+    EXPECT_TRUE(pf.onDemandAccess(5, false).empty());
+    EXPECT_TRUE(pf.onDemandAccess(6, false).empty());
+    EXPECT_EQ(pf.onDemandAccess(7, false),
+              std::vector<std::uint64_t>{0});
+}
+
+TEST(StreamPrefetcher, StrideChangeBreaksTheStream)
+{
+    StreamPrefetcher pf(64);
+    pf.onDemandAccess(0, false);
+    pf.onDemandAccess(2, false);
+    EXPECT_EQ(pf.onDemandAccess(4, false),
+              std::vector<std::uint64_t>{6});
+    // Stride changes 2 -> 3: no prefetch until the new stride repeats.
+    EXPECT_TRUE(pf.onDemandAccess(7, false).empty());
+    EXPECT_EQ(pf.onDemandAccess(10, false),
+              std::vector<std::uint64_t>{13});
+}
+
+TEST(StreamPrefetcher, ZeroStrideNeverPrefetches)
+{
+    StreamPrefetcher pf(64);
+    pf.onDemandAccess(5, false);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(pf.onDemandAccess(5, false).empty());
+}
+
+TEST(StreamPrefetcher, ResetForgetsTheStream)
+{
+    StreamPrefetcher pf(64);
+    pf.onDemandAccess(0, false);
+    pf.onDemandAccess(1, false);
+    pf.reset();
+    // History gone: two fresh accesses re-establish before issuing.
+    EXPECT_TRUE(pf.onDemandAccess(2, false).empty());
+    EXPECT_TRUE(pf.onDemandAccess(3, false).empty());
+    EXPECT_EQ(pf.onDemandAccess(4, false),
+              std::vector<std::uint64_t>{5});
+}
+
+TEST(PrefetcherFactory, KindsMapToImplementations)
+{
+    EXPECT_EQ(makePrefetcher(PrefetcherKind::None, 8), nullptr);
+    EXPECT_NE(makePrefetcher(PrefetcherKind::NextLine, 8), nullptr);
+    EXPECT_NE(makePrefetcher(PrefetcherKind::Stream, 8), nullptr);
+}
+
+// ------------------------------------- the accessFast fallback contract
+
+CacheConfig
+probeCacheConfig(PrefetcherKind kind)
+{
+    CacheConfig cfg;
+    cfg.numSets = 2;
+    cfg.numWays = 2;
+    cfg.policy = ReplPolicy::Lru;
+    cfg.prefetcher = kind;
+    cfg.addressSpaceSize = 16;
+    return cfg;
+}
+
+/**
+ * Drive @p fast through accessFast and @p full through access with the
+ * same seeded operation stream; every hit observable and the full
+ * residency map must agree after every op. With a prefetcher attached
+ * this only holds if accessFast takes the full path (the lean path
+ * would skip prefetch issue and the twins would diverge within a few
+ * operations).
+ */
+void
+runFastVsFull(PrefetcherKind kind, std::uint64_t seed)
+{
+    const CacheConfig cfg = probeCacheConfig(kind);
+    Cache fast(cfg);
+    Cache full(cfg);
+
+    Rng rng(seed);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t addr = rng.uniformInt(cfg.addressSpaceSize);
+        const Domain domain =
+            rng.uniformInt(2) == 0 ? Domain::Attacker : Domain::Victim;
+        if (rng.uniformInt(10) < 9) {
+            ASSERT_EQ(fast.accessFast(addr, domain),
+                      full.access(addr, domain).hit)
+                << "prefetcher kind " << static_cast<int>(kind)
+                << ": op " << i << " addr " << addr;
+        } else {
+            ASSERT_EQ(fast.flush(addr, domain), full.flush(addr, domain))
+                << "op " << i << " flush " << addr;
+        }
+        for (std::uint64_t a = 0; a < cfg.addressSpaceSize; ++a) {
+            ASSERT_EQ(fast.contains(a), full.contains(a))
+                << "prefetcher kind " << static_cast<int>(kind)
+                << ": residency of " << a << " after op " << i;
+        }
+    }
+}
+
+TEST(AccessFastContract, MatchesFullPathWithoutPrefetcher)
+{
+    runFastVsFull(PrefetcherKind::None, 11);
+}
+
+TEST(AccessFastContract, MatchesFullPathWithNextLinePrefetcher)
+{
+    runFastVsFull(PrefetcherKind::NextLine, 22);
+}
+
+TEST(AccessFastContract, MatchesFullPathWithStreamPrefetcher)
+{
+    runFastVsFull(PrefetcherKind::Stream, 33);
+}
+
+TEST(AccessFastContract, EngagesEventMachineryWhenListenerAttached)
+{
+    // A listener alone (no prefetcher) must also force the full path:
+    // the lean path emits no events, so a silent lean accessFast would
+    // show up here as a missing DemandAccess.
+    Cache cache(probeCacheConfig(PrefetcherKind::None));
+    std::vector<CacheEvent> events;
+    cache.setEventListener(
+        [&events](const CacheEvent &ev) { events.push_back(ev); });
+
+    ASSERT_FALSE(cache.accessFast(3, Domain::Attacker));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].op, CacheOp::DemandAccess);
+    EXPECT_EQ(events[0].addr, 3u);
+    EXPECT_FALSE(events[0].hit);
+
+    ASSERT_TRUE(cache.accessFast(3, Domain::Attacker));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_TRUE(events[1].hit);
+}
+
+TEST(AccessFastContract, PrefetchInstallsAreTaggedAndVisible)
+{
+    // The internal stream prefetcher's installs surface as
+    // CacheOp::Prefetch events through the demand entry points.
+    Cache cache(probeCacheConfig(PrefetcherKind::Stream));
+    std::vector<CacheEvent> events;
+    cache.setEventListener(
+        [&events](const CacheEvent &ev) { events.push_back(ev); });
+
+    cache.accessFast(0, Domain::Victim);
+    cache.accessFast(1, Domain::Victim);
+    cache.accessFast(2, Domain::Victim);  // locks stride 1, prefetches 3
+
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[3].op, CacheOp::Prefetch);
+    EXPECT_EQ(events[3].addr, 3u);
+    EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(AccessFastContract, ExternalPrefetchInstallMatchesInternal)
+{
+    // prefetchInstall() (the prefetch_probe channel's feeder) must
+    // leave the cache in the same state as the internal prefetcher's
+    // own install for the same target.
+    Cache internal(probeCacheConfig(PrefetcherKind::Stream));
+    Cache external(probeCacheConfig(PrefetcherKind::None));
+    StreamPrefetcher pf(16);
+
+    for (std::uint64_t addr = 0; addr < 3; ++addr) {
+        internal.accessFast(addr, Domain::Victim);
+        const bool hit = external.accessFast(addr, Domain::Victim);
+        for (std::uint64_t target : pf.onDemandAccess(addr, hit)) {
+            if (target != addr)
+                external.prefetchInstall(target, Domain::Victim);
+        }
+    }
+    for (std::uint64_t a = 0; a < 16; ++a)
+        ASSERT_EQ(internal.contains(a), external.contains(a))
+            << "residency of " << a;
+}
+
+} // namespace
+} // namespace autocat

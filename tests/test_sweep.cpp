@@ -9,13 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
+
+#include <unistd.h>
 
 #include "eval/report.hpp"
 #include "eval/sweep.hpp"
 #include "eval/sweep_config.hpp"
 #include "hw/machines.hpp"
+#include "serve/dist_scheduler.hpp"
 
 namespace autocat {
 namespace {
@@ -225,6 +230,80 @@ TEST(SweepRun, ReportJsonIsByteIdenticalAcrossWorkerCounts)
     const std::string timed = sweepReportJson(serial.run(), timing);
     EXPECT_NE(timed.find("\"wall_s\""), std::string::npos);
     EXPECT_EQ(a.find("\"wall_s\""), std::string::npos);
+}
+
+TEST(SweepRun, ChannelScenarioReportBytesIdenticalAcrossWorkerCounts)
+{
+    // The byte-identity contract extends to the non-cache channels:
+    // tlb_evict and prefetch_probe cells scheduled across different
+    // worker counts must render the exact same report bytes. The
+    // policy grid dimension lands on channel.tlb.policy for TLB cells.
+    SweepConfig cfg = tinySweep();
+    cfg.grid.scenarios = {"tlb_evict", "prefetch_probe"};
+    cfg.grid.policies = {ReplPolicy::Lru, ReplPolicy::TreePlru};
+    cfg.grid.seeds = {5};
+
+    cfg.workers = 1;
+    SweepRunner serial(cfg);
+    cfg.workers = 3;
+    SweepRunner pooled(cfg);
+
+    const SweepReport serial_report = serial.run();
+    const std::string a = sweepReportJson(serial_report);
+    const std::string b = sweepReportJson(pooled.run());
+    EXPECT_EQ(a, b);
+
+    ASSERT_EQ(serial_report.cells.size(), 4u);
+    for (const SweepCellResult &cell : serial_report.cells)
+        EXPECT_TRUE(cell.completed) << cell.cell.label << ": " << cell.error;
+    EXPECT_EQ(serial_report.cells[0].cell.label, "tlb_evict/lru/s5");
+    EXPECT_EQ(serial_report.cells[3].cell.label, "prefetch_probe/plru/s5");
+}
+
+TEST(SweepRun, ChannelScenarioDistShardsMatchLocalBytes)
+{
+    // Same contract through the distributed service: process-sharded
+    // channel-scenario cells (--dist path) must reproduce the local
+    // workers=1 bytes. Spawns the real cell_runner, located via
+    // AUTOCAT_CELL_RUNNER (set by CTest); skips when absent.
+    const char *runner = std::getenv("AUTOCAT_CELL_RUNNER");
+    if (runner == nullptr || *runner == '\0')
+        GTEST_SKIP() << "AUTOCAT_CELL_RUNNER not set";
+
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() /
+        ("autocat_sweep_channel_dist_" + std::to_string(::getpid()));
+    fs::remove_all(root);
+    fs::create_directories(root);
+
+    SweepConfig cfg = tinySweep();
+    cfg.base.maxEpochs = 2;
+    cfg.grid.scenarios = {"tlb_evict", "prefetch_probe"};
+    cfg.grid.policies = {ReplPolicy::Lru};
+    cfg.grid.seeds = {5};
+    const std::vector<SweepCell> cells = expandSweepGrid(cfg);
+    ASSERT_EQ(cells.size(), 2u);
+
+    // Matching checkpoint cadence on both sides keeps the epoch
+    // boundaries (and so the trained bytes) identical.
+    const SweepReport local = runSweepCells(
+        cfg.name, cells, /*workers=*/1, {},
+        (root / "local_ckpt").string(), /*checkpoint_every=*/1);
+
+    DistSweepOptions opts;
+    opts.processes = 3;
+    opts.runnerPath = runner;
+    opts.workDir = (root / "work").string();
+    opts.checkpointDir = (root / "ckpt").string();
+    opts.checkpointEvery = 1;
+    const SweepReport dist = runSweepCellsDist(cfg.name, cells, opts);
+
+    ASSERT_EQ(dist.cells.size(), local.cells.size());
+    for (const SweepCellResult &cell : dist.cells)
+        EXPECT_TRUE(cell.completed) << cell.cell.label << ": " << cell.error;
+    EXPECT_EQ(sweepReportJson(dist, {}), sweepReportJson(local, {}));
+    fs::remove_all(root);
 }
 
 TEST(SweepRun, CsvAndSummaryTableCoverEveryCell)

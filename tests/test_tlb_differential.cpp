@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Differential test: Tlb vs an independently written naive oracle.
+ *
+ * The oracle restates the documented TLB semantics (cache/tlb.hpp:
+ * set-associative translations, root->leaf page walk on miss with one
+ * small LRU page-walk cache per level, invlpg dropping only the leaf
+ * translation) over the simplest possible structures — a plain
+ * recency-ordered entry list per set (front = oldest) — with none of
+ * the engine's flattened replacement metadata or CacheSet machinery.
+ * Both models are driven with ~100k seeded random operations per
+ * configuration (lookups from both domains, page flushes, occasional
+ * full resets) and must agree on every observable:
+ *
+ *  - the TlbLookupResult of every lookup (hit, walkedLevels, evicted,
+ *    evictedPage, evictedOwner),
+ *  - the flushPage() return,
+ *  - the event stream (one DemandAccess per lookup, one Flush per
+ *    flushPage — what the detector layer sees),
+ *  - TLB residency and per-level PWC residency at checkpoints.
+ *
+ * Configurations vary ways, sets, walk depth, bits per level, and PWC
+ * geometry, including the fully-associative extremes and a bit width
+ * whose root-level shift exceeds 64 (the documented everything-shares-
+ * prefix-0 case). LRU everywhere: the point is the walk and the
+ * replacement bookkeeping, not stochastic policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cache/tlb.hpp"
+#include "util/rng.hpp"
+
+namespace autocat {
+namespace {
+
+constexpr int kOpsPerConfig = 100000;
+
+// ------------------------------------------------------------- oracle --
+
+/** Observable event, mirroring CacheEvent's payload. */
+struct OracleEvent
+{
+    CacheOp op = CacheOp::DemandAccess;
+    Domain domain = Domain::Attacker;
+    std::uint64_t addr = 0;
+    std::uint64_t setIndex = 0;
+    bool hit = false;
+    bool evicted = false;
+    std::uint64_t evictedAddr = 0;
+    Domain evictedOwner = Domain::Attacker;
+
+    bool
+    operator==(const OracleEvent &o) const
+    {
+        return op == o.op && domain == o.domain && addr == o.addr &&
+               setIndex == o.setIndex && hit == o.hit &&
+               evicted == o.evicted && evictedAddr == o.evictedAddr &&
+               evictedOwner == o.evictedOwner;
+    }
+};
+
+OracleEvent
+fromEngine(const CacheEvent &ev)
+{
+    OracleEvent out;
+    out.op = ev.op;
+    out.domain = ev.domain;
+    out.addr = ev.addr;
+    out.setIndex = ev.setIndex;
+    out.hit = ev.hit;
+    out.evicted = ev.evicted;
+    out.evictedAddr = ev.evictedAddr;
+    out.evictedOwner = ev.evictedOwner;
+    return out;
+}
+
+/**
+ * Naive set-associative LRU store: each set is a recency-ordered list
+ * of entries, front = oldest. A hit moves the entry to the back; a
+ * miss appends, evicting the front when the set is full. Under LRU the
+ * physical way an entry occupies never affects an observable, so the
+ * list IS the whole model.
+ */
+class OracleLruStore
+{
+  public:
+    OracleLruStore(unsigned sets, unsigned ways)
+        : num_sets_(sets), ways_(ways), sets_(sets)
+    {
+    }
+
+    std::uint64_t setOf(std::uint64_t key) const { return key % num_sets_; }
+
+    struct Touch
+    {
+        bool hit = false;
+        bool evicted = false;
+        std::uint64_t evictedKey = 0;
+        Domain evictedOwner = Domain::Attacker;
+    };
+
+    Touch
+    access(std::uint64_t key, Domain domain)
+    {
+        auto &entries = sets_[setOf(key)];
+        Touch out;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].key == key) {
+                out.hit = true;
+                Entry e = entries[i];
+                e.owner = domain;
+                entries.erase(entries.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                entries.push_back(e);
+                return out;
+            }
+        }
+        if (entries.size() == ways_) {
+            out.evicted = true;
+            out.evictedKey = entries.front().key;
+            out.evictedOwner = entries.front().owner;
+            entries.erase(entries.begin());
+        }
+        entries.push_back({key, domain});
+        return out;
+    }
+
+    bool
+    invalidate(std::uint64_t key)
+    {
+        auto &entries = sets_[setOf(key)];
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].key == key) {
+                entries.erase(entries.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    contains(std::uint64_t key) const
+    {
+        const auto &entries = sets_[setOf(key)];
+        return std::any_of(entries.begin(), entries.end(),
+                           [&](const Entry &e) { return e.key == key; });
+    }
+
+    void
+    clear()
+    {
+        for (auto &entries : sets_)
+            entries.clear();
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        Domain owner = Domain::Attacker;
+    };
+
+    unsigned num_sets_, ways_;
+    std::vector<std::vector<Entry>> sets_;  ///< front = oldest
+};
+
+/** Naive TLB + page walk, emitting the same events as the engine. */
+class OracleTlb
+{
+  public:
+    explicit OracleTlb(const TlbConfig &config)
+        : config_(config), tlb_(config.numSets, config.numWays)
+    {
+        for (unsigned k = 0; k < config.walkLevels; ++k)
+            pwcs_.emplace_back(config.pwcSets, config.pwcWays);
+    }
+
+    const std::vector<OracleEvent> &events() const { return events_; }
+
+    std::uint64_t
+    prefixOf(unsigned level, std::uint64_t page) const
+    {
+        const unsigned shift =
+            config_.levelBits * (config_.walkLevels - level);
+        return shift >= 64 ? 0 : page >> shift;
+    }
+
+    TlbLookupResult
+    lookup(std::uint64_t page, Domain domain)
+    {
+        const OracleLruStore::Touch res = tlb_.access(page, domain);
+        TlbLookupResult out;
+        out.hit = res.hit;
+        out.evicted = res.evicted;
+        out.evictedPage = res.evictedKey;
+        out.evictedOwner = res.evictedOwner;
+
+        if (!res.hit) {
+            for (unsigned k = 0; k < config_.walkLevels; ++k) {
+                if (!pwcs_[k].access(prefixOf(k, page), domain).hit)
+                    ++out.walkedLevels;
+            }
+        }
+
+        OracleEvent ev;
+        ev.op = CacheOp::DemandAccess;
+        ev.domain = domain;
+        ev.addr = page;
+        ev.setIndex = tlb_.setOf(page);
+        ev.hit = res.hit;
+        ev.evicted = res.evicted;
+        ev.evictedAddr = res.evictedKey;
+        ev.evictedOwner = res.evictedOwner;
+        events_.push_back(ev);
+        return out;
+    }
+
+    bool
+    flushPage(std::uint64_t page, Domain domain)
+    {
+        const bool dropped = tlb_.invalidate(page);
+        OracleEvent ev;
+        ev.op = CacheOp::Flush;
+        ev.domain = domain;
+        ev.addr = page;
+        ev.setIndex = tlb_.setOf(page);
+        ev.hit = dropped;
+        events_.push_back(ev);
+        return dropped;
+    }
+
+    bool contains(std::uint64_t page) const { return tlb_.contains(page); }
+
+    bool
+    pwcContains(unsigned level, std::uint64_t prefix) const
+    {
+        return pwcs_[level].contains(prefix);
+    }
+
+    void
+    reset()
+    {
+        tlb_.clear();
+        for (auto &pwc : pwcs_)
+            pwc.clear();
+    }
+
+  private:
+    TlbConfig config_;
+    OracleLruStore tlb_;
+    std::vector<OracleLruStore> pwcs_;
+    std::vector<OracleEvent> events_;
+};
+
+// ------------------------------------------------------ the differential
+
+std::string
+describeEvent(const OracleEvent &ev)
+{
+    std::string s = "op=" + std::to_string(static_cast<int>(ev.op)) +
+                    " dom=" + std::to_string(static_cast<int>(ev.domain)) +
+                    " page=" + std::to_string(ev.addr) +
+                    " set=" + std::to_string(ev.setIndex) +
+                    " hit=" + std::to_string(ev.hit) +
+                    " evicted=" + std::to_string(ev.evicted);
+    if (ev.evicted)
+        s += " evictedPage=" + std::to_string(ev.evictedAddr) + " owner=" +
+             std::to_string(static_cast<int>(ev.evictedOwner));
+    return s;
+}
+
+void
+runDifferential(const TlbConfig &config, const std::string &name,
+                std::uint64_t seed)
+{
+    Tlb engine(config);
+    OracleTlb oracle(config);
+
+    std::vector<OracleEvent> engine_events;
+    engine.setEventListener([&engine_events](const CacheEvent &ev) {
+        engine_events.push_back(fromEngine(ev));
+    });
+
+    Rng rng(seed);
+    std::size_t compared_events = 0;
+    for (int i = 0; i < kOpsPerConfig; ++i) {
+        const std::uint64_t page =
+            rng.uniformInt(config.addressSpaceSize);
+        const Domain domain =
+            rng.uniformInt(2) == 0 ? Domain::Attacker : Domain::Victim;
+        const std::uint64_t op = rng.uniformInt(100);
+
+        if (op < 85) {
+            const TlbLookupResult got = engine.lookup(page, domain);
+            const TlbLookupResult want = oracle.lookup(page, domain);
+            ASSERT_EQ(got.hit, want.hit)
+                << name << ": op " << i << " page " << page;
+            ASSERT_EQ(got.walkedLevels, want.walkedLevels)
+                << name << ": op " << i << " page " << page;
+            ASSERT_EQ(got.evicted, want.evicted)
+                << name << ": op " << i << " page " << page;
+            if (want.evicted) {
+                ASSERT_EQ(got.evictedPage, want.evictedPage)
+                    << name << ": op " << i << " page " << page;
+                ASSERT_EQ(got.evictedOwner, want.evictedOwner)
+                    << name << ": op " << i << " page " << page;
+            }
+        } else if (op < 99) {
+            ASSERT_EQ(engine.flushPage(page, domain),
+                      oracle.flushPage(page, domain))
+                << name << ": op " << i << " flush page " << page;
+        } else {
+            engine.reset();
+            oracle.reset();
+        }
+
+        // Event streams must stay in lock-step (count and payload).
+        const auto &want_events = oracle.events();
+        ASSERT_EQ(engine_events.size(), want_events.size())
+            << name << ": event count diverged after op " << i;
+        for (; compared_events < engine_events.size();
+             ++compared_events) {
+            ASSERT_TRUE(engine_events[compared_events] ==
+                        want_events[compared_events])
+                << name << ": event " << compared_events << " after op "
+                << i << "\n  engine: "
+                << describeEvent(engine_events[compared_events])
+                << "\n  oracle: "
+                << describeEvent(want_events[compared_events]);
+        }
+
+        if (i % 10000 == 0 || i + 1 == kOpsPerConfig) {
+            for (std::uint64_t p = 0; p < config.addressSpaceSize; ++p) {
+                ASSERT_EQ(engine.contains(p), oracle.contains(p))
+                    << name << ": residency of page " << p << " after op "
+                    << i;
+                for (unsigned k = 0; k < config.walkLevels; ++k) {
+                    const std::uint64_t prefix = engine.walkPrefix(k, p);
+                    ASSERT_EQ(prefix, oracle.prefixOf(k, p))
+                        << name << ": prefix of page " << p << " level "
+                        << k;
+                    ASSERT_EQ(engine.pwcContains(k, prefix),
+                              oracle.pwcContains(k, prefix))
+                        << name << ": PWC residency, level " << k
+                        << " prefix " << prefix << " after op " << i;
+                }
+            }
+        }
+    }
+}
+
+TlbConfig
+makeConfig(unsigned sets, unsigned ways, unsigned walk_levels,
+           unsigned level_bits, unsigned pwc_sets, unsigned pwc_ways,
+           std::uint64_t space)
+{
+    TlbConfig cfg;
+    cfg.numSets = sets;
+    cfg.numWays = ways;
+    cfg.policy = ReplPolicy::Lru;
+    cfg.walkLevels = walk_levels;
+    cfg.levelBits = level_bits;
+    cfg.pwcSets = pwc_sets;
+    cfg.pwcWays = pwc_ways;
+    cfg.addressSpaceSize = space;
+    return cfg;
+}
+
+TEST(TlbDifferential, FullyAssociativeSingleLevelWalk)
+{
+    runDifferential(makeConfig(1, 4, 1, 4, 1, 2, 32), "fa-1lvl", 101);
+}
+
+TEST(TlbDifferential, SmallTwoLevelWalk)
+{
+    runDifferential(makeConfig(2, 2, 2, 2, 1, 2, 48), "2x2-2lvl", 202);
+}
+
+TEST(TlbDifferential, WiderSetsSetIndexedPwc)
+{
+    runDifferential(makeConfig(4, 2, 2, 3, 2, 2, 64), "4x2-pwc2x2", 303);
+}
+
+TEST(TlbDifferential, DeepWalkHighAssociativity)
+{
+    runDifferential(makeConfig(2, 4, 3, 2, 2, 2, 64), "2x4-3lvl", 404);
+}
+
+TEST(TlbDifferential, DirectMappedSingleEntryPwc)
+{
+    runDifferential(makeConfig(8, 1, 4, 1, 1, 1, 64), "8x1-4lvl", 505);
+}
+
+TEST(TlbDifferential, RootShiftBeyondWordWidth)
+{
+    // levelBits * walkLevels = 66 at the root: the documented shift>=64
+    // case, where every page shares the root prefix 0.
+    runDifferential(makeConfig(4, 4, 3, 22, 2, 2, 96), "wide-bits", 606);
+}
+
+TEST(TlbDifferential, FullyAssociativeEverything)
+{
+    runDifferential(makeConfig(1, 8, 2, 2, 1, 1, 40), "fa-all", 707);
+}
+
+// ------------------------------------------------------- unit checks --
+
+TEST(Tlb, FlushDropsLeafButKeepsWalkCaches)
+{
+    TlbConfig cfg = makeConfig(2, 2, 2, 2, 1, 4, 16);
+    Tlb tlb(cfg);
+
+    // Cold lookup: misses the TLB, walks both levels to memory.
+    const TlbLookupResult cold = tlb.lookup(5, Domain::Attacker);
+    EXPECT_FALSE(cold.hit);
+    EXPECT_EQ(cold.walkedLevels, 2u);
+
+    EXPECT_TRUE(tlb.contains(5));
+    EXPECT_TRUE(tlb.flushPage(5, Domain::Attacker));
+    EXPECT_FALSE(tlb.contains(5));
+    EXPECT_FALSE(tlb.flushPage(5, Domain::Attacker));
+
+    // invlpg kept the paging-structure caches: the re-walk is free.
+    const TlbLookupResult warm = tlb.lookup(5, Domain::Attacker);
+    EXPECT_FALSE(warm.hit);
+    EXPECT_EQ(warm.walkedLevels, 0u);
+
+    // reset() drops the PWCs too: the walk pays full price again.
+    tlb.reset();
+    const TlbLookupResult after_reset = tlb.lookup(5, Domain::Attacker);
+    EXPECT_FALSE(after_reset.hit);
+    EXPECT_EQ(after_reset.walkedLevels, 2u);
+}
+
+TEST(Tlb, SharedPrefixesMakePartialWalksCheaper)
+{
+    // levelBits=2, walkLevels=2: level-0 (root) prefixes group pages
+    // 16 apart (page >> 4), level-1 prefixes group pages 4 apart
+    // (page >> 2).
+    TlbConfig cfg = makeConfig(1, 1, 2, 2, 1, 4, 32);
+    Tlb tlb(cfg);
+
+    EXPECT_EQ(tlb.lookup(0, Domain::Attacker).walkedLevels, 2u);
+    // Page 1 shares both prefixes with page 0: the 1-way TLB evicted
+    // page 0, but the whole walk is PWC-resident.
+    EXPECT_EQ(tlb.lookup(1, Domain::Attacker).walkedLevels, 0u);
+    // Page 1 again: now a TLB hit, no walk at all.
+    EXPECT_EQ(tlb.lookup(1, Domain::Attacker).walkedLevels, 0u);
+    // Page 4 shares only the root prefix: one level goes to memory.
+    EXPECT_EQ(tlb.lookup(4, Domain::Attacker).walkedLevels, 1u);
+    // Page 16 shares nothing: full walk again.
+    EXPECT_EQ(tlb.lookup(16, Domain::Attacker).walkedLevels, 2u);
+}
+
+TEST(Tlb, RejectsDegenerateGeometry)
+{
+    EXPECT_THROW(Tlb(makeConfig(0, 2, 2, 2, 1, 2, 16)),
+                 std::invalid_argument);
+    EXPECT_THROW(Tlb(makeConfig(2, 0, 2, 2, 1, 2, 16)),
+                 std::invalid_argument);
+    EXPECT_THROW(Tlb(makeConfig(2, 2, 0, 2, 1, 2, 16)),
+                 std::invalid_argument);
+    EXPECT_THROW(Tlb(makeConfig(2, 2, 2, 0, 1, 2, 16)),
+                 std::invalid_argument);
+    EXPECT_THROW(Tlb(makeConfig(2, 2, 2, 2, 0, 2, 16)),
+                 std::invalid_argument);
+    EXPECT_THROW(Tlb(makeConfig(2, 2, 2, 2, 1, 0, 16)),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace autocat
