@@ -421,6 +421,11 @@ TrainingSession::run(const EpochCallback &epoch_cb,
     fin.converged = last.converged;
     fin.epochsToConverge = last.convergedEpoch;
     fin.envSteps = trainer_->totalEnvSteps();
+    // Phases stop at their first convergence check that passes, so the
+    // converging phase's end-of-phase step count IS the steps-to-
+    // discovery sample-efficiency measure. Derived here — checkpoints
+    // already record envStepsEnd, so resumed runs agree for free.
+    fin.stepsToDiscovery = last.converged ? last.envStepsEnd : -1;
 
     const EvalStats final_eval =
         trainer_->evaluate(config_.base.evalEpisodes, /*greedy=*/true);

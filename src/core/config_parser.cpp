@@ -358,6 +358,21 @@ parseExplorationConfig(std::istream &in, const ConfigKeyHandler &extra)
              cfg.env.noGuessReward =
                  parseConfigDouble(v, "no_guess_reward");
          }},
+        // ----- sample-efficiency layer
+        {"mask_actions",
+         [&](const std::string &v) {
+             cfg.env.maskActions = parseConfigBool(v, "mask_actions");
+         }},
+        {"mask_useless_actions",
+         [&](const std::string &v) {
+             cfg.env.maskUselessActions =
+                 parseConfigBool(v, "mask_useless_actions");
+         }},
+        {"useless_action_penalty",
+         [&](const std::string &v) {
+             cfg.env.uselessActionPenalty =
+                 parseConfigDouble(v, "useless_action_penalty");
+         }},
         {"seed",
          [&](const std::string &v) {
              cfg.env.seed = parseConfigUint(v, "seed");
@@ -643,6 +658,12 @@ renderExplorationConfig(const ExplorationConfig &cfg)
         << "\n"
         << "no_guess_reward = " << renderConfigDouble(cfg.env.noGuessReward)
         << "\n"
+        << "mask_actions = " << (cfg.env.maskActions ? "true" : "false")
+        << "\n"
+        << "mask_useless_actions = "
+        << (cfg.env.maskUselessActions ? "true" : "false") << "\n"
+        << "useless_action_penalty = "
+        << renderConfigDouble(cfg.env.uselessActionPenalty) << "\n"
         << "seed = " << cfg.env.seed << "\n"
         << "scenario = " << cfg.scenario << "\n"
         << "num_streams = " << cfg.numStreams << "\n"

@@ -26,7 +26,13 @@ extractSequence(CacheGuessingGame &env, ActorCritic &policy,
     int safety = 4096;
     while (!done && safety-- > 0) {
         const AcOutput &out = policy.forwardOne(obs);
-        const std::size_t action = policy.argmax(out.logits, 0);
+        // Replay under the same mask the policy trained with — a
+        // masked action would be one the trained policy could never
+        // have taken.
+        const std::uint8_t *mask = env.actionMask();
+        const std::size_t action =
+            mask ? policy.argmaxMasked(out.logits, 0, mask)
+                 : policy.argmax(out.logits, 0);
         const Action decoded = env.actionSpace().decode(action);
         StepResult sr = env.step(action);
         if (decoded.isGuess()) {

@@ -83,6 +83,16 @@ struct ExplorationResult
     double detectionRate = 0.0;      ///< flagged episodes fraction
     long long envSteps = 0;          ///< total training env steps
 
+    /**
+     * Environment steps spent until the run first reached its accuracy
+     * target (the Sec. VI-A sample-efficiency measure): the env-step
+     * count at the end of the converging phase, or -1 when the run
+     * never converged. For search baselines this is the simulated
+     * steps the search consumed before finding a distinguishing
+     * sequence.
+     */
+    long long stepsToDiscovery = -1;
+
     /** Primitive actions of a representative greedy episode. */
     AttackSequence sequence;
 

@@ -1,5 +1,6 @@
 #include "env/action_space.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -74,6 +75,19 @@ ActionSpace::guessNoAccessIndex() const
     if (!guess_empty_)
         throw std::logic_error("guess-no-access is disabled");
     return guess_base_ + num_guess_;
+}
+
+void
+ActionSpace::writeMask(std::uint8_t *mask, bool guesses_valid,
+                       std::ptrdiff_t masked_repeat) const
+{
+    std::fill(mask, mask + size_, std::uint8_t{1});
+    if (!guesses_valid)
+        std::fill(mask + guess_base_, mask + size_, std::uint8_t{0});
+    if (masked_repeat >= 0 &&
+        static_cast<std::size_t>(masked_repeat) < guess_base_) {
+        mask[masked_repeat] = 0;
+    }
 }
 
 bool

@@ -102,6 +102,22 @@ class ActionSpace
     /** Number of primitive (non-guess) actions. */
     std::size_t numPrimitives() const { return trigger_base_ + 1; }
 
+    /** First guess index; [guessBase(), size()) are the guesses. */
+    std::size_t guessBase() const { return guess_base_; }
+
+    /**
+     * Render the per-step validity/usefulness mask into @p mask
+     * (size() bytes, 1 = selectable). With @p guesses_valid false the
+     * guess block [guessBase(), size()) is masked; a non-negative
+     * @p masked_repeat < guessBase() masks that single primitive
+     * (the immediate-repeat uselessness rule — guess indices are never
+     * repeat-masked). The result always keeps >= 1 selectable entry:
+     * there are >= 2 primitives (>= 1 access plus the trigger) and the
+     * repeat rule masks at most one of them.
+     */
+    void writeMask(std::uint8_t *mask, bool guesses_valid,
+                   std::ptrdiff_t masked_repeat) const;
+
     /** Paper-style rendering, e.g. "3", "f3", "v", "g0", "gE". */
     std::string toString(std::size_t index) const;
 

@@ -33,6 +33,26 @@ BatchEnvPool::BatchEnvPool(std::vector<std::unique_ptr<Environment>> envs)
         if (game)
             game->bindObservationRow(obs_.rowPtr(i));
     }
+
+    // Mask matrix, allocated only when the streams mask actions. Like
+    // the observation rows, each game's mask row is re-homed inside the
+    // batch matrix so mask maintenance writes straight into it. Mixing
+    // masked and unmasked streams would hand the trainer a matrix with
+    // stale rows — reject it.
+    std::size_t masked = 0;
+    for (std::size_t i = 0; i < envs_.size(); ++i)
+        masked += envs_[i]->actionMask() != nullptr;
+    if (masked > 0 && masked != envs_.size()) {
+        throw std::invalid_argument(
+            "BatchEnvPool: streams must agree on action masking");
+    }
+    if (masked == envs_.size()) {
+        masks_.assign(envs_.size() * num_actions_, std::uint8_t{1});
+        for (std::size_t i = 0; i < envs_.size(); ++i) {
+            if (fast_[i])
+                fast_[i]->bindMaskRow(masks_.data() + i * num_actions_);
+        }
+    }
 }
 
 void
@@ -45,6 +65,9 @@ BatchEnvPool::resetAll()
             const std::vector<float> row = envs_[i]->reset();
             std::memcpy(obs_.rowPtr(i), row.data(),
                         obs_dim_ * sizeof(float));
+            if (!masks_.empty())
+                std::memcpy(masks_.data() + i * num_actions_,
+                            envs_[i]->actionMask(), num_actions_);
         }
     }
 }
@@ -70,6 +93,11 @@ BatchEnvPool::stepOne(std::size_t i, std::size_t action, double *rewards,
             sr.done ? e.reset() : std::move(sr.obs);
         assert(obs.size() == obs_dim_);
         std::memcpy(obs_.rowPtr(i), obs.data(), obs_dim_ * sizeof(float));
+        // Games keep their bound mask row current; generic streams
+        // copy theirs out like the observation row.
+        if (!masks_.empty())
+            std::memcpy(masks_.data() + i * num_actions_, e.actionMask(),
+                        num_actions_);
     }
 }
 

@@ -57,6 +57,17 @@ class BatchEnvPool
     Matrix &obs() { return obs_; }
     const Matrix &obs() const { return obs_; }
 
+    /**
+     * Row-major N x numActions validity-mask matrix, maintained in
+     * place by the streams (CacheGuessingGame::bindMaskRow) exactly
+     * like the observation rows — or nullptr when the streams do not
+     * mask actions, in which case no mask storage exists at all.
+     */
+    const std::uint8_t *masks() const
+    {
+        return masks_.empty() ? nullptr : masks_.data();
+    }
+
     /** Reset every stream, rebuilding its observation row in place. */
     void resetAll();
 
@@ -99,6 +110,8 @@ class BatchEnvPool
      *  CacheGuessingGame and steps through the generic interface. */
     std::vector<CacheGuessingGame *> fast_;
     Matrix obs_;
+    /** N x numActions mask rows; empty when no stream masks actions. */
+    std::vector<std::uint8_t> masks_;
     std::size_t obs_dim_ = 0;
     std::size_t num_actions_ = 0;
 };
@@ -137,6 +150,10 @@ class BatchVecEnv : public VecEnv, public BatchStepSurface
         pool_.stepBatch(actions, nullptr, rewards, dones, infos);
     }
     void resetAllInPlace() override { pool_.resetAll(); }
+    const std::uint8_t *maskMatrix() const override
+    {
+        return pool_.masks();
+    }
 
     /** The underlying pool (benches, tests). */
     BatchEnvPool &pool() { return pool_; }

@@ -142,6 +142,35 @@ struct EnvConfig
     /** Multi-secret: penalty when an episode contains no guess. */
     double noGuessReward = -1.0;
 
+    // ----- sample-efficiency layer (arXiv 2506.07200-style shaping)
+    /**
+     * Mask *invalid* actions out of the policy head: guesses are
+     * removed from the action distribution while they could only score
+     * as wrong (before the victim has been triggered, under
+     * requireTriggerBeforeGuess). The environment maintains a per-step
+     * validity mask the trainer applies before softmax; with the mask
+     * off (the default) training is bitwise identical to the unmasked
+     * legacy behavior.
+     */
+    bool maskActions = false;
+
+    /**
+     * Additionally mask *useless* actions: an immediate repeat of the
+     * previous non-guess action is a guaranteed no-op observation
+     * (re-access of the MRU line, re-flush of an absent line, re-run
+     * of an already-observed victim) and is pruned from the
+     * distribution for one step.
+     */
+    bool maskUselessActions = false;
+
+    /**
+     * Reward shaping: subtract this penalty (>= 0) whenever the agent
+     * *takes* a useless action (the immediate-repeat rule above). At 0
+     * (the default) the reward path is untouched; combining the
+     * penalty with maskUselessActions is redundant but harmless.
+     */
+    double uselessActionPenalty = 0.0;
+
     /** Master seed (secret sampling, init accesses). */
     std::uint64_t seed = 1;
 

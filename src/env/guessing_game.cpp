@@ -89,6 +89,16 @@ CacheGuessingGame::CacheGuessingGame(const EnvConfig &config,
     addr_lat_post_visible_ = addr_lat_actual_;
     fresh_row_.resize(observationSize());
     buildObservationInto(fresh_row_.data());
+
+    mask_enabled_ = config_.maskActions || config_.maskUselessActions;
+    shaping_enabled_ = config_.uselessActionPenalty != 0.0;
+    if (config_.uselessActionPenalty < 0.0) {
+        throw std::invalid_argument(
+            "env: useless_action_penalty must be >= 0");
+    }
+    track_last_ = mask_enabled_ || shaping_enabled_;
+    mask_storage_.assign(actions_.size(), std::uint8_t{1});
+    mask_ = mask_storage_.data();
 }
 
 MemorySystem &
@@ -226,6 +236,35 @@ CacheGuessingGame::resetRow()
     // of re-encoding it.
     std::memcpy(row_, fresh_row_.data(),
                 observationSize() * sizeof(float));
+    if (track_last_) {
+        last_action_ = -1;
+        if (mask_enabled_)
+            refreshMask();
+    }
+}
+
+void
+CacheGuessingGame::bindMaskRow(std::uint8_t *row)
+{
+    std::uint8_t *target = row ? row : mask_storage_.data();
+    if (target == mask_)
+        return;
+    std::memcpy(target, mask_, actions_.size() * sizeof(std::uint8_t));
+    mask_ = target;
+}
+
+void
+CacheGuessingGame::refreshMask()
+{
+    // Guesses are selectable whenever a guess could score as correct —
+    // or when the next guess is the reveal action of the batched
+    // real-hardware mode, which is always useful.
+    const bool guesses_valid =
+        !config_.maskActions || victim_triggered_ ||
+        !config_.requireTriggerBeforeGuess ||
+        (config_.revealOnGuess && !revealed_);
+    actions_.writeMask(mask_, guesses_valid,
+                       config_.maskUselessActions ? last_action_ : -1);
 }
 
 void
@@ -495,6 +534,16 @@ CacheGuessingGame::stepFast(std::size_t action_index)
       }
     }
 
+    // Useless-action shaping: an immediate repeat of the previous
+    // non-guess action re-observes already-known state (re-access of
+    // the MRU line, re-flush of an absent line, re-run of the victim)
+    // and costs the configured penalty on top of the step reward.
+    // Guarded so unshaped configs run the exact legacy arithmetic.
+    if (shaping_enabled_ && !action.isGuess() &&
+        last_action_ == static_cast<std::ptrdiff_t>(action_index)) {
+        reward -= config_.uselessActionPenalty;
+    }
+
     // Detector handling.
     for (auto &entry : detectors_) {
         reward += entry.detector->consumeStepPenalty();
@@ -544,6 +593,12 @@ CacheGuessingGame::stepFast(std::size_t action_index)
         else if (post_reset)
             refreshPostRegion();
         writeRowGlobals();
+    }
+
+    if (track_last_) {
+        last_action_ = static_cast<std::ptrdiff_t>(action_index);
+        if (mask_enabled_)
+            refreshMask();
     }
 
     result.reward = reward;

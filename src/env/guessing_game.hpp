@@ -105,6 +105,27 @@ class CacheGuessingGame : public Environment
     /** The persistent observation row (valid after reset()). */
     const float *observationRow() const { return row_; }
 
+    // Action masking (sample-efficiency layer) ------------------------
+    /**
+     * The per-step validity/usefulness mask (numActions() bytes,
+     * 1 = selectable), kept current across reset()/step()/stepFast()
+     * like the observation row — or nullptr when neither maskActions
+     * nor maskUselessActions is set, so unmasked configs pay nothing
+     * and the trainer's legacy path is taken bit-for-bit.
+     */
+    const std::uint8_t *actionMask() const override
+    {
+        return mask_enabled_ ? mask_ : nullptr;
+    }
+
+    /**
+     * Re-home the persistent mask row at @p row (numActions() bytes),
+     * the uint8 analogue of bindObservationRow: BatchEnvPool binds each
+     * stream's mask row into its batch mask matrix so mask maintenance
+     * writes straight into it. Pass nullptr to rebind internal storage.
+     */
+    void bindMaskRow(std::uint8_t *row);
+
     /**
      * Encode the full observation from scratch. This is the oracle the
      * incrementally-maintained row is tested against; hot paths never
@@ -206,6 +227,9 @@ class CacheGuessingGame : public Environment
     void refreshPostRegion();
     void writeRowGlobals();
 
+    /** Re-render mask_ from the current episode state (mask_enabled_). */
+    void refreshMask();
+
     EnvConfig config_;
     ActionSpace actions_;
     std::unique_ptr<ChannelModel> channel_;
@@ -242,6 +266,14 @@ class CacheGuessingGame : public Environment
     bool done_ = true;
     unsigned step_count_ = 0;
     unsigned guesses_this_episode_ = 0;
+
+    // Action-masking / reward-shaping state (sample-efficiency layer).
+    bool mask_enabled_ = false;    ///< maskActions || maskUselessActions
+    bool shaping_enabled_ = false; ///< uselessActionPenalty != 0
+    bool track_last_ = false;      ///< mask_enabled_ || shaping_enabled_
+    std::ptrdiff_t last_action_ = -1;  ///< previous step's action index
+    std::vector<std::uint8_t> mask_storage_;
+    std::uint8_t *mask_ = nullptr;
 
     /**
      * Fixed-capacity ring of the last window_ steps (oldest at

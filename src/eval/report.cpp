@@ -84,7 +84,7 @@ writeSweepReportJson(std::ostream &os, const SweepReport &report,
 {
     os << "{\n"
        << "  \"name\": " << jsonString(report.name) << ",\n"
-       << "  \"schema_version\": 1,\n"
+       << "  \"schema_version\": 2,\n"
        << "  \"cells\": [";
     for (std::size_t i = 0; i < report.cells.size(); ++i) {
         const SweepCellResult &c = report.cells[i];
@@ -97,6 +97,7 @@ writeSweepReportJson(std::ostream &os, const SweepReport &report,
            << "      \"hierarchy\": " << jsonString(c.cell.hierarchy)
            << ",\n"
            << "      \"policy\": " << jsonString(c.cell.policy) << ",\n"
+           << "      \"agent\": " << jsonString(c.cell.agent) << ",\n"
            << "      \"seed\": " << c.cell.seed << ",\n"
            << "      \"completed\": " << (c.completed ? "true" : "false")
            << ",\n"
@@ -106,6 +107,8 @@ writeSweepReportJson(std::ostream &os, const SweepReport &report,
            << "      \"epochs_to_converge\": " << r.epochsToConverge
            << ",\n"
            << "      \"env_steps\": " << r.envSteps << ",\n"
+           << "      \"steps_to_discovery\": " << r.stepsToDiscovery
+           << ",\n"
            << "      \"accuracy\": " << jsonNumber(r.finalAccuracy)
            << ",\n"
            << "      \"episode_length\": "
@@ -145,9 +148,10 @@ void
 writeSweepReportCsv(std::ostream &os, const SweepReport &report,
                     const ReportOptions &options)
 {
-    os << "index,label,scenario,hierarchy,policy,seed,completed,error,"
-          "converged,epochs_to_converge,env_steps,accuracy,"
-          "episode_length,bit_rate,detection_rate,sequence,category";
+    os << "index,label,scenario,hierarchy,policy,agent,seed,completed,"
+          "error,converged,epochs_to_converge,env_steps,"
+          "steps_to_discovery,accuracy,episode_length,bit_rate,"
+          "detection_rate,sequence,category";
     if (options.includeTiming)
         os << ",wall_s,attempts";
     os << "\n";
@@ -156,10 +160,11 @@ writeSweepReportCsv(std::ostream &os, const SweepReport &report,
         os << c.cell.index << ',' << csvField(c.cell.label) << ','
            << csvField(c.cell.scenario) << ','
            << csvField(c.cell.hierarchy) << ',' << csvField(c.cell.policy)
-           << ',' << c.cell.seed << ',' << (c.completed ? 1 : 0) << ','
-           << csvField(c.error) << ','
+           << ',' << csvField(c.cell.agent) << ',' << c.cell.seed << ','
+           << (c.completed ? 1 : 0) << ',' << csvField(c.error) << ','
            << (c.completed && r.converged ? 1 : 0) << ','
            << r.epochsToConverge << ',' << r.envSteps << ','
+           << r.stepsToDiscovery << ','
            << jsonNumber(r.finalAccuracy) << ','
            << jsonNumber(r.finalEpisodeLength) << ','
            << jsonNumber(r.bitRate) << ','
@@ -177,7 +182,7 @@ sweepSummaryTable(const SweepReport &report)
 {
     TextTable table(report.name,
                     {"No.", "Cell", "Policy", "Seed", "Conv", "Epochs",
-                     "Acc", "Len", "Wall(s)", "Attack found"});
+                     "Steps", "Acc", "Len", "Wall(s)", "Attack found"});
     for (const SweepCellResult &c : report.cells) {
         const ExplorationResult &r = c.result;
         std::string status;
@@ -187,15 +192,20 @@ sweepSummaryTable(const SweepReport &report)
             status = categoryLabel(r.category);
         else
             status = "(timeout) " + sequenceString(c);
+        std::string cell_name =
+            c.cell.scenario +
+            (c.cell.hierarchy == "-" ? "" : " [" + c.cell.hierarchy + "]");
+        if (c.cell.agent != "ppo")
+            cell_name += " (" + c.cell.agent + ")";
         table.addRow(
-            {TextTable::fmt(static_cast<long>(c.cell.index)),
-             c.cell.scenario +
-                 (c.cell.hierarchy == "-" ? "" : " [" + c.cell.hierarchy +
-                                                     "]"),
+            {TextTable::fmt(static_cast<long>(c.cell.index)), cell_name,
              c.cell.policy, std::to_string(c.cell.seed),
              c.completed && r.converged ? "yes" : "no",
-             c.completed && r.converged
+             c.completed && r.converged && r.epochsToConverge >= 0
                  ? TextTable::fmt(static_cast<long>(r.epochsToConverge))
+                 : "-",
+             c.completed && r.stepsToDiscovery >= 0
+                 ? TextTable::fmt(static_cast<long>(r.stepsToDiscovery))
                  : "-",
              c.completed ? TextTable::fmt(r.finalAccuracy, 2) : "-",
              c.completed ? TextTable::fmt(r.finalEpisodeLength, 1) : "-",

@@ -172,6 +172,55 @@ expandSweepGrid(const SweepConfig &config)
         }
     }
 
+    // Sec. VI-A sample-efficiency bakeoff: appended rows (one per
+    // agent x scenario x seed), never crossed with the main grid —
+    // same mechanism as the hardware-target rows.
+    if (!config.bakeoffAgents.empty()) {
+        const std::vector<std::string> bakeoff_scenarios =
+            config.bakeoffScenarios.empty()
+                ? std::vector<std::string>{config.base.scenario}
+                : config.bakeoffScenarios;
+        for (const std::string &s : bakeoff_scenarios) {
+            if (!hasScenario(s)) {
+                throw std::invalid_argument(
+                    "sweep: unknown bakeoff scenario \"" + s + "\"");
+            }
+        }
+        for (const std::string &agent : config.bakeoffAgents) {
+            if (agent != "ppo" && agent != "ppo_masked" &&
+                agent != "random_search") {
+                throw std::invalid_argument(
+                    "sweep: unknown bakeoff agent \"" + agent +
+                    "\" (known: ppo, ppo_masked, random_search)");
+            }
+            for (const std::string &scenario : bakeoff_scenarios) {
+                for (std::uint64_t seed : seeds) {
+                    SweepCell cell;
+                    cell.agent = agent;
+                    cell.scenario = scenario;
+                    cell.seed = seed;
+                    cell.config = config.base;
+                    cell.config.scenario = scenario;
+                    cell.config.env.seed = seed;
+                    cell.config.ppo.seed =
+                        derivePpoSeed(config.base.ppo.seed, seed);
+                    cell.policy = replPolicyName(base_policy);
+                    if (agent == "ppo_masked") {
+                        cell.config.env.maskActions = true;
+                        cell.config.env.maskUselessActions = true;
+                        cell.config.env.uselessActionPenalty =
+                            config.maskedPenalty;
+                    }
+                    if (agent != "random_search")
+                        cell.phases = config.phases;
+                    cell.label = scenario + "/" + cell.policy + "/s" +
+                                 std::to_string(seed) + "/" + agent;
+                    cells.push_back(std::move(cell));
+                }
+            }
+        }
+    }
+
     if (cells.empty())
         throw std::invalid_argument("sweep: the grid expands to no cells");
     for (std::size_t i = 0; i < cells.size(); ++i)

@@ -153,6 +153,33 @@ struct SweepConfig
      */
     long chaosKillCell = -1;
     int chaosKillAfter = 1;
+
+    // ----- sample-efficiency bakeoff (config keys sweep.bakeoff_*)
+    /**
+     * Bakeoff agents (config key sweep.bakeoff_agents): each name
+     * appends one extra row per bakeoff scenario and grid seed — like
+     * hardware-target rows, they do not cross with the main grid.
+     *
+     *  - "ppo":           the base config as-is (unmasked baseline)
+     *  - "ppo_masked":    the base config with maskActions +
+     *                     maskUselessActions forced on and
+     *                     uselessActionPenalty = maskedPenalty
+     *  - "random_search": the Sec. VI-A random-search baseline over a
+     *                     ScenarioOracle for the cell's scenario, on
+     *                     the same total step budget (maxEpochs x
+     *                     stepsPerEpoch simulated steps)
+     *
+     * Unknown names fail at expansion. Empty disables the bakeoff.
+     */
+    std::vector<std::string> bakeoffAgents;
+
+    /** Scenarios the bakeoff rows run on (config key
+     *  sweep.bakeoff_scenarios); empty = the base config's scenario. */
+    std::vector<std::string> bakeoffScenarios;
+
+    /** uselessActionPenalty applied to ppo_masked bakeoff rows (config
+     *  key sweep.masked_penalty). */
+    double maskedPenalty = 0.0;
 };
 
 /** One expanded grid cell: a fully-resolved exploration run. */
@@ -164,6 +191,16 @@ struct SweepCell
     std::string hierarchy = "-"; ///< named hierarchy row ("-" = none)
     std::string policy;          ///< replacement policy label
     std::uint64_t seed = 0;      ///< grid seed the cell derives from
+
+    /**
+     * Agent the cell runs. "random_search" runs the Sec. VI-A
+     * non-learning baseline; anything else ("ppo", "ppo_masked") runs
+     * the campaign/explore() pipeline — "ppo_masked" is just "ppo"
+     * whose config enables masking, labeled distinctly for reports
+     * (see SweepConfig::bakeoffAgents).
+     */
+    std::string agent = "ppo";
+
     ExplorationConfig config;    ///< resolved exploration description
 
     /** Curriculum phases; empty = plain explore() cell. */

@@ -95,6 +95,16 @@ applySweepKey(SweepConfig &cfg, const std::string &key,
         cfg.heartbeatTimeoutS = t;
     } else if (key == "sweep.dist_work_dir") {
         cfg.distWorkDir = value;
+    } else if (key == "sweep.bakeoff_agents") {
+        cfg.bakeoffAgents = parseList(value, key);
+    } else if (key == "sweep.bakeoff_scenarios") {
+        cfg.bakeoffScenarios = parseList(value, key);
+    } else if (key == "sweep.masked_penalty") {
+        const double p = parseConfigDouble(value, key);
+        if (p < 0)
+            throw std::invalid_argument("config: " + key +
+                                        " must be >= 0");
+        cfg.maskedPenalty = p;
     } else {
         throw std::invalid_argument("config: unknown sweep option '" +
                                     key + "'");
@@ -162,6 +172,10 @@ renderSweepConfig(const SweepConfig &cfg)
     reject(cfg.distWorkDir, "#\n");
     for (const std::string &scenario : cfg.grid.scenarios)
         reject(scenario, "#,\n");
+    for (const std::string &agent : cfg.bakeoffAgents)
+        reject(agent, "#,\n");
+    for (const std::string &scenario : cfg.bakeoffScenarios)
+        reject(scenario, "#,\n");
 
     std::ostringstream out;
     out << renderExplorationConfig(cfg.base);
@@ -205,6 +219,14 @@ renderSweepConfig(const SweepConfig &cfg)
         << renderConfigDouble(cfg.heartbeatTimeoutS) << "\n";
     if (!cfg.distWorkDir.empty())
         out << "sweep.dist_work_dir = " << cfg.distWorkDir << "\n";
+    if (!cfg.bakeoffAgents.empty())
+        out << "sweep.bakeoff_agents = " << join(cfg.bakeoffAgents)
+            << "\n";
+    if (!cfg.bakeoffScenarios.empty())
+        out << "sweep.bakeoff_scenarios = " << join(cfg.bakeoffScenarios)
+            << "\n";
+    out << "sweep.masked_penalty = "
+        << renderConfigDouble(cfg.maskedPenalty) << "\n";
     out << renderPhaseKeys(cfg.phases);
     return out.str();
 }

@@ -132,6 +132,47 @@ ActorCritic::sample(const Matrix &logits, std::size_t r, Rng &rng) const
 }
 
 std::size_t
+ActorCritic::sampleMasked(const Matrix &logits, std::size_t r,
+                          const std::uint8_t *mask, Rng &rng) const
+{
+    assert(mask != nullptr);
+    const std::size_t n = logits.cols();
+    // Masked softmax in the exact sequential order of softmaxRow(), so
+    // an all-1 mask reproduces sample() bit for bit (adding the masked
+    // entries' 0.0 to the running sum is the identity).
+    double maxv = -1e30;
+    std::size_t valid = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+        if (mask[c]) {
+            maxv = std::max(maxv, static_cast<double>(logits(r, c)));
+            ++valid;
+        }
+    }
+    assert(valid > 0 && "sampleMasked: row masks out every action");
+    std::vector<double> p(n);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        p[c] = mask[c]
+                   ? std::exp(static_cast<double>(logits(r, c)) - maxv)
+                   : 0.0;
+        sum += p[c];
+    }
+    double x = rng.uniformDouble();
+    std::size_t last_valid = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+        if (!mask[c])
+            continue;
+        last_valid = c;
+        x -= p[c] / sum;
+        if (x < 0.0)
+            return c;
+    }
+    // Rounding left a sliver of probability unassigned: fall back to
+    // the last *valid* index, mirroring sample()'s final-index return.
+    return last_valid;
+}
+
+std::size_t
 ActorCritic::argmax(const Matrix &logits, std::size_t r) const
 {
     std::size_t best = 0;
@@ -139,6 +180,25 @@ ActorCritic::argmax(const Matrix &logits, std::size_t r) const
         if (logits(r, c) > logits(r, best))
             best = c;
     }
+    return best;
+}
+
+std::size_t
+ActorCritic::argmaxMasked(const Matrix &logits, std::size_t r,
+                          const std::uint8_t *mask) const
+{
+    assert(mask != nullptr);
+    const std::size_t n = logits.cols();
+    std::size_t best = n;  // sentinel: no valid entry seen yet
+    for (std::size_t c = 0; c < n; ++c) {
+        if (!mask[c])
+            continue;
+        // Strict > breaks ties toward the lowest valid index, matching
+        // the unmasked argmax()'s deterministic tie rule.
+        if (best == n || logits(r, c) > logits(r, best))
+            best = c;
+    }
+    assert(best < n && "argmaxMasked: row masks out every action");
     return best;
 }
 
@@ -152,6 +212,25 @@ ActorCritic::logProb(const Matrix &logits, std::size_t r,
     double sum = 0.0;
     for (std::size_t c = 0; c < logits.cols(); ++c)
         sum += std::exp(static_cast<double>(logits(r, c)) - maxv);
+    return static_cast<double>(logits(r, action)) - maxv - std::log(sum);
+}
+
+double
+ActorCritic::logProbMasked(const Matrix &logits, std::size_t r,
+                           std::size_t action, const std::uint8_t *mask)
+{
+    assert(mask != nullptr);
+    assert(mask[action] && "logProbMasked: action is masked out");
+    double maxv = -1e30;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+        if (mask[c])
+            maxv = std::max(maxv, static_cast<double>(logits(r, c)));
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+        if (mask[c])
+            sum += std::exp(static_cast<double>(logits(r, c)) - maxv);
+    }
     return static_cast<double>(logits(r, action)) - maxv - std::log(sum);
 }
 

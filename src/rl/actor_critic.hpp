@@ -85,12 +85,47 @@ class ActorCritic
     /** Sample an action index from softmax(logits row @p r). */
     std::size_t sample(const Matrix &logits, std::size_t r, Rng &rng) const;
 
-    /** Greedy action (argmax of logits row @p r). */
+    /**
+     * Sample from softmax(logits row @p r) restricted to the valid
+     * support: entries with mask byte 0 get probability exactly 0 and
+     * are never returned. @p mask points at numActions() bytes for this
+     * row (1 = selectable, at least one entry must be 1 — asserted).
+     * Consumes one rng draw like sample(); on an all-1 mask the
+     * arithmetic — and therefore the returned index — matches sample()
+     * exactly.
+     */
+    std::size_t sampleMasked(const Matrix &logits, std::size_t r,
+                             const std::uint8_t *mask, Rng &rng) const;
+
+    /** Greedy action (argmax of logits row @p r). Ties break toward
+     *  the lowest index. */
     std::size_t argmax(const Matrix &logits, std::size_t r) const;
+
+    /**
+     * Greedy action over the valid support only: the highest-logit
+     * entry whose mask byte is 1, ties broken toward the lowest index.
+     * A masked entry is never returned, whatever its logit. @p mask
+     * points at numActions() bytes for this row; at least one entry
+     * must be 1 (asserted).
+     */
+    std::size_t argmaxMasked(const Matrix &logits, std::size_t r,
+                             const std::uint8_t *mask) const;
 
     /** log softmax(logits)[action] for row @p r. */
     static double logProb(const Matrix &logits, std::size_t r,
                           std::size_t action);
+
+    /**
+     * log of the masked softmax probability of @p action for row @p r:
+     * max and exp-sum run over the valid support only, so the result is
+     * the log-probability under the same distribution sampleMasked()
+     * draws from. @p action must itself be valid (asserted) — a masked
+     * action has probability 0 and no finite log-prob. Matches
+     * logProb() bitwise on an all-1 mask.
+     */
+    static double logProbMasked(const Matrix &logits, std::size_t r,
+                                std::size_t action,
+                                const std::uint8_t *mask);
 
     /** Entropy of softmax(logits row @p r). */
     static double entropy(const Matrix &logits, std::size_t r);

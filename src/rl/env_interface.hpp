@@ -13,6 +13,7 @@
 #define AUTOCAT_RL_ENV_INTERFACE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace autocat {
@@ -70,6 +71,16 @@ class Environment
      * keep the default no-op.
      */
     virtual void reseed(std::uint64_t seed) { (void)seed; }
+
+    /**
+     * Per-action validity mask for the *next* step: numActions() bytes,
+     * 1 = selectable, 0 = masked out of the policy distribution — or
+     * nullptr when this environment does not mask actions (the
+     * default). A non-null mask is kept current across reset()/step()
+     * and always has at least one selectable entry; the trainer applies
+     * it before softmax (rl/mat.hpp, softmaxEntropyRowsInto).
+     */
+    virtual const std::uint8_t *actionMask() const { return nullptr; }
 };
 
 } // namespace autocat

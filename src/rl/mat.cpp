@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define AUTOCAT_MAT_X86 1
@@ -492,6 +494,60 @@ softmaxEntropyRowsInto(std::vector<double> &probs,
         double ent = 0.0;
         for (std::size_t c = 0; c < cols; ++c) {
             p[c] /= sum;
+            if (p[c] > 1e-12)
+                ent -= p[c] * std::log(p[c]);
+        }
+        entropies[r] = ent;
+    }
+}
+
+void
+softmaxEntropyRowsMaskedInto(std::vector<double> &probs,
+                             std::vector<double> &entropies,
+                             const Matrix &logits,
+                             const std::uint8_t *masks)
+{
+    assert(masks != nullptr);
+    const std::size_t rows = logits.rows();
+    const std::size_t cols = logits.cols();
+    assert(cols >= 1);
+    probs.resize(rows * cols);
+    entropies.resize(rows);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *in = logits.rowPtr(r);
+        const std::uint8_t *m = masks + r * cols;
+        double *p = probs.data() + r * cols;
+
+        // Same sequential max / exp-sum / normalize order as the
+        // unmasked kernel, restricted to the valid support; an all-1
+        // mask row reproduces the unmasked arithmetic bit for bit.
+        // The max over the valid entries keeps every exp argument
+        // <= max(0, in[c] + 1e30), so nothing overflows.
+        double maxv = -1e30;
+        std::size_t valid = 0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (m[c]) {
+                maxv = std::max(maxv, static_cast<double>(in[c]));
+                ++valid;
+            }
+        }
+        if (valid == 0) {
+            throw std::domain_error(
+                "softmaxEntropyRowsMaskedInto: row " +
+                std::to_string(r) + " masks out every action");
+        }
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            p[c] = m[c] ? std::exp(static_cast<double>(in[c]) - maxv)
+                        : 0.0;
+            sum += p[c];
+        }
+        double ent = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            p[c] /= sum;
+            // Masked entries are exactly 0 / sum == 0.0 here, so they
+            // fail this guard and never reach a 0 * log(0).
             if (p[c] > 1e-12)
                 ent -= p[c] * std::log(p[c]);
         }

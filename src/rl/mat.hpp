@@ -30,6 +30,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace autocat {
@@ -174,6 +175,31 @@ Matrix matmulTransA(const Matrix &a, const Matrix &b);
 void softmaxEntropyRowsInto(std::vector<double> &probs,
                             std::vector<double> &entropies,
                             const Matrix &logits);
+
+/**
+ * Masked variant of softmaxEntropyRowsInto: entries whose mask byte is
+ * 0 are treated as logit -inf — they receive probability exactly 0.0
+ * and contribute nothing to the max, the exp-sum, or the entropy, so
+ * the distribution and its entropy live on the valid support only.
+ * NaN-free by construction: the max is taken over the valid entries
+ * (every exp argument is <= 0, so nothing overflows) and masked
+ * entries never enter a 0 * log(0).
+ *
+ *  Pre:  logits is B x A with A >= 1; @p masks is row-major B x A
+ *        (1 = valid). Must not be null — callers with no mask use the
+ *        unmasked kernel, whose output this matches bitwise on all-1
+ *        masks.
+ *  Post: probs.size() == B * A, entropies.size() == B, fully
+ *        overwritten.
+ *
+ * @throws std::domain_error when a row masks out every action — a
+ *         rollout buffer fed from such a row would train on NaN, so an
+ *         all-invalid row fails loudly at the kernel boundary.
+ */
+void softmaxEntropyRowsMaskedInto(std::vector<double> &probs,
+                                  std::vector<double> &entropies,
+                                  const Matrix &logits,
+                                  const std::uint8_t *masks);
 
 /** Add row vector @p bias (length cols) to every row of @p m in place. */
 void addRowVector(Matrix &m, const std::vector<float> &bias);

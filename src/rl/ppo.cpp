@@ -165,6 +165,12 @@ PpoTrainer::rebuildBuffer()
         (static_cast<std::size_t>(config_.stepsPerEpoch) + n - 1) / n;
     buffer_ = std::make_unique<RolloutBuffer>(steps_per_stream, n,
                                               envs_->observationSize());
+    // Streams either all mask or none do (BatchEnvPool enforces this;
+    // config-built SyncVecEnv streams share one EnvConfig), so stream 0
+    // answers for the batch.
+    masking_ = envs_->env(0).actionMask() != nullptr;
+    if (masking_)
+        buffer_->enableMasks(envs_->numActions());
     running_return_.assign(n, 0.0);
     running_len_.assign(n, 0.0);
     collection_active_ = false;
@@ -231,17 +237,37 @@ void
 PpoTrainer::collectSerial()
 {
     const std::size_t n = envs_->numEnvs();
+    const std::size_t na = envs_->numActions();
     std::vector<std::size_t> actions(n);
     std::vector<double> values(n), log_probs(n);
+    if (masking_)
+        mask_ws_.resize(n * na);
 
     while (!buffer_->full()) {
         // One batched forward over the N current observations.
         net_->forwardNoGrad(current_obs_, fwd_out_);
-        for (std::size_t s = 0; s < n; ++s) {
-            actions[s] = net_->sample(fwd_out_.logits, s, rng_);
-            log_probs[s] =
-                ActorCritic::logProb(fwd_out_.logits, s, actions[s]);
-            values[s] = fwd_out_.values[s];
+        if (masking_) {
+            // Snapshot the acting masks before the step mutates them;
+            // the snapshot doubles as the rollout's stored masks.
+            for (std::size_t s = 0; s < n; ++s)
+                std::memcpy(mask_ws_.data() + s * na,
+                            envs_->env(s).actionMask(), na);
+            for (std::size_t s = 0; s < n; ++s) {
+                const std::uint8_t *m = mask_ws_.data() + s * na;
+                actions[s] =
+                    net_->sampleMasked(fwd_out_.logits, s, m, rng_);
+                log_probs[s] = ActorCritic::logProbMasked(
+                    fwd_out_.logits, s, actions[s], m);
+                values[s] = fwd_out_.values[s];
+            }
+            buffer_->stageMasks(mask_ws_.data());
+        } else {
+            for (std::size_t s = 0; s < n; ++s) {
+                actions[s] = net_->sample(fwd_out_.logits, s, rng_);
+                log_probs[s] =
+                    ActorCritic::logProb(fwd_out_.logits, s, actions[s]);
+                values[s] = fwd_out_.values[s];
+            }
         }
 
         VecStepResult vr = envs_->stepAll(actions);
@@ -278,13 +304,31 @@ PpoTrainer::collectBatchInPlace(BatchStepSurface &surface)
     std::vector<StepInfo> infos(n);
 
     const Matrix &obs = surface.obsMatrix();
+    const std::uint8_t *mm = surface.maskMatrix();
+    const std::size_t na = envs_->numActions();
+    assert(!masking_ || mm != nullptr);
     while (!buffer_->full()) {
         net_->forwardNoGrad(obs, fwd_out_);
-        for (std::size_t s = 0; s < n; ++s) {
-            actions[s] = net_->sample(fwd_out_.logits, s, rng_);
-            log_probs[s] =
-                ActorCritic::logProb(fwd_out_.logits, s, actions[s]);
-            values[s] = fwd_out_.values[s];
+        if (masking_) {
+            // The engine maintains the mask matrix in place like the
+            // observation rows: stage the acting snapshot before the
+            // step rewrites it, sample straight from the live rows.
+            buffer_->stageMasks(mm);
+            for (std::size_t s = 0; s < n; ++s) {
+                const std::uint8_t *m = mm + s * na;
+                actions[s] =
+                    net_->sampleMasked(fwd_out_.logits, s, m, rng_);
+                log_probs[s] = ActorCritic::logProbMasked(
+                    fwd_out_.logits, s, actions[s], m);
+                values[s] = fwd_out_.values[s];
+            }
+        } else {
+            for (std::size_t s = 0; s < n; ++s) {
+                actions[s] = net_->sample(fwd_out_.logits, s, rng_);
+                log_probs[s] =
+                    ActorCritic::logProb(fwd_out_.logits, s, actions[s]);
+                values[s] = fwd_out_.values[s];
+            }
         }
 
         buffer_->stageObs(obs);
@@ -352,12 +396,14 @@ PpoTrainer::collectPipelined()
 
     // Two timesteps are in flight at once (group A runs one ahead), so
     // the sampled transition data is double-buffered too.
+    const std::size_t na = envs_->numActions();
     struct Stage
     {
         Matrix obs;  ///< full N x d acting observations
         std::vector<std::size_t> actions;
         std::vector<double> values;
         std::vector<double> log_probs;
+        std::vector<std::uint8_t> masks;  ///< N x A acting masks
     };
     Stage cur, next;
     for (Stage *st : {&cur, &next}) {
@@ -365,21 +411,41 @@ PpoTrainer::collectPipelined()
         st->actions.resize(n);
         st->values.resize(n);
         st->log_probs.resize(n);
+        if (masking_)
+            st->masks.resize(n * na);
     }
 
-    // Forward + sample one group's rows into a stage buffer.
+    // Forward + sample one group's rows into a stage buffer. While
+    // this runs, the worker only ever steps the *other* group, so this
+    // group's observation rows and mask rows are idle — the mask
+    // snapshot below reads stable memory.
     const auto forwardSample = [&](const Matrix &obs_g, std::size_t begin,
                                    std::size_t end, Stage &st) {
         for (std::size_t r = 0; r < end - begin; ++r)
             std::memcpy(st.obs.rowPtr(begin + r), obs_g.rowPtr(r),
                         d * sizeof(float));
         net_->forwardNoGrad(obs_g, fwd_out_);
-        for (std::size_t s = begin; s < end; ++s) {
-            const std::size_t r = s - begin;
-            st.actions[s] = net_->sample(fwd_out_.logits, r, rng_);
-            st.log_probs[s] =
-                ActorCritic::logProb(fwd_out_.logits, r, st.actions[s]);
-            st.values[s] = fwd_out_.values[r];
+        if (masking_) {
+            for (std::size_t s = begin; s < end; ++s)
+                std::memcpy(st.masks.data() + s * na,
+                            envs_->env(s).actionMask(), na);
+            for (std::size_t s = begin; s < end; ++s) {
+                const std::size_t r = s - begin;
+                const std::uint8_t *m = st.masks.data() + s * na;
+                st.actions[s] =
+                    net_->sampleMasked(fwd_out_.logits, r, m, rng_);
+                st.log_probs[s] = ActorCritic::logProbMasked(
+                    fwd_out_.logits, r, st.actions[s], m);
+                st.values[s] = fwd_out_.values[r];
+            }
+        } else {
+            for (std::size_t s = begin; s < end; ++s) {
+                const std::size_t r = s - begin;
+                st.actions[s] = net_->sample(fwd_out_.logits, r, rng_);
+                st.log_probs[s] = ActorCritic::logProb(fwd_out_.logits,
+                                                       r, st.actions[s]);
+                st.values[s] = fwd_out_.values[r];
+            }
         }
     };
 
@@ -410,6 +476,8 @@ PpoTrainer::collectPipelined()
         recordEpisodeStats(step_out.rewards, step_out.dones);
         total_env_steps_ += static_cast<long long>(n);
         last_dones_ = step_out.dones;
+        if (masking_)
+            buffer_->stageMasks(cur.masks.data());
         buffer_->addStep(std::move(cur.obs), cur.actions, step_out.rewards,
                          step_out.dones, cur.values, cur.log_probs);
 
@@ -460,7 +528,20 @@ PpoTrainer::update(EpochStats &stats)
             // to the old softmaxRow()/inline-entropy loops, without
             // the per-row vector allocations and second traversal.
             const std::size_t na = net_->numActions();
-            softmaxEntropyRowsInto(probs_ws_, entropy_ws_, out.logits);
+            if (masking_) {
+                // Replay the acting masks: the surrogate ratio and the
+                // entropy bonus are computed on the same restricted
+                // support the policy sampled from. Masked entries get
+                // probability exactly 0, which zeroes their gradient
+                // terms below without any extra branching.
+                buffer_->gatherMasksInto(mask_mb_ws_, idx);
+                softmaxEntropyRowsMaskedInto(probs_ws_, entropy_ws_,
+                                             out.logits,
+                                             mask_mb_ws_.data());
+            } else {
+                softmaxEntropyRowsInto(probs_ws_, entropy_ws_,
+                                       out.logits);
+            }
 
             Matrix dlogits(bsz, na);
             std::vector<float> dvalues(bsz, 0.0f);
@@ -565,9 +646,15 @@ PpoTrainer::evaluate(int episodes, bool greedy)
         long ep_steps = 0;
         while (!done) {
             const AcOutput &out = net_->forwardOne(obs);
+            // The greedy policy honors the mask too: a masked action is
+            // never played, and ties break to the lowest valid index in
+            // both variants, so evaluation is deterministic.
+            const std::uint8_t *m = masking_ ? env.actionMask() : nullptr;
             const std::size_t action =
-                greedy ? net_->argmax(out.logits, 0)
-                       : net_->sample(out.logits, 0, rng_);
+                greedy ? (m ? net_->argmaxMasked(out.logits, 0, m)
+                            : net_->argmax(out.logits, 0))
+                       : (m ? net_->sampleMasked(out.logits, 0, m, rng_)
+                            : net_->sample(out.logits, 0, rng_));
             StepResult sr = env.step(action);
             ep_return += sr.reward;
             ++ep_steps;

@@ -212,6 +212,15 @@ class PpoTrainer
     std::vector<double> probs_ws_;
     std::vector<double> entropy_ws_;
 
+    // Action-mask plumbing. masking_ is detected from the environment
+    // streams at (re)bind time; when set, sampling/log-probs/greedy
+    // run on the masked variants and the rollout stores the acting
+    // masks for the update phase. All of it sits behind if (masking_),
+    // so mask-off training is bitwise identical to the legacy path.
+    bool masking_ = false;
+    std::vector<std::uint8_t> mask_ws_;     ///< collection N x A staging
+    std::vector<std::uint8_t> mask_mb_ws_;  ///< minibatch mask gather
+
     // Persistent per-stream episode state so collection can span epoch
     // boundaries.
     Matrix current_obs_;               ///< N x obs_dim

@@ -62,6 +62,41 @@ RolloutBuffer::stageObs(const Matrix &obs)
 }
 
 void
+RolloutBuffer::enableMasks(std::size_t num_actions)
+{
+    assert(steps_added_ == 0 && !staged_ &&
+           "enableMasks: buffer already holds transitions");
+    assert(num_actions > 0);
+    num_actions_ = num_actions;
+    masks_.reserve(steps_ * streams_ * num_actions_);
+}
+
+void
+RolloutBuffer::stageMasks(const std::uint8_t *masks)
+{
+    assert(num_actions_ > 0 && "stageMasks: enableMasks() not called");
+    assert(steps_added_ < steps_ && !mask_staged_);
+    assert(masks != nullptr);
+    masks_.insert(masks_.end(), masks,
+                  masks + streams_ * num_actions_);
+    mask_staged_ = true;
+}
+
+void
+RolloutBuffer::gatherMasksInto(std::vector<std::uint8_t> &out,
+                               const std::vector<std::size_t> &indices) const
+{
+    assert(num_actions_ > 0);
+    out.resize(indices.size() * num_actions_);
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+        assert(indices[r] < size());
+        std::memcpy(out.data() + r * num_actions_,
+                    masks_.data() + indices[r] * num_actions_,
+                    num_actions_);
+    }
+}
+
+void
 RolloutBuffer::commitStep(const std::vector<std::size_t> &actions,
                           const std::vector<double> &rewards,
                           const std::vector<std::uint8_t> &dones,
@@ -69,6 +104,8 @@ RolloutBuffer::commitStep(const std::vector<std::size_t> &actions,
                           const std::vector<double> &log_probs)
 {
     assert(staged_);
+    assert((num_actions_ == 0 || mask_staged_) &&
+           "commitStep: masked buffer committed without stageMasks()");
     assert(actions.size() == streams_ && rewards.size() == streams_ &&
            dones.size() == streams_ && values.size() == streams_ &&
            log_probs.size() == streams_);
@@ -79,6 +116,7 @@ RolloutBuffer::commitStep(const std::vector<std::size_t> &actions,
     log_probs_.insert(log_probs_.end(), log_probs.begin(), log_probs.end());
     ++steps_added_;
     staged_ = false;
+    mask_staged_ = false;
 }
 
 void
@@ -86,6 +124,8 @@ RolloutBuffer::clear()
 {
     steps_added_ = 0;
     staged_ = false;
+    mask_staged_ = false;
+    masks_.clear();
     obs_steps_.clear();
     actions_.clear();
     rewards_.clear();

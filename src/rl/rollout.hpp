@@ -68,6 +68,40 @@ class RolloutBuffer
                     const std::vector<double> &values,
                     const std::vector<double> &log_probs);
 
+    /**
+     * Turn on per-step action-mask storage (masked-policy training).
+     * Must be called before the first transition is stored; once
+     * enabled, every step must stage its N x @p num_actions mask
+     * snapshot via stageMasks() before commitStep() (asserted), so the
+     * update phase can replay exactly the masks the policy acted under.
+     * Mask storage survives clear() — only the contents are dropped.
+     */
+    void enableMasks(std::size_t num_actions);
+
+    /** True when enableMasks() was called. */
+    bool masksEnabled() const { return num_actions_ > 0; }
+
+    /**
+     * Stage the acting masks for the pending step: @p masks is the
+     * row-major N x numActions snapshot *before* the environments
+     * advance (the masks the policy sampled under). May be called
+     * before or after stageObs()/the addStep() move, but must precede
+     * the step's commit; masks must be enabled.
+     */
+    void stageMasks(const std::uint8_t *masks);
+
+    /**
+     * Masks restricted to flat @p indices, written row-major into
+     * @p out (resized to indices.size() x numActions) — the mask
+     * companion of gatherObs() for minibatch updates, destination-
+     * passing so the update loop reuses one workspace.
+     */
+    void gatherMasksInto(std::vector<std::uint8_t> &out,
+                         const std::vector<std::size_t> &indices) const;
+
+    /** Flat time-major mask bytes (size() x numActions). */
+    const std::vector<std::uint8_t> &masks() const { return masks_; }
+
     /** Number of stored transitions (timesteps x streams). */
     std::size_t size() const { return steps_added_ * streams_; }
 
@@ -117,9 +151,12 @@ class RolloutBuffer
     std::size_t steps_;        ///< timesteps per stream
     std::size_t streams_;      ///< stream count N
     std::size_t obs_dim_;
+    std::size_t num_actions_ = 0;  ///< mask width; 0 = masks disabled
     std::size_t steps_added_ = 0;
-    bool staged_ = false;  ///< stageObs() awaiting its commitStep()
+    bool staged_ = false;       ///< stageObs() awaiting its commitStep()
+    bool mask_staged_ = false;  ///< stageMasks() seen for pending step
     std::vector<Matrix> obs_steps_;  ///< one N x obs_dim matrix per step
+    std::vector<std::uint8_t> masks_;  ///< flat time-major N x A rows
     std::vector<std::size_t> actions_;
     std::vector<double> rewards_;
     std::vector<std::uint8_t> dones_;  ///< plain bytes: no bit-packed

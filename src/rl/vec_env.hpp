@@ -78,6 +78,15 @@ class BatchStepSurface
 
     /** Reset every stream, refreshing obsMatrix() rows in place. */
     virtual void resetAllInPlace() = 0;
+
+    /**
+     * Row-major numEnvs x numActions action-validity mask matrix kept
+     * current alongside obsMatrix() (each stream's row is rewritten in
+     * place as the stream steps/resets), or nullptr when the streams do
+     * not mask actions. Same zero-copy contract as the observation
+     * matrix: the trainer reads rows straight out of the engine.
+     */
+    virtual const std::uint8_t *maskMatrix() const { return nullptr; }
 };
 
 /** Batched Gym-like interface over N environment streams. */

@@ -50,6 +50,7 @@ serializeCellJob(const SweepCell &cell)
     binPutString(p, cell.scenario);
     binPutString(p, cell.hierarchy);
     binPutString(p, cell.policy);
+    binPutString(p, cell.agent);
     binPut(p, cell.seed);
     // One config document: exploration base + phase[N].* lines. The
     // renderers throw for unrepresentable values, so a cell that
@@ -73,6 +74,7 @@ deserializeCellJob(const std::string &bytes)
     cell.scenario = c.getString();
     cell.hierarchy = c.getString();
     cell.policy = c.getString();
+    cell.agent = c.getString();
     cell.seed = c.get<std::uint64_t>();
     const std::string config_text = c.getString();
     c.expectExhausted();
@@ -103,6 +105,7 @@ serializeCellRow(const SweepCellResult &row)
     binPut(p, r.bitRate);
     binPut(p, r.detectionRate);
     binPut(p, static_cast<std::int64_t>(r.envSteps));
+    binPut(p, static_cast<std::int64_t>(r.stepsToDiscovery));
     binPut(p, static_cast<std::uint32_t>(r.sequence.size()));
     for (const AttackStep &s : r.sequence.steps()) {
         binPut(p, static_cast<std::uint8_t>(s.kind));
@@ -134,6 +137,7 @@ deserializeCellRow(const std::string &bytes)
     r.bitRate = c.get<double>();
     r.detectionRate = c.get<double>();
     r.envSteps = c.get<std::int64_t>();
+    r.stepsToDiscovery = c.get<std::int64_t>();
     const auto steps = c.get<std::uint32_t>();
     for (std::uint32_t i = 0; i < steps; ++i) {
         const auto kind = c.get<std::uint8_t>();

@@ -33,11 +33,11 @@
 
 namespace autocat {
 
-/** Current job-blob format version. */
-constexpr std::uint32_t kCellJobVersion = 1;
+/** Current job-blob format version (v2 added the cell agent). */
+constexpr std::uint32_t kCellJobVersion = 2;
 
-/** Current row-blob format version. */
-constexpr std::uint32_t kCellRowVersion = 1;
+/** Current row-blob format version (v2 added steps-to-discovery). */
+constexpr std::uint32_t kCellRowVersion = 2;
 
 /** Serialize a sweep cell into a self-contained job blob. */
 std::string serializeCellJob(const SweepCell &cell);

@@ -213,6 +213,10 @@ TEST(SweepRun, ReportJsonIsByteIdenticalAcrossWorkerCounts)
     cfg.grid.scenarios = {"guessing_game", "l1l2_private"};
     cfg.grid.policies = {ReplPolicy::Lru, ReplPolicy::TreePlru};
     cfg.grid.seeds = {5};
+    // Bakeoff rows (agent column, steps_to_discovery) are part of the
+    // byte-identity contract too.
+    cfg.bakeoffAgents = {"ppo_masked", "random_search"};
+    cfg.maskedPenalty = 0.02;
 
     cfg.workers = 1;
     SweepRunner serial(cfg);
@@ -222,7 +226,9 @@ TEST(SweepRun, ReportJsonIsByteIdenticalAcrossWorkerCounts)
     const std::string a = sweepReportJson(serial.run());
     const std::string b = sweepReportJson(pooled.run());
     EXPECT_EQ(a, b);
-    EXPECT_NE(a.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(a.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(a.find("\"agent\": \"random_search\""), std::string::npos);
+    EXPECT_NE(a.find("\"steps_to_discovery\""), std::string::npos);
 
     // Timing fields are opt-in precisely because they break identity.
     ReportOptions timing;
@@ -282,8 +288,13 @@ TEST(SweepRun, ChannelScenarioDistShardsMatchLocalBytes)
     cfg.grid.scenarios = {"tlb_evict", "prefetch_probe"};
     cfg.grid.policies = {ReplPolicy::Lru};
     cfg.grid.seeds = {5};
+    // A masked cell and a search cell ride along so the agent and
+    // steps_to_discovery fields cross the worker wire (job/row v2)
+    // and still reproduce the local bytes.
+    cfg.bakeoffAgents = {"ppo_masked", "random_search"};
+    cfg.maskedPenalty = 0.02;
     const std::vector<SweepCell> cells = expandSweepGrid(cfg);
-    ASSERT_EQ(cells.size(), 2u);
+    ASSERT_EQ(cells.size(), 4u);
 
     // Matching checkpoint cadence on both sides keeps the epoch
     // boundaries (and so the trained bytes) identical.
@@ -345,6 +356,9 @@ TEST(SweepConfigFile, RoundTripIsAFixedPoint)
         sweep.workers = 3
         sweep.include_timing = true
         sweep.report_json = out.json
+        sweep.bakeoff_agents = ppo_masked, random_search
+        sweep.bakeoff_scenarios = guessing_game
+        sweep.masked_penalty = 0.02
     )";
 
     const SweepConfig parsed = parseSweepConfig(text);
@@ -355,6 +369,11 @@ TEST(SweepConfigFile, RoundTripIsAFixedPoint)
     ASSERT_EQ(parsed.grid.seeds.size(), 3u);
     EXPECT_TRUE(parsed.grid.hardwareTargets);
     EXPECT_EQ(parsed.workers, 3);
+    ASSERT_EQ(parsed.bakeoffAgents.size(), 2u);
+    EXPECT_EQ(parsed.bakeoffAgents[0], "ppo_masked");
+    ASSERT_EQ(parsed.bakeoffScenarios.size(), 1u);
+    EXPECT_EQ(parsed.bakeoffScenarios[0], "guessing_game");
+    EXPECT_EQ(parsed.maskedPenalty, 0.02);
     EXPECT_TRUE(parsed.includeTiming);
     EXPECT_EQ(parsed.reportJsonPath, "out.json");
     EXPECT_EQ(parsed.base.env.hierarchy.depth(), 2u);
