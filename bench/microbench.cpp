@@ -23,6 +23,7 @@
 #include "core/autocat.hpp"
 #include "env/env_registry.hpp"
 #include "eval/sweep.hpp"
+#include "serve/net/frame.hpp"
 #include "serve/wire.hpp"
 
 namespace autocat {
@@ -443,6 +444,76 @@ BM_CellRowDeserialize(benchmark::State &state)
         benchmark::DoNotOptimize(deserializeCellRow(blob));
 }
 BENCHMARK(BM_CellRowDeserialize);
+
+// TCP frame layer (serve/net/frame.hpp): every byte between a
+// scheduler and a runner_daemon moves inside one of these frames, so
+// encode+decode bound the transport's cost over handing a blob to a
+// local process. Arg = payload size: 4 KiB is a job blob, 1 MiB a
+// checkpoint upload.
+void
+BM_NetFrameEncode(benchmark::State &state)
+{
+    const std::string payload(static_cast<std::size_t>(state.range(0)),
+                              'p');
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            encodeFrame(FrameType::Checkpoint, payload));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_NetFrameEncode)->Arg(4 << 10)->Arg(1 << 20);
+
+void
+BM_NetFrameDecode(benchmark::State &state)
+{
+    const std::string wire = encodeFrame(
+        FrameType::Checkpoint,
+        std::string(static_cast<std::size_t>(state.range(0)), 'p'));
+    for (auto _ : state) {
+        FrameReader reader;
+        reader.feed(wire.data(), wire.size());
+        Frame frame;
+        if (!reader.next(frame))
+            state.SkipWithError("frame did not decode");
+        benchmark::DoNotOptimize(frame);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_NetFrameDecode)->Arg(4 << 10)->Arg(1 << 20);
+
+/** A full cell dispatch as the wire sees it: encode Hello + Job,
+ *  decode both, then encode + decode the Row reply — the per-attempt
+ *  frame overhead the TCP transport adds on top of the PR 6 blob
+ *  costs measured above. */
+void
+BM_NetFrameDispatch(benchmark::State &state)
+{
+    HelloPayload hello;
+    hello.jobWireVersion = kCellJobVersion;
+    hello.rowWireVersion = kCellRowVersion;
+    const std::string job_blob = serializeCellJob(benchCell());
+    SweepCellResult row;
+    row.cell = benchCell();
+    row.completed = true;
+    const std::string row_blob = serializeCellRow(row);
+    for (auto _ : state) {
+        std::string stream =
+            encodeFrame(FrameType::Hello, encodeHello(hello));
+        stream += encodeFrame(FrameType::Job, job_blob);
+        stream += encodeFrame(FrameType::Row, row_blob);
+        FrameReader reader;
+        reader.feed(stream.data(), stream.size());
+        Frame frame;
+        int frames = 0;
+        while (reader.next(frame))
+            ++frames;
+        if (frames != 3)
+            state.SkipWithError("dispatch frames did not decode");
+        benchmark::DoNotOptimize(frame);
+    }
+}
+BENCHMARK(BM_NetFrameDispatch);
 
 /**
  * Harness self-test: a depth-1 CacheHierarchy must cost the same as a

@@ -18,14 +18,23 @@
  *
  * Distributed flags: --dist N shards cells across N cell_runner
  * processes (resolved via --runner, $AUTOCAT_CELL_RUNNER, or a
- * cell_runner next to this binary); --checkpoint-dir/--workdir place
- * the per-cell checkpoints and job/row blobs; --chaos-kill IDX:AFTER
- * is the CI fault-injection hook (kill cell IDX's first attempt after
- * its AFTER-th checkpoint write).
+ * cell_runner next to this binary); --endpoints H:P[,H:P...] adds
+ * remote runner_daemon slots to the fleet (mixed fleets are fine);
+ * --checkpoint-dir/--workdir place the per-cell checkpoints and
+ * job/row blobs; --manifest-dir DIR records finished cells in a
+ * crash-safe grid manifest so a restarted run re-enters instead of
+ * recomputing (--manifest-reset wipes a manifest recorded for a
+ * different grid); --chaos-kill IDX:AFTER is the CI fault-injection
+ * hook (kill cell IDX's first attempt after its AFTER-th checkpoint
+ * write; with --chaos-sigterm the runner SIGTERMs itself instead,
+ * exercising the graceful path); --stop-after-cells N aborts the
+ * scheduler after N cells finish (the simulated scheduler death the
+ * net-smoke CI job restarts from).
  *
  * Exit status: 0 when every cell completed, 1 when any cell failed
  * (including cells whose worker died beyond the retry budget), 2 on
- * config or report-I/O errors.
+ * config or report-I/O errors, 3 when --stop-after-cells injected a
+ * scheduler stop (the run is intentionally unfinished).
  */
 
 #include <cstdlib>
@@ -36,6 +45,7 @@
 #include "eval/report.hpp"
 #include "eval/sweep.hpp"
 #include "eval/sweep_config.hpp"
+#include "serve/dist_scheduler.hpp"
 
 namespace {
 
@@ -106,7 +116,10 @@ main(int argc, char **argv)
     SweepConfig cfg;
     std::string config_path, json_override, csv_override;
     std::string runner_flag, workdir_flag, checkpoint_dir_flag;
-    std::string chaos_kill;
+    std::string chaos_kill, endpoints_flag, manifest_dir_flag;
+    bool manifest_reset_flag = false;
+    bool chaos_sigterm_flag = false;
+    long stop_after_cells = 0;
     int dist_override = -1;    // -1 = keep the config's value
     int workers_override = 0;  // 0 = keep the config's value
     for (int i = 1; i < argc; ++i) {
@@ -132,13 +145,26 @@ main(int argc, char **argv)
             checkpoint_dir_flag = argv[++i];
         } else if (arg == "--chaos-kill" && i + 1 < argc) {
             chaos_kill = argv[++i];
+        } else if (arg == "--chaos-sigterm") {
+            chaos_sigterm_flag = true;
+        } else if (arg == "--endpoints" && i + 1 < argc) {
+            endpoints_flag = argv[++i];
+        } else if (arg == "--manifest-dir" && i + 1 < argc) {
+            manifest_dir_flag = argv[++i];
+        } else if (arg == "--manifest-reset") {
+            manifest_reset_flag = true;
+        } else if (arg == "--stop-after-cells" && i + 1 < argc) {
+            stop_after_cells = std::atol(argv[++i]);
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "usage: sweep_from_config [config.cfg] "
                          "[--json out.json] [--csv out.csv] "
                          "[--print-default] [--workers N] [--dist N] "
                          "[--runner PATH] [--workdir DIR] "
                          "[--checkpoint-dir DIR] "
-                         "[--chaos-kill IDX:AFTER]\n";
+                         "[--endpoints H:P[,H:P...]] "
+                         "[--manifest-dir DIR] [--manifest-reset] "
+                         "[--chaos-kill IDX:AFTER] [--chaos-sigterm] "
+                         "[--stop-after-cells N]\n";
             return 2;
         } else {
             config_path = arg;
@@ -174,6 +200,29 @@ main(int argc, char **argv)
                 cfg.chaosKillAfter =
                     std::atoi(chaos_kill.substr(colon + 1).c_str());
         }
+        cfg.chaosSigterm = chaos_sigterm_flag;
+        if (stop_after_cells > 0)
+            cfg.stopAfterCells =
+                static_cast<std::size_t>(stop_after_cells);
+        if (!endpoints_flag.empty()) {
+            cfg.distEndpoints.clear();
+            std::size_t start = 0;
+            for (;;) {
+                const std::size_t comma =
+                    endpoints_flag.find(',', start);
+                cfg.distEndpoints.push_back(
+                    comma == std::string::npos
+                        ? endpoints_flag.substr(start)
+                        : endpoints_flag.substr(start, comma - start));
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        }
+        if (!manifest_dir_flag.empty())
+            cfg.manifestDir = manifest_dir_flag;
+        if (manifest_reset_flag)
+            cfg.manifestReset = true;
         if (cfg.distProcesses > 0)
             cfg.runnerPath = resolveRunner(runner_flag, argv[0]);
 
@@ -219,6 +268,12 @@ main(int argc, char **argv)
         if (!io_ok)
             return 2;
         return report.numFailed() == 0 ? 0 : 1;
+    } catch (const DistStopInjected &e) {
+        // Intentional (fault-injected) scheduler death: the manifest
+        // holds the finished cells; a restarted run completes the
+        // grid. Distinct exit code so harnesses can assert the stop.
+        std::cerr << "stopped: " << e.what() << "\n";
+        return 3;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 2;

@@ -293,10 +293,13 @@ SweepRunner::SweepRunner(SweepConfig config)
 SweepReport
 SweepRunner::run(const SweepProgress &progress)
 {
-    if (config_.distProcesses > 0) {
+    // Any non-empty fleet — local worker processes and/or remote
+    // runner daemons — routes through the distributed scheduler.
+    if (config_.distProcesses > 0 || !config_.distEndpoints.empty()) {
         DistSweepOptions options;
         options.processes = config_.distProcesses;
         options.runnerPath = config_.runnerPath;
+        options.endpoints = config_.distEndpoints;
         options.workDir =
             config_.distWorkDir.empty()
                 ? (config_.checkpointDir.empty() ? "."
@@ -305,10 +308,14 @@ SweepRunner::run(const SweepProgress &progress)
                 : config_.distWorkDir;
         options.checkpointDir = config_.checkpointDir;
         options.checkpointEvery = config_.checkpointInterval;
+        options.manifestDir = config_.manifestDir;
+        options.manifestReset = config_.manifestReset;
         options.maxRetries = config_.distRetries;
         options.heartbeatTimeoutS = config_.heartbeatTimeoutS;
         options.chaosKillCell = config_.chaosKillCell;
         options.chaosKillAfter = config_.chaosKillAfter;
+        options.chaosSigterm = config_.chaosSigterm;
+        options.stopAfterCells = config_.stopAfterCells;
         return runSweepCellsDist(config_.name, cells_, options, progress);
     }
     return runSweepCells(config_.name, cells_, config_.workers, progress,

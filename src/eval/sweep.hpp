@@ -147,12 +147,57 @@ struct SweepConfig
 
     /**
      * Fault-injection harness hooks (CLI only, used by the dist-smoke
-     * CI job and tests): SIGKILL the first attempt of cell
-     * chaosKillCell after chaosKillAfter checkpoint writes; -1
-     * disables.
+     * and net-smoke CI jobs and tests): SIGKILL the first attempt of
+     * cell chaosKillCell after chaosKillAfter checkpoint writes; -1
+     * disables. chaosSigterm sends the runner SIGTERM instead, so it
+     * exits through the graceful flush path.
      */
     long chaosKillCell = -1;
     int chaosKillAfter = 1;
+    bool chaosSigterm = false;
+
+    /** Abort the scheduler (DistStopInjected) after this many cells
+     *  finish in this run; 0 disables. CLI only — the manifest
+     *  re-entry harness uses it to simulate a scheduler death. */
+    std::size_t stopAfterCells = 0;
+
+    // ----- networked fleet (serve/net, config key sweep.dist_endpoints)
+    /**
+     * runner_daemon endpoints ("host:port", comma list) to shard cells
+     * onto alongside the local distProcesses slots. Any non-empty
+     * fleet (endpoints and/or processes) routes the run through the
+     * distributed scheduler; mixed fleets are fine — cell placement
+     * never changes report bytes.
+     */
+    std::vector<std::string> distEndpoints;
+
+    // ----- persistent grid manifest (config keys sweep.manifest_*)
+    /**
+     * Grid manifest directory (serve/manifest): records every finished
+     * cell's row blob keyed by the grid's identity hash, so a fresh
+     * scheduler process re-enters a half-finished run and computes
+     * only the missing cells. Empty disables. Config key
+     * sweep.manifest_dir.
+     */
+    std::string manifestDir;
+
+    /** Wipe a manifest directory whose recorded grid identity does not
+     *  match this run's grid (instead of refusing). Config key
+     *  sweep.manifest_reset. */
+    bool manifestReset = false;
+
+    // ----- gateway submission metadata (config keys gateway.*)
+    /**
+     * Tenant name for campaign_gateway submissions: each tenant's
+     * campaigns get their own work/manifest subdirectories under the
+     * gateway root. Empty outside gateway runs. Config key
+     * gateway.tenant.
+     */
+    std::string gatewayTenant;
+
+    /** Gateway scheduling priority (higher runs first; ties submit in
+     *  arrival order). Config key gateway.priority. */
+    int gatewayPriority = 0;
 
     // ----- sample-efficiency bakeoff (config keys sweep.bakeoff_*)
     /**
@@ -231,6 +276,11 @@ struct SweepReport
     std::vector<SweepCellResult> cells;
     double wallSeconds = 0.0;
     int workersUsed = 1;  ///< effective pool size after clamping
+
+    /** Cells adopted as already-done from a grid manifest rather than
+     *  run here. Run-dependent diagnostics (like workersUsed): never
+     *  rendered, so re-entered runs stay byte-identical. */
+    std::size_t cellsAdopted = 0;
 
     /** Cells that completed and converged. */
     std::size_t numConverged() const;

@@ -6,6 +6,7 @@
 
 #include "core/campaign_config.hpp"
 #include "core/config_parser.hpp"
+#include "util/socket.hpp"
 
 namespace autocat {
 
@@ -95,6 +96,28 @@ applySweepKey(SweepConfig &cfg, const std::string &key,
         cfg.heartbeatTimeoutS = t;
     } else if (key == "sweep.dist_work_dir") {
         cfg.distWorkDir = value;
+    } else if (key == "sweep.dist_endpoints") {
+        cfg.distEndpoints = parseList(value, key);
+        for (const std::string &endpoint : cfg.distEndpoints) {
+            try {
+                parseTcpEndpoint(endpoint); // validate at parse time
+            } catch (const std::exception &e) {
+                throw std::invalid_argument("config: " + key + ": " +
+                                            e.what());
+            }
+        }
+    } else if (key == "sweep.manifest_dir") {
+        cfg.manifestDir = value;
+    } else if (key == "sweep.manifest_reset") {
+        cfg.manifestReset = parseConfigBool(value, key);
+    } else if (key == "gateway.tenant") {
+        cfg.gatewayTenant = value;
+    } else if (key == "gateway.priority") {
+        const std::uint64_t p = parseConfigUint(value, key);
+        if (p > 1000000)
+            throw std::invalid_argument("config: " + key +
+                                        " must be in [0, 1000000]");
+        cfg.gatewayPriority = static_cast<int>(p);
     } else if (key == "sweep.bakeoff_agents") {
         cfg.bakeoffAgents = parseList(value, key);
     } else if (key == "sweep.bakeoff_scenarios") {
@@ -123,7 +146,8 @@ parseSweepConfig(std::istream &in)
             // campaign configs use (core/campaign_config.hpp).
             if (applyPhaseKey(cfg.phases, key, value))
                 return true;
-            if (key.compare(0, 6, "sweep.") != 0)
+            if (key.compare(0, 6, "sweep.") != 0 &&
+                key.compare(0, 8, "gateway.") != 0)
                 return false;
             applySweepKey(cfg, key, value);
             return true;
@@ -170,6 +194,10 @@ renderSweepConfig(const SweepConfig &cfg)
     reject(cfg.reportCsvPath, "#\n");
     reject(cfg.checkpointDir, "#\n");
     reject(cfg.distWorkDir, "#\n");
+    reject(cfg.manifestDir, "#\n");
+    reject(cfg.gatewayTenant, "#\n");
+    for (const std::string &endpoint : cfg.distEndpoints)
+        reject(endpoint, "#,\n");
     for (const std::string &scenario : cfg.grid.scenarios)
         reject(scenario, "#,\n");
     for (const std::string &agent : cfg.bakeoffAgents)
@@ -219,6 +247,16 @@ renderSweepConfig(const SweepConfig &cfg)
         << renderConfigDouble(cfg.heartbeatTimeoutS) << "\n";
     if (!cfg.distWorkDir.empty())
         out << "sweep.dist_work_dir = " << cfg.distWorkDir << "\n";
+    if (!cfg.distEndpoints.empty())
+        out << "sweep.dist_endpoints = " << join(cfg.distEndpoints)
+            << "\n";
+    if (!cfg.manifestDir.empty())
+        out << "sweep.manifest_dir = " << cfg.manifestDir << "\n";
+    out << "sweep.manifest_reset = "
+        << (cfg.manifestReset ? "true" : "false") << "\n";
+    if (!cfg.gatewayTenant.empty())
+        out << "gateway.tenant = " << cfg.gatewayTenant << "\n";
+    out << "gateway.priority = " << cfg.gatewayPriority << "\n";
     if (!cfg.bakeoffAgents.empty())
         out << "sweep.bakeoff_agents = " << join(cfg.bakeoffAgents)
             << "\n";

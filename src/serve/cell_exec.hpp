@@ -46,6 +46,17 @@ struct CellExecOptions
     PpoTrainer::EpochCallback epochCb;
 };
 
+/**
+ * Exit code a runner or daemon uses after a graceful SIGTERM: the
+ * heartbeat was flushed and every written checkpoint is durable
+ * (checkpoint writes are atomic + fsynced, and the shutdown flag is
+ * only observed between them), but no row was produced. Deliberately
+ * outside the runner's recognized codes (0/3/4), so the scheduler
+ * treats it as a retryable worker death and the retry resumes from
+ * the last checkpoint.
+ */
+constexpr int kRunnerExitSigterm = 5;
+
 /** Per-cell checkpoint file path inside @p dir. */
 std::string cellCheckpointPath(const std::string &dir, std::size_t index);
 

@@ -1,21 +1,18 @@
 #include "serve/dist_scheduler.hpp"
 
-#include <cerrno>
+#include <algorithm>
 #include <chrono>
-#include <cstring>
-#include <ctime>
 #include <deque>
 #include <filesystem>
-#include <stdexcept>
+#include <memory>
+#include <optional>
 #include <thread>
 
-#include <signal.h>
-#include <sys/stat.h>
-#include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include "serve/cell_exec.hpp"
+#include "serve/manifest/manifest.hpp"
+#include "serve/net/transport.hpp"
 #include "serve/wire.hpp"
 #include "util/atomic_file.hpp"
 #include "util/logging.hpp"
@@ -26,287 +23,369 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/** One pending spawn: which cell, and which attempt this would be. */
+/** One pending attempt: which grid/cell, and which attempt this is. */
 struct PendingCell
 {
+    std::size_t grid = 0;
     std::size_t cell = 0;
     int attempt = 1;
 };
 
-/** One occupied worker slot. */
-struct ActiveWorker
+/** Scheduler-side bookkeeping for one fleet slot. */
+struct SlotState
 {
-    pid_t pid = -1;
-    std::size_t cell = 0;
-    int attempt = 1;
-    std::time_t spawnTime = 0;
-    bool timedOut = false; ///< scheduler SIGKILLed it for a stale heartbeat
+    bool busy = false;
+    bool killed = false; ///< already told to die for a stale heartbeat
+    PendingCell work;
 };
 
-std::string
-jobPath(const std::string &work_dir, std::size_t cell)
+/** One submitted grid plus everything the loop tracks about it. */
+struct GridState
 {
-    return work_dir + "/job_" + std::to_string(cell) + ".blob";
-}
+    ScheduledGrid grid;
+    SweepReport report;
+    std::optional<GridManifest> manifest;
+    std::size_t done = 0;
 
-std::string
-rowPath(const std::string &work_dir, std::size_t cell)
-{
-    return work_dir + "/row_" + std::to_string(cell) + ".blob";
-}
-
-std::string
-heartbeatPath(const std::string &work_dir, std::size_t cell)
-{
-    return work_dir + "/hb_" + std::to_string(cell);
-}
-
-/** mtime of @p path as a time_t, or 0 when the file does not exist. */
-std::time_t
-fileMtime(const std::string &path)
-{
-    struct stat st;
-    if (::stat(path.c_str(), &st) != 0)
-        return 0;
-    return st.st_mtime;
-}
-
-/** Describe how a reaped runner ended, for retry/error messages. */
-std::string
-describeExit(int status)
-{
-    if (WIFSIGNALED(status))
-        return std::string("killed by signal ") +
-               std::to_string(WTERMSIG(status));
-    if (WIFEXITED(status))
-        return "exit code " + std::to_string(WEXITSTATUS(status));
-    return "unknown wait status " + std::to_string(status);
-}
-
-/** fork/exec one runner attempt. @throws std::runtime_error on fork
- *  failure (grid-level: no worker was started). */
-pid_t
-spawnRunner(const DistSweepOptions &options, const SweepCell &cell,
-            int attempt)
-{
-    std::vector<std::string> args;
-    args.push_back(options.runnerPath);
-    args.push_back(jobPath(options.workDir, cell.index));
-    args.push_back(rowPath(options.workDir, cell.index));
-    if (!options.checkpointDir.empty()) {
-        args.push_back("--checkpoint");
-        args.push_back(
-            cellCheckpointPath(options.checkpointDir, cell.index));
-        args.push_back("--checkpoint-every");
-        args.push_back(std::to_string(options.checkpointEvery));
+    std::string
+    jobPath(std::size_t cell) const
+    {
+        return grid.workDir + "/job_" + std::to_string(cell) + ".blob";
     }
-    args.push_back("--heartbeat");
-    args.push_back(heartbeatPath(options.workDir, cell.index));
-    args.push_back("--attempt");
-    args.push_back(std::to_string(attempt));
-    // Fault injection hits the FIRST attempt only: the retry must then
-    // finish the cell, which is exactly the recovery path under test.
-    if (static_cast<long>(cell.index) == options.chaosKillCell &&
-        attempt == 1) {
-        if (options.chaosHang) {
-            args.push_back("--chaos-hang");
-        } else {
-            args.push_back("--chaos-kill-after");
-            args.push_back(std::to_string(options.chaosKillAfter));
-        }
+    std::string
+    rowPath(std::size_t cell) const
+    {
+        return grid.workDir + "/row_" + std::to_string(cell) + ".blob";
     }
-
-    std::vector<char *> argv;
-    argv.reserve(args.size() + 1);
-    for (std::string &a : args)
-        argv.push_back(a.data());
-    argv.push_back(nullptr);
-
-    const pid_t pid = ::fork();
-    if (pid < 0)
-        throw std::runtime_error(std::string("dist sweep: fork: ") +
-                                 std::strerror(errno));
-    if (pid == 0) {
-        ::execv(argv[0], argv.data());
-        // Exec failure in the child: nothing sane to do but die with a
-        // recognizable code (the parent records "exit code 127").
-        ::_exit(127);
+    std::string
+    heartbeatPath(std::size_t cell) const
+    {
+        return grid.workDir + "/hb_" + std::to_string(cell);
     }
-    return pid;
+};
+
+void
+ensureDirectory(const std::string &path, const char *what)
+{
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec || !fs::is_directory(path)) {
+        throw std::invalid_argument(
+            std::string("dist sweep: cannot create ") + what + " \"" +
+            path + "\"" + (ec ? ": " + ec.message() : ""));
+    }
 }
 
 } // namespace
 
-SweepReport
-runSweepCellsDist(const std::string &name, std::vector<SweepCell> cells,
-                  const DistSweepOptions &options,
-                  const SweepProgress &progress)
+std::vector<SweepReport>
+runSweepGridsFleet(std::vector<ScheduledGrid> grids,
+                   const FleetOptions &fleet)
 {
     using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
 
-    if (options.runnerPath.empty() ||
-        ::access(options.runnerPath.c_str(), X_OK) != 0) {
+    if (grids.empty())
+        return {};
+
+    std::size_t total_cells = 0;
+    for (const ScheduledGrid &grid : grids)
+        total_cells += grid.cells.size();
+
+    const int local_slots = static_cast<int>(std::min<std::size_t>(
+        std::max(fleet.localProcesses, 0), total_cells));
+    if (local_slots > 0 &&
+        (fleet.runnerPath.empty() ||
+         ::access(fleet.runnerPath.c_str(), X_OK) != 0)) {
         throw std::invalid_argument(
             "dist sweep: cell_runner executable not found at \"" +
-            options.runnerPath +
+            fleet.runnerPath +
             "\" (pass --runner or set AUTOCAT_CELL_RUNNER)");
     }
-    if (options.workDir.empty())
-        throw std::invalid_argument("dist sweep: work directory not set");
-
-    std::error_code ec;
-    fs::create_directories(options.workDir, ec);
-    if (ec || !fs::is_directory(options.workDir)) {
+    if (local_slots == 0 && fleet.endpoints.empty()) {
         throw std::invalid_argument(
-            "dist sweep: cannot create work directory \"" +
-            options.workDir + "\"" + (ec ? ": " + ec.message() : ""));
+            "dist sweep: fleet has no workers (no local processes, no "
+            "endpoints)");
     }
-    if (!options.checkpointDir.empty()) {
-        fs::create_directories(options.checkpointDir, ec);
-        if (ec || !fs::is_directory(options.checkpointDir)) {
+
+    // ----- per-grid setup: stage jobs, open manifests, adopt rows
+    std::vector<GridState> states;
+    states.reserve(grids.size());
+    std::deque<PendingCell> pending;
+
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+        GridState state;
+        state.grid = std::move(grids[g]);
+        if (state.grid.workDir.empty())
             throw std::invalid_argument(
-                "dist sweep: cannot create checkpoint directory \"" +
-                options.checkpointDir + "\"" +
-                (ec ? ": " + ec.message() : ""));
+                "dist sweep: work directory not set");
+        ensureDirectory(state.grid.workDir, "work directory");
+        if (!state.grid.checkpointDir.empty())
+            ensureDirectory(state.grid.checkpointDir,
+                            "checkpoint directory");
+
+        state.report.name = state.grid.name;
+        state.report.cells.resize(state.grid.cells.size());
+
+        // Stage every job blob up front: a worker needs nothing from
+        // the scheduler but its argv (or one frame stream), and a
+        // crashed scheduler leaves a complete, restartable job set on
+        // disk. The blobs also define the grid's manifest identity.
+        std::vector<std::string> job_blobs;
+        job_blobs.reserve(state.grid.cells.size());
+        std::error_code ec;
+        for (const SweepCell &cell : state.grid.cells) {
+            job_blobs.push_back(serializeCellJob(cell));
+            atomicWriteFile(state.jobPath(cell.index),
+                            job_blobs.back(), "cell job");
+            // A row left over from a previous run over the same work
+            // dir must not satisfy this run's cell.
+            fs::remove(state.rowPath(cell.index), ec);
+        }
+
+        if (!state.grid.manifestDir.empty()) {
+            state.manifest.emplace(
+                state.grid.manifestDir, state.grid.name,
+                gridManifestHash(job_blobs), state.grid.cells.size(),
+                state.grid.manifestReset);
+        }
+
+        states.push_back(std::move(state));
+        GridState &st = states.back();
+
+        for (std::size_t i = 0; i < st.grid.cells.size(); ++i) {
+            int prior_attempts = 0;
+            if (st.manifest) {
+                const GridManifest::CellEntry &entry =
+                    st.manifest->cells()[i];
+                if (entry.done) {
+                    // Adopt: the recorded row IS this cell's outcome.
+                    // The report keeps the scheduler's own cell struct
+                    // (exactly what finish() does for live rows).
+                    SweepCellResult row = entry.row;
+                    row.cell = std::move(st.grid.cells[i]);
+                    row.attempts = entry.failedAttempts + 1;
+                    st.report.cells[i] = std::move(row);
+                    ++st.done;
+                    ++st.report.cellsAdopted;
+                    if (st.grid.progress)
+                        st.grid.progress(st.report.cells[i]);
+                    continue;
+                }
+                prior_attempts = entry.failedAttempts;
+            }
+            pending.push_back({g, i, prior_attempts + 1});
+        }
+        if (st.report.cellsAdopted > 0) {
+            AUTOCAT_LOG_INFO
+                << "dist sweep: manifest " << st.manifest->dir()
+                << " adopted " << st.report.cellsAdopted << "/"
+                << st.grid.cells.size() << " finished cell(s)";
         }
     }
 
-    SweepReport report;
-    report.name = name;
-    report.cells.resize(cells.size());
+    // ----- the fleet
+    std::vector<std::unique_ptr<RunnerTransport>> transports;
+    for (int s = 0; s < local_slots; ++s)
+        transports.push_back(
+            makeLocalProcessTransport(fleet.runnerPath, s));
+    for (const std::string &endpoint : fleet.endpoints)
+        transports.push_back(makeTcpRunnerTransport(endpoint));
+    std::vector<SlotState> slots(transports.size());
 
-    const auto t0 = Clock::now();
+    for (GridState &state : states)
+        state.report.workersUsed = static_cast<int>(transports.size());
 
-    // Stage every job blob up front: a worker needs nothing from the
-    // scheduler but its argv, and a crashed scheduler leaves a
-    // complete, restartable job set on disk.
-    for (const SweepCell &cell : cells) {
-        atomicWriteFile(jobPath(options.workDir, cell.index),
-                        serializeCellJob(cell), "cell job");
-        // A row left over from a previous run over the same work dir
-        // must not satisfy this run's cell.
-        fs::remove(rowPath(options.workDir, cell.index), ec);
-    }
+    std::size_t done_this_run = 0;
 
-    const int slots = static_cast<int>(
-        std::min<std::size_t>(std::max(options.processes, 1),
-                              cells.size()));
-    report.workersUsed = slots;
+    const auto allDone = [&] {
+        for (const GridState &state : states)
+            if (state.done < state.report.cells.size())
+                return false;
+        return true;
+    };
 
-    std::deque<PendingCell> pending;
-    for (std::size_t i = 0; i < cells.size(); ++i)
-        pending.push_back({i, 1});
+    // Record a final (success or exhausted-retries) outcome: fill the
+    // report slot and persist the verbatim row bytes to the manifest
+    // (synthesizing bytes for budget-exhausted failure rows, so
+    // re-entry does not retry what the budget already gave up on).
+    const auto finish = [&](const PendingCell &work, SweepCellResult row,
+                            std::string row_bytes) {
+        GridState &state = states[work.grid];
+        row.cell = std::move(state.grid.cells[work.cell]);
+        state.report.cells[work.cell] = std::move(row);
+        if (state.manifest) {
+            if (row_bytes.empty()) // synthesized (failure) row
+                row_bytes = serializeCellRow(
+                    state.report.cells[work.cell]);
+            state.manifest->recordRow(work.cell, row_bytes);
+        }
+        ++state.done;
+        ++done_this_run;
+        if (state.grid.progress)
+            state.grid.progress(state.report.cells[work.cell]);
 
-    std::vector<ActiveWorker> active;
-    std::size_t done = 0;
-
-    // Record a final (success or exhausted-retries) outcome for a cell.
-    const auto finish = [&](std::size_t idx, SweepCellResult row) {
-        row.cell = std::move(cells[idx]);
-        report.cells[idx] = std::move(row);
-        ++done;
-        if (progress)
-            progress(report.cells[idx]);
+        if (fleet.stopAfterCells > 0 &&
+            done_this_run >= fleet.stopAfterCells && !allDone()) {
+            for (auto &t : transports)
+                t->abandon();
+            throw DistStopInjected(done_this_run);
+        }
     };
 
     // A dead/hung/garbled attempt either requeues (at the back: the
-    // rest of the grid keeps flowing, the retry is picked up by the
+    // rest of the grids keep flowing, the retry is picked up by the
     // next free slot — the work-stealing discipline) or exhausts the
     // cell's budget and lands as a per-cell failure row.
-    const auto attemptFailed = [&](const ActiveWorker &w,
+    const auto attemptFailed = [&](const PendingCell &work,
                                    const std::string &why) {
-        if (w.attempt <= options.maxRetries) {
-            AUTOCAT_LOG_WARN << "dist sweep: cell " << w.cell << " attempt "
-                             << w.attempt << " failed (" << why
-                             << "); requeueing";
-            pending.push_back({w.cell, w.attempt + 1});
+        GridState &state = states[work.grid];
+        if (state.manifest)
+            state.manifest->recordFailedAttempt(work.cell);
+        if (work.attempt <= fleet.maxRetries) {
+            AUTOCAT_LOG_WARN << "dist sweep: cell " << work.cell
+                             << " attempt " << work.attempt
+                             << " failed (" << why << "); requeueing";
+            pending.push_back(
+                {work.grid, work.cell, work.attempt + 1});
             return;
         }
         SweepCellResult row;
         row.error = "worker " + why + " (after " +
-                    std::to_string(w.attempt) + " attempt" +
-                    (w.attempt == 1 ? "" : "s") + ")";
-        row.attempts = w.attempt;
-        finish(w.cell, std::move(row));
+                    std::to_string(work.attempt) + " attempt" +
+                    (work.attempt == 1 ? "" : "s") + ")";
+        row.attempts = work.attempt;
+        finish(work, std::move(row), "");
     };
 
-    // The runner exited cleanly; its row blob is the attempt's verdict.
-    const auto reapSuccess = [&](const ActiveWorker &w) {
+    // An attempt delivered row bytes; they are the attempt's verdict
+    // once they validate (checksum/version via deserialization, plus
+    // the index match).
+    const auto reapRow = [&](const PendingCell &work,
+                             std::string row_bytes) {
         SweepCellResult row;
         try {
-            row = deserializeCellRow(readWholeFile(
-                rowPath(options.workDir, w.cell), "cell row"));
+            row = deserializeCellRow(row_bytes);
         } catch (const std::exception &e) {
-            attemptFailed(w, std::string("returned a bad row: ") +
-                                 e.what());
+            attemptFailed(work, std::string("returned a bad row: ") +
+                                    e.what());
             return;
         }
-        if (row.cell.index != w.cell) {
-            attemptFailed(w, "returned a row for cell " +
-                                 std::to_string(row.cell.index));
+        if (row.cell.index != work.cell) {
+            attemptFailed(work, "returned a row for cell " +
+                                    std::to_string(row.cell.index));
             return;
         }
-        row.attempts = w.attempt;
-        finish(w.cell, std::move(row));
+        row.attempts = work.attempt;
+        finish(work, std::move(row), std::move(row_bytes));
     };
 
-    while (done < report.cells.size()) {
-        // Claim pending cells into free slots.
-        while (!pending.empty() &&
-               active.size() < static_cast<std::size_t>(slots)) {
+    while (!allDone()) {
+        // Claim pending cells into free, still-living slots.
+        bool claimed = false;
+        for (std::size_t s = 0;
+             s < transports.size() && !pending.empty(); ++s) {
+            if (slots[s].busy || !transports[s]->alive())
+                continue;
             const PendingCell next = pending.front();
             pending.pop_front();
-            // A stale row from a killed previous attempt cannot exist
-            // (the runner writes it only on clean completion), but a
-            // stale heartbeat can — the spawn timestamp below masks it.
-            ActiveWorker w;
-            w.cell = next.cell;
-            w.attempt = next.attempt;
-            w.spawnTime = std::time(nullptr);
-            w.pid = spawnRunner(options, cells[next.cell], next.attempt);
-            active.push_back(w);
-        }
+            const GridState &state = states[next.grid];
+            const SweepCell &cell = state.grid.cells[next.cell];
 
-        // Reap any finished worker (non-blocking).
-        bool reaped = false;
-        for (std::size_t s = 0; s < active.size();) {
-            int status = 0;
-            const pid_t r = ::waitpid(active[s].pid, &status, WNOHANG);
-            if (r == 0) {
-                ++s;
+            AttemptSpec spec;
+            spec.cell = &cell;
+            spec.attempt = next.attempt;
+            spec.jobPath = state.jobPath(next.cell);
+            spec.rowPath = state.rowPath(next.cell);
+            spec.heartbeatPath = state.heartbeatPath(next.cell);
+            if (!state.grid.checkpointDir.empty()) {
+                spec.checkpointPath = cellCheckpointPath(
+                    state.grid.checkpointDir, next.cell);
+                spec.checkpointEvery = state.grid.checkpointEvery;
+            }
+            // Fault injection hits the FIRST attempt only: the retry
+            // must then finish the cell, which is exactly the recovery
+            // path under test.
+            if (next.grid == 0 &&
+                static_cast<long>(next.cell) == fleet.chaosKillCell &&
+                next.attempt == 1) {
+                spec.chaosKill = !fleet.chaosHang;
+                spec.chaosHang = fleet.chaosHang;
+                spec.chaosKillAfter = fleet.chaosKillAfter;
+                spec.chaosSigterm = fleet.chaosSigterm;
+            }
+
+            if (!transports[s]->start(spec)) {
+                // Never actually started (endpoint retired itself):
+                // requeue at the front without consuming an attempt.
+                pending.push_front(next);
                 continue;
             }
-            const ActiveWorker w = active[s];
-            active.erase(active.begin() + static_cast<long>(s));
-            reaped = true;
-            if (r < 0) {
-                attemptFailed(w, std::string("could not be reaped: ") +
-                                     std::strerror(errno));
-            } else if (w.timedOut) {
-                attemptFailed(w, "timed out (stale heartbeat)");
-            } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
-                reapSuccess(w);
+            slots[s].busy = true;
+            slots[s].killed = false;
+            slots[s].work = next;
+            claimed = true;
+        }
+
+        // Poll every busy slot (non-blocking).
+        bool freed = false;
+        for (std::size_t s = 0; s < transports.size(); ++s) {
+            if (!slots[s].busy)
+                continue;
+            AttemptOutcome out = transports[s]->poll();
+            if (out.kind == AttemptOutcome::Kind::Running)
+                continue;
+            slots[s].busy = false;
+            freed = true;
+            const PendingCell work = slots[s].work;
+            if (out.kind == AttemptOutcome::Kind::Row) {
+                reapRow(work, std::move(out.rowBytes));
+            } else if (!out.consumesAttempt) {
+                AUTOCAT_LOG_WARN
+                    << "dist sweep: cell " << work.cell
+                    << " never started on " << transports[s]->name()
+                    << " (" << out.reason << "); requeueing for free";
+                pending.push_back(work); // same attempt number
             } else {
-                attemptFailed(w, "died (" + describeExit(status) + ")");
+                attemptFailed(work, out.reason);
             }
         }
-        if (reaped)
+        if (claimed || freed)
             continue;
 
-        // Hang detection: a healthy runner touches its heartbeat on
-        // every epoch and checkpoint; staleness beyond the budget gets
-        // SIGKILL and the normal death path (which consumes a retry).
-        if (options.heartbeatTimeoutS > 0) {
-            const std::time_t now = std::time(nullptr);
-            for (ActiveWorker &w : active) {
-                if (w.timedOut)
+        // Nothing running and nothing startable: every transport that
+        // could take the pending cells has retired. Fail loudly — the
+        // manifest (when configured) preserves finished cells for a
+        // re-entry once the fleet is healthy again.
+        if (!pending.empty()) {
+            const bool any_busy =
+                std::any_of(slots.begin(), slots.end(),
+                            [](const SlotState &s) { return s.busy; });
+            const bool any_alive = std::any_of(
+                transports.begin(), transports.end(),
+                [](const std::unique_ptr<RunnerTransport> &t) {
+                    return t->alive();
+                });
+            if (!any_busy && !any_alive) {
+                throw std::runtime_error(
+                    "dist sweep: every runner endpoint retired with " +
+                    std::to_string(pending.size()) +
+                    " cell(s) still pending");
+            }
+        }
+
+        // Hang detection: a healthy attempt shows life (heartbeat
+        // mtime / received frames) continuously; staleness beyond the
+        // budget gets killed and takes the normal death path (which
+        // consumes a retry).
+        if (fleet.heartbeatTimeoutS > 0) {
+            for (std::size_t s = 0; s < transports.size(); ++s) {
+                if (!slots[s].busy || slots[s].killed)
                     continue;
-                const std::time_t hb =
-                    fileMtime(heartbeatPath(options.workDir, w.cell));
-                const std::time_t last = std::max(hb, w.spawnTime);
-                if (std::difftime(now, last) > options.heartbeatTimeoutS) {
-                    w.timedOut = true;
-                    ::kill(w.pid, SIGKILL);
+                if (transports[s]->idleSeconds() >
+                    fleet.heartbeatTimeoutS) {
+                    slots[s].killed = true;
+                    transports[s]->kill();
                 }
             }
         }
@@ -314,9 +393,51 @@ runSweepCellsDist(const std::string &name, std::vector<SweepCell> cells,
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
 
-    report.wallSeconds =
+    const double wall =
         std::chrono::duration<double>(Clock::now() - t0).count();
-    return report;
+    std::vector<SweepReport> reports;
+    reports.reserve(states.size());
+    for (GridState &state : states) {
+        state.report.wallSeconds = wall;
+        reports.push_back(std::move(state.report));
+    }
+    return reports;
+}
+
+SweepReport
+runSweepCellsDist(const std::string &name, std::vector<SweepCell> cells,
+                  const DistSweepOptions &options,
+                  const SweepProgress &progress)
+{
+    FleetOptions fleet;
+    // The pre-fleet interface always ran at least one local slot;
+    // endpoint-only fleets must ask for processes = 0 explicitly.
+    fleet.localProcesses = options.endpoints.empty()
+                               ? std::max(options.processes, 1)
+                               : std::max(options.processes, 0);
+    fleet.runnerPath = options.runnerPath;
+    fleet.endpoints = options.endpoints;
+    fleet.maxRetries = options.maxRetries;
+    fleet.heartbeatTimeoutS = options.heartbeatTimeoutS;
+    fleet.chaosKillCell = options.chaosKillCell;
+    fleet.chaosKillAfter = options.chaosKillAfter;
+    fleet.chaosHang = options.chaosHang;
+    fleet.chaosSigterm = options.chaosSigterm;
+    fleet.stopAfterCells = options.stopAfterCells;
+
+    ScheduledGrid grid;
+    grid.name = name;
+    grid.cells = std::move(cells);
+    grid.workDir = options.workDir;
+    grid.checkpointDir = options.checkpointDir;
+    grid.checkpointEvery = options.checkpointEvery;
+    grid.manifestDir = options.manifestDir;
+    grid.manifestReset = options.manifestReset;
+    grid.progress = progress;
+
+    std::vector<ScheduledGrid> grids;
+    grids.push_back(std::move(grid));
+    return std::move(runSweepGridsFleet(std::move(grids), fleet)[0]);
 }
 
 } // namespace autocat

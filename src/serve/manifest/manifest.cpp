@@ -1,0 +1,220 @@
+#include "serve/manifest/manifest.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "serve/wire.hpp"
+#include "util/atomic_file.hpp"
+#include "util/binio.hpp"
+#include "util/logging.hpp"
+
+namespace autocat {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kManifestMagic[8] = {'A', 'C', 'D', 'M', 'A', 'N', 'V', '1'};
+constexpr std::uint32_t kManifestVersion = 1;
+
+enum class CellStateTag : std::uint8_t
+{
+    Pending = 0,
+    Done = 1,
+};
+
+} // namespace
+
+std::uint64_t
+gridManifestHash(const std::vector<std::string> &job_blobs)
+{
+    // Hash of hashes keeps the identity order-sensitive without
+    // concatenating megabytes: cell i contributes (i, fnv(blob_i)).
+    std::string acc;
+    for (std::size_t i = 0; i < job_blobs.size(); ++i) {
+        binPut(acc, static_cast<std::uint64_t>(i));
+        binPut(acc, fnv1a64(job_blobs[i]));
+    }
+    return fnv1a64(acc);
+}
+
+GridManifest::GridManifest(std::string dir, std::string name,
+                           std::uint64_t grid_hash,
+                           std::size_t cell_count, bool reset)
+    : dir_(std::move(dir)), name_(std::move(name)),
+      gridHash_(grid_hash), cells_(cell_count)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_)) {
+        throw std::runtime_error(
+            "manifest: cannot create directory \"" + dir_ + "\"" +
+            (ec ? ": " + ec.message() : ""));
+    }
+    load(grid_hash, reset);
+    save();
+}
+
+std::string
+GridManifest::rowPath(std::size_t index) const
+{
+    return dir_ + "/row_" + std::to_string(index) + ".blob";
+}
+
+std::size_t
+GridManifest::numDone() const
+{
+    std::size_t n = 0;
+    for (const CellEntry &cell : cells_)
+        n += cell.done ? 1 : 0;
+    return n;
+}
+
+void
+GridManifest::load(std::uint64_t grid_hash, bool reset)
+{
+    const std::string state_path = dir_ + "/manifest.state";
+
+    const auto wipe = [&] {
+        std::error_code ec;
+        fs::remove(state_path, ec);
+        for (std::size_t i = 0; i < cells_.size(); ++i)
+            fs::remove(rowPath(i), ec);
+        for (CellEntry &cell : cells_)
+            cell = CellEntry{};
+    };
+
+    if (!fs::exists(state_path)) {
+        // Fresh manifest. Stray row blobs (from a manifest whose state
+        // file was never written, or a foreign directory) must not be
+        // adopted: without a state file there is no recorded grid
+        // identity to trust them against.
+        wipe();
+        return;
+    }
+
+    std::uint64_t seen_hash = 0;
+    std::uint64_t seen_count = 0;
+    std::vector<CellEntry> seen(cells_.size());
+    bool identity_readable = false;
+    bool entries_readable = false;
+    try {
+        std::istringstream iss(
+            readWholeFile(state_path, "manifest state"),
+            std::ios::binary);
+        const std::string payload = readBinarySection(
+            iss, kManifestMagic, kManifestVersion, "manifest state");
+        ByteCursor c(payload, "manifest state");
+        seen_hash = c.get<std::uint64_t>();
+        c.getString(); // recorded grid name: informational only
+        seen_count = c.get<std::uint64_t>();
+        // The identity header is enough to refuse a foreign grid even
+        // when the per-cell entries cannot be parsed against OUR cell
+        // count (a count mismatch IS a foreign grid, not corruption).
+        identity_readable = true;
+        if (seen_count == cells_.size()) {
+            for (std::size_t i = 0; i < cells_.size(); ++i) {
+                const auto tag = c.get<std::uint8_t>();
+                seen[i].done =
+                    tag == static_cast<std::uint8_t>(CellStateTag::Done);
+                seen[i].failedAttempts = c.get<std::int32_t>();
+            }
+            c.expectExhausted();
+            entries_readable = true;
+        }
+    } catch (const std::exception &e) {
+        AUTOCAT_LOG_WARN << "manifest: unreadable state file ("
+                         << e.what() << "); discarding recorded progress";
+    }
+
+    if (!identity_readable) {
+        // A torn/corrupt state file cannot vouch for the grid identity,
+        // so the row blobs cannot be trusted either.
+        wipe();
+        return;
+    }
+    if (seen_hash != grid_hash || seen_count != cells_.size()) {
+        if (!reset) {
+            throw std::invalid_argument(
+                "manifest: directory \"" + dir_ +
+                "\" belongs to a different grid (hash/cell-count "
+                "mismatch); point the run at a fresh directory or pass "
+                "manifest_reset");
+        }
+        AUTOCAT_LOG_WARN << "manifest: resetting " << dir_
+                         << " (grid identity changed)";
+        wipe();
+        return;
+    }
+    if (!entries_readable) {
+        // Identity matches but the per-cell entries are torn: treat as
+        // lost progress for the whole grid.
+        wipe();
+        return;
+    }
+
+    // Recovery: row blobs are authoritative for done-ness. A valid row
+    // marks the cell done even when the state write was lost; a "done"
+    // state whose row is missing or corrupt demotes to pending.
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        cells_[i].failedAttempts = seen[i].failedAttempts;
+        if (!fs::exists(rowPath(i)))
+            continue;
+        try {
+            SweepCellResult row = deserializeCellRow(
+                readWholeFile(rowPath(i), "manifest row"));
+            if (row.cell.index != i)
+                throw std::runtime_error("row is for another cell");
+            cells_[i].done = true;
+            cells_[i].row = std::move(row);
+        } catch (const std::exception &e) {
+            AUTOCAT_LOG_WARN << "manifest: cell " << i
+                             << " row blob rejected (" << e.what()
+                             << "); the cell will re-run";
+            std::error_code ec;
+            fs::remove(rowPath(i), ec);
+        }
+    }
+}
+
+void
+GridManifest::save() const
+{
+    std::string p;
+    binPut(p, gridHash_);
+    binPutString(p, name_);
+    binPut(p, static_cast<std::uint64_t>(cells_.size()));
+    for (const CellEntry &cell : cells_) {
+        binPut(p, static_cast<std::uint8_t>(cell.done
+                                                ? CellStateTag::Done
+                                                : CellStateTag::Pending));
+        binPut(p, static_cast<std::int32_t>(cell.failedAttempts));
+    }
+    std::ostringstream oss(std::ios::binary);
+    writeBinarySection(oss, kManifestMagic, kManifestVersion, p,
+                       "manifest state");
+    atomicWriteFile(dir_ + "/manifest.state", oss.str(),
+                    "manifest state");
+}
+
+void
+GridManifest::recordRow(std::size_t index, const std::string &row_bytes)
+{
+    // Row first, state second: recovery trusts rows, so this order can
+    // lose at most a state update (re-derived from the row on load),
+    // never a finished cell.
+    atomicWriteFile(rowPath(index), row_bytes, "manifest row");
+    cells_[index].done = true;
+    cells_[index].row = deserializeCellRow(row_bytes);
+    save();
+}
+
+void
+GridManifest::recordFailedAttempt(std::size_t index)
+{
+    ++cells_[index].failedAttempts;
+    save();
+}
+
+} // namespace autocat

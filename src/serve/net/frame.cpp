@@ -1,0 +1,141 @@
+#include "serve/net/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/binio.hpp"
+
+namespace autocat {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x464e4341u; // "ACNF" little-endian
+
+constexpr std::size_t kHeaderSize =
+    sizeof(std::uint32_t) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+bool
+knownType(std::uint32_t type)
+{
+    return type >= static_cast<std::uint32_t>(FrameType::Hello) &&
+           type <= static_cast<std::uint32_t>(FrameType::Row);
+}
+
+} // namespace
+
+std::string
+encodeFrame(FrameType type, const std::string &payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        throw std::invalid_argument(
+            "net frame: payload exceeds the frame size cap");
+    std::string out;
+    out.reserve(kHeaderSize + payload.size() + sizeof(std::uint64_t));
+    binPut(out, kFrameMagic);
+    binPut(out, static_cast<std::uint32_t>(type));
+    binPut(out, static_cast<std::uint64_t>(payload.size()));
+    out.append(payload);
+    binPut(out, fnv1a64(payload));
+    return out;
+}
+
+std::string
+encodeHello(const HelloPayload &hello)
+{
+    std::string p;
+    binPut(p, hello.protocolVersion);
+    binPut(p, hello.jobWireVersion);
+    binPut(p, hello.rowWireVersion);
+    binPut(p, hello.checkpointEvery);
+    return p;
+}
+
+HelloPayload
+decodeHello(const std::string &payload)
+{
+    ByteCursor c(payload, "net hello");
+    HelloPayload hello;
+    hello.protocolVersion = c.get<std::uint32_t>();
+    hello.jobWireVersion = c.get<std::uint32_t>();
+    hello.rowWireVersion = c.get<std::uint32_t>();
+    hello.checkpointEvery = c.get<std::int32_t>();
+    c.expectExhausted();
+    return hello;
+}
+
+void
+FrameReader::fail(const std::string &why)
+{
+    error_ = "net frame: " + why;
+    buffer_.clear();
+    consumed_ = 0;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t size)
+{
+    if (!error_.empty())
+        return;
+    // Compact lazily: drop the consumed prefix once it dominates, so a
+    // long session doesn't grow the buffer without bound but short
+    // reads don't memmove every time.
+    if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buffer_.append(data, size);
+}
+
+bool
+FrameReader::next(Frame &out)
+{
+    if (!error_.empty())
+        return false;
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < kHeaderSize)
+        return false;
+    const char *base = buffer_.data() + consumed_;
+
+    std::uint32_t magic = 0, type = 0;
+    std::uint64_t size = 0;
+    std::memcpy(&magic, base, sizeof(magic));
+    std::memcpy(&type, base + sizeof(magic), sizeof(type));
+    std::memcpy(&size, base + sizeof(magic) + sizeof(type), sizeof(size));
+
+    // Validate the header before waiting for the payload: a corrupted
+    // length would otherwise stall the connection "needing" garbage
+    // bytes that never arrive.
+    if (magic != kFrameMagic) {
+        fail("bad magic (stream out of sync or not a frame stream)");
+        return false;
+    }
+    if (!knownType(type)) {
+        fail("unknown frame type " + std::to_string(type));
+        return false;
+    }
+    if (size > kMaxFramePayload) {
+        fail("implausible payload size (corrupt stream?)");
+        return false;
+    }
+
+    const std::size_t total =
+        kHeaderSize + static_cast<std::size_t>(size) +
+        sizeof(std::uint64_t);
+    if (avail < total)
+        return false;
+
+    const char *payload = base + kHeaderSize;
+    std::uint64_t checksum = 0;
+    std::memcpy(&checksum, payload + size, sizeof(checksum));
+    out.payload.assign(payload, static_cast<std::size_t>(size));
+    if (checksum != fnv1a64(out.payload)) {
+        out.payload.clear();
+        fail("payload checksum mismatch (corrupt stream)");
+        return false;
+    }
+    out.type = static_cast<FrameType>(type);
+    consumed_ += total;
+    return true;
+}
+
+} // namespace autocat

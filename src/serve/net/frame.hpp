@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Framed TCP wire protocol for the networked campaign service.
+ *
+ * The stream between a scheduler and a runner_daemon is a sequence of
+ * self-delimiting *frames*:
+ *
+ *     u32 magic 'ACNF' | u32 type | u64 payload size |
+ *     payload bytes    | u64 FNV-1a checksum(payload)
+ *
+ * Frames carry the existing PR 6 blobs *verbatim* — a Job frame's
+ * payload is a checksummed `ACDJOBV1` section, a Row frame's payload
+ * is an `ACDROWV2` section, a Checkpoint frame's payload is a campaign
+ * checkpoint file — so the config renderer remains the one cell
+ * serializer and renderer coverage stays wire coverage. The frame
+ * layer adds only what a byte stream needs that a file does not:
+ * delimiting, a type tag, a second integrity check, and a size cap so
+ * a corrupt length field cannot allocate the moon.
+ *
+ * Session shape (one connection = one cell attempt):
+ *
+ *     scheduler ──► Hello (proto + job/row wire versions, cadence)
+ *     daemon    ──► Hello (its versions; mismatch closes)
+ *     scheduler ──► [Checkpoint]  (resume state from a prior attempt)
+ *     scheduler ──► Job
+ *     daemon    ──► Heartbeat*          (one per epoch)
+ *     daemon    ──► Checkpoint*         (upload after each write)
+ *     daemon    ──► Row, then close
+ *
+ * Decoding is incremental: FrameReader accepts arbitrary byte chunks
+ * (partial read() returns are the TCP norm) and yields complete
+ * frames. Malformed input — bad magic, unknown type, oversized
+ * length, checksum mismatch — latches a sticky error; the connection
+ * owner closes the socket and the scheduler requeues the cell. A
+ * damaged stream can cost an attempt, never the scheduler.
+ */
+
+#ifndef AUTOCAT_SERVE_NET_FRAME_HPP
+#define AUTOCAT_SERVE_NET_FRAME_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace autocat {
+
+/** Protocol version of the frame layer + handshake. Bump on any
+ *  change to framing or session shape. */
+constexpr std::uint32_t kNetProtocolVersion = 1;
+
+/** Frame type tags. */
+enum class FrameType : std::uint32_t
+{
+    Hello = 1,      ///< handshake: HelloPayload
+    Job = 2,        ///< ACDJOBV1 job blob, verbatim
+    Checkpoint = 3, ///< campaign checkpoint file bytes, verbatim
+    Heartbeat = 4,  ///< liveness ping, empty payload
+    Row = 5,        ///< ACDROWV2 row blob, verbatim
+};
+
+/** Hard cap on a frame payload. Job blobs are config text (KBs) and
+ *  checkpoints are network weights (MBs); 256 MiB is far above any
+ *  real frame, so an implausible size field fails fast instead of
+ *  driving a giant allocation. */
+constexpr std::uint64_t kMaxFramePayload = 256ull << 20;
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Heartbeat;
+    std::string payload;
+};
+
+/** Handshake payload: both sides state their versions before any job
+ *  bytes move, so a version-skewed fleet fails at connect time with a
+ *  clear message instead of a blob rejection mid-grid. */
+struct HelloPayload
+{
+    std::uint32_t protocolVersion = kNetProtocolVersion;
+    std::uint32_t jobWireVersion = 0;  ///< kCellJobVersion of the build
+    std::uint32_t rowWireVersion = 0;  ///< kCellRowVersion of the build
+    /** Scheduler→daemon: mid-cell checkpoint cadence for the attempt
+     *  (CellExecOptions::checkpointEvery). Daemon→scheduler: -1. */
+    std::int32_t checkpointEvery = -1;
+};
+
+/** Encode one frame (header + payload + checksum) into wire bytes.
+ *  @throws std::invalid_argument when the payload exceeds
+ *  kMaxFramePayload. */
+std::string encodeFrame(FrameType type, const std::string &payload);
+
+/** Encode/decode the Hello payload. decodeHello throws
+ *  std::runtime_error for a malformed payload. */
+std::string encodeHello(const HelloPayload &hello);
+HelloPayload decodeHello(const std::string &payload);
+
+/**
+ * Incremental frame decoder. Feed it whatever recv() returned; pull
+ * complete frames with next(). After any malformed input error() is
+ * non-empty and the reader refuses further work — the stream is
+ * unrecoverable because frame boundaries are lost.
+ */
+class FrameReader
+{
+  public:
+    /** Append raw stream bytes. No-op once errored. */
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Extract the next complete frame into @p out. Returns false when
+     * no complete frame is buffered (more bytes needed) or the reader
+     * is in the error state — distinguish via error().
+     */
+    bool next(Frame &out);
+
+    /** Non-empty once the stream was malformed (sticky). */
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (diagnostics/tests). */
+    std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    void fail(const std::string &why);
+
+    std::string buffer_;
+    std::size_t consumed_ = 0; ///< prefix of buffer_ already parsed
+    std::string error_;
+};
+
+} // namespace autocat
+
+#endif // AUTOCAT_SERVE_NET_FRAME_HPP

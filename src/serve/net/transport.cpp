@@ -1,0 +1,442 @@
+#include "serve/net/transport.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/wire.hpp"
+#include "util/atomic_file.hpp"
+#include "util/logging.hpp"
+
+namespace autocat {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** mtime of @p path as a time_t, or 0 when the file does not exist. */
+std::time_t
+fileMtime(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return st.st_mtime;
+}
+
+/** Describe how a reaped runner ended, for retry/error messages. */
+std::string
+describeExit(int status)
+{
+    if (WIFSIGNALED(status))
+        return std::string("killed by signal ") +
+               std::to_string(WTERMSIG(status));
+    if (WIFEXITED(status))
+        return "exit code " + std::to_string(WEXITSTATUS(status));
+    return "unknown wait status " + std::to_string(status);
+}
+
+// ---------------------------------------------------------------------
+// Local fork/exec slot (the PR 6 process boundary).
+
+class LocalProcessTransport final : public RunnerTransport
+{
+  public:
+    LocalProcessTransport(std::string runner_path, int slot)
+        : runnerPath_(std::move(runner_path)),
+          name_("local[" + std::to_string(slot) + "]")
+    {
+    }
+
+    ~LocalProcessTransport() override { abandon(); }
+
+    const std::string &name() const override { return name_; }
+    bool alive() const override { return true; }
+    bool busy() const override { return pid_ > 0; }
+
+    bool
+    start(const AttemptSpec &spec) override
+    {
+        std::vector<std::string> args;
+        args.push_back(runnerPath_);
+        args.push_back(spec.jobPath);
+        args.push_back(spec.rowPath);
+        if (!spec.checkpointPath.empty()) {
+            args.push_back("--checkpoint");
+            args.push_back(spec.checkpointPath);
+            args.push_back("--checkpoint-every");
+            args.push_back(std::to_string(spec.checkpointEvery));
+        }
+        args.push_back("--heartbeat");
+        args.push_back(spec.heartbeatPath);
+        args.push_back("--attempt");
+        args.push_back(std::to_string(spec.attempt));
+        if (spec.chaosHang) {
+            args.push_back("--chaos-hang");
+        } else if (spec.chaosKill) {
+            args.push_back(spec.chaosSigterm ? "--chaos-sigterm-after"
+                                             : "--chaos-kill-after");
+            args.push_back(std::to_string(spec.chaosKillAfter));
+        }
+
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            throw std::runtime_error(std::string("dist sweep: fork: ") +
+                                     std::strerror(errno));
+        if (pid == 0) {
+            ::execv(argv[0], argv.data());
+            // Exec failure in the child: nothing sane to do but die with
+            // a recognizable code (the parent records "exit code 127").
+            ::_exit(127);
+        }
+        pid_ = pid;
+        timedOut_ = false;
+        heartbeatPath_ = spec.heartbeatPath;
+        rowPath_ = spec.rowPath;
+        spawnTime_ = std::time(nullptr);
+        return true;
+    }
+
+    AttemptOutcome
+    poll() override
+    {
+        AttemptOutcome out;
+        int status = 0;
+        const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+        if (r == 0)
+            return out; // still running
+        pid_ = -1;
+        out.kind = AttemptOutcome::Kind::Died;
+        if (r < 0) {
+            out.reason = std::string("could not be reaped: ") +
+                         std::strerror(errno);
+        } else if (timedOut_) {
+            out.reason = "timed out (stale heartbeat)";
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            try {
+                out.rowBytes = readWholeFile(rowPath_, "cell row");
+                out.kind = AttemptOutcome::Kind::Row;
+            } catch (const std::exception &e) {
+                out.reason =
+                    std::string("returned a bad row: ") + e.what();
+            }
+        } else {
+            out.reason = "died (" + describeExit(status) + ")";
+        }
+        return out;
+    }
+
+    void
+    kill() override
+    {
+        if (pid_ <= 0)
+            return;
+        timedOut_ = true;
+        ::kill(pid_, SIGKILL);
+    }
+
+    double
+    idleSeconds() const override
+    {
+        const std::time_t last =
+            std::max(fileMtime(heartbeatPath_), spawnTime_);
+        return std::difftime(std::time(nullptr), last);
+    }
+
+    void
+    abandon() override
+    {
+        if (pid_ <= 0)
+            return;
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        ::waitpid(pid_, &status, 0); // no zombies behind a stop injection
+        pid_ = -1;
+    }
+
+  private:
+    std::string runnerPath_;
+    std::string name_;
+    pid_t pid_ = -1;
+    bool timedOut_ = false;
+    std::time_t spawnTime_ = 0;
+    std::string heartbeatPath_;
+    std::string rowPath_;
+};
+
+// ---------------------------------------------------------------------
+// Remote TCP slot: one runner_daemon endpoint, one connection per
+// attempt.
+
+class TcpRunnerTransport final : public RunnerTransport
+{
+    using Clock = std::chrono::steady_clock;
+
+  public:
+    explicit TcpRunnerTransport(const std::string &endpoint)
+        : endpoint_(parseTcpEndpoint(endpoint)),
+          name_("tcp:" + endpoint_.toString())
+    {
+        ignoreSigpipe();
+    }
+
+    const std::string &name() const override { return name_; }
+    bool alive() const override { return alive_; }
+    bool busy() const override { return busy_; }
+
+    bool
+    start(const AttemptSpec &spec) override
+    {
+        bool refused = false;
+        fd_ = tcpConnect(endpoint_, kConnectTimeoutMs, refused);
+        if (!fd_.valid()) {
+            retire(refused ? "connection refused"
+                           : std::string("connect failed: ") +
+                                 std::strerror(errno));
+            return false;
+        }
+
+        HelloPayload hello;
+        hello.protocolVersion = kNetProtocolVersion;
+        hello.jobWireVersion = kCellJobVersion;
+        hello.rowWireVersion = kCellRowVersion;
+        hello.checkpointEvery =
+            spec.checkpointPath.empty() ? -1 : spec.checkpointEvery;
+
+        // Hello, then the previous attempt's uploaded checkpoint (so a
+        // retry resumes even on a different machine), then the job.
+        std::string wire =
+            encodeFrame(FrameType::Hello, encodeHello(hello));
+        if (!spec.checkpointPath.empty() &&
+            fs::exists(spec.checkpointPath)) {
+            wire += encodeFrame(
+                FrameType::Checkpoint,
+                readWholeFile(spec.checkpointPath, "cell checkpoint"));
+        }
+        wire += encodeFrame(
+            FrameType::Job, readWholeFile(spec.jobPath, "cell job"));
+        if (!sendAll(fd_.fd(), wire.data(), wire.size())) {
+            fd_.reset();
+            retire("dropped the connection during job upload");
+            return false;
+        }
+
+        setNonBlocking(fd_.fd());
+        reader_ = FrameReader{};
+        checkpointPath_ = spec.checkpointPath;
+        handshaken_ = false;
+        timedOut_ = false;
+        busy_ = true;
+        lastActivity_ = Clock::now();
+        return true;
+    }
+
+    AttemptOutcome
+    poll() override
+    {
+        AttemptOutcome out;
+        if (timedOut_)
+            return finish(died("timed out (stale heartbeat)"));
+
+        bool eof = false;
+        std::string sockError;
+        char buf[64 * 1024];
+        for (;;) {
+            const long n = recvSome(fd_.fd(), buf, sizeof(buf));
+            if (n > 0) {
+                reader_.feed(buf, static_cast<std::size_t>(n));
+                lastActivity_ = Clock::now();
+                continue;
+            }
+            if (n == 0) {
+                eof = true;
+            } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // drained for now
+            } else {
+                sockError = std::strerror(errno);
+            }
+            break;
+        }
+
+        Frame frame;
+        while (reader_.next(frame)) {
+            if (!handshaken_ && frame.type != FrameType::Hello) {
+                // A daemon that skips the handshake is the wrong build
+                // or the wrong service; do not burn cell retries on it.
+                retire("spoke before the handshake");
+                return finish(diedNoAttempt(
+                    "daemon skipped the handshake; endpoint retired"));
+            }
+            switch (frame.type) {
+            case FrameType::Hello: {
+                HelloPayload hello;
+                try {
+                    hello = decodeHello(frame.payload);
+                } catch (const std::exception &e) {
+                    retire(std::string("malformed hello: ") + e.what());
+                    return finish(diedNoAttempt(
+                        "daemon sent a malformed hello; endpoint "
+                        "retired"));
+                }
+                if (hello.protocolVersion != kNetProtocolVersion ||
+                    hello.jobWireVersion != kCellJobVersion ||
+                    hello.rowWireVersion != kCellRowVersion) {
+                    retire("version mismatch (daemon proto " +
+                           std::to_string(hello.protocolVersion) +
+                           ", job v" +
+                           std::to_string(hello.jobWireVersion) +
+                           ", row v" +
+                           std::to_string(hello.rowWireVersion) + ")");
+                    return finish(diedNoAttempt(
+                        "daemon version mismatch; endpoint retired"));
+                }
+                handshaken_ = true;
+                break;
+            }
+            case FrameType::Heartbeat:
+                break; // liveness is any received byte; nothing to do
+            case FrameType::Checkpoint:
+                // The scheduler's disk is the checkpoint's durable
+                // home: land each upload atomically where a retry (on
+                // any transport) will look for it.
+                if (!checkpointPath_.empty())
+                    atomicWriteFile(checkpointPath_, frame.payload,
+                                    "cell checkpoint");
+                break;
+            case FrameType::Row:
+                out.kind = AttemptOutcome::Kind::Row;
+                out.rowBytes = std::move(frame.payload);
+                return finish(std::move(out));
+            case FrameType::Job:
+                return finish(
+                    died("sent an unexpected frame (job)"));
+            }
+        }
+
+        if (!reader_.error().empty()) {
+            if (!handshaken_) {
+                retire("malformed handshake (" + reader_.error() + ")");
+                return finish(diedNoAttempt(
+                    "daemon handshake was malformed; endpoint retired"));
+            }
+            return finish(died("sent a malformed frame (" +
+                               reader_.error() + ")"));
+        }
+        if (eof || !sockError.empty()) {
+            const std::string what =
+                eof ? "closed the connection mid-cell"
+                    : "connection error (" + sockError + ")";
+            if (!handshaken_) {
+                retire(what);
+                return finish(diedNoAttempt(
+                    "daemon " + what + " before the handshake; "
+                    "endpoint retired"));
+            }
+            return finish(died(what));
+        }
+        return out; // Running
+    }
+
+    void
+    kill() override
+    {
+        timedOut_ = true;
+        fd_.reset();
+    }
+
+    double
+    idleSeconds() const override
+    {
+        return std::chrono::duration<double>(Clock::now() -
+                                             lastActivity_)
+            .count();
+    }
+
+    void
+    abandon() override
+    {
+        fd_.reset();
+        busy_ = false;
+    }
+
+  private:
+    static constexpr int kConnectTimeoutMs = 5000;
+
+    AttemptOutcome
+    died(std::string reason)
+    {
+        AttemptOutcome out;
+        out.kind = AttemptOutcome::Kind::Died;
+        out.reason = std::move(reason);
+        return out;
+    }
+
+    AttemptOutcome
+    diedNoAttempt(std::string reason)
+    {
+        AttemptOutcome out = died(std::move(reason));
+        out.consumesAttempt = false;
+        return out;
+    }
+
+    AttemptOutcome
+    finish(AttemptOutcome out)
+    {
+        fd_.reset();
+        busy_ = false;
+        return out;
+    }
+
+    void
+    retire(const std::string &why)
+    {
+        alive_ = false;
+        AUTOCAT_LOG_WARN << "dist sweep: retiring endpoint " << name_
+                         << ": " << why;
+    }
+
+    TcpEndpoint endpoint_;
+    std::string name_;
+    bool alive_ = true;
+    bool busy_ = false;
+    bool handshaken_ = false;
+    bool timedOut_ = false;
+    OwnedFd fd_;
+    FrameReader reader_;
+    std::string checkpointPath_;
+    Clock::time_point lastActivity_{};
+};
+
+} // namespace
+
+std::unique_ptr<RunnerTransport>
+makeLocalProcessTransport(std::string runner_path, int slot)
+{
+    return std::make_unique<LocalProcessTransport>(
+        std::move(runner_path), slot);
+}
+
+std::unique_ptr<RunnerTransport>
+makeTcpRunnerTransport(const std::string &endpoint)
+{
+    return std::make_unique<TcpRunnerTransport>(endpoint);
+}
+
+} // namespace autocat

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * RunnerTransport: the seam between the sweep scheduler and *where a
+ * cell attempt physically runs*. The scheduler owns a fleet of
+ * transports — each one worker slot — and speaks one vocabulary to
+ * all of them: start an attempt, poll for its outcome, kill it when
+ * its heartbeat goes stale. Mixed fleets (local fork/exec slots plus
+ * remote TCP daemons) fall out for free.
+ *
+ *  - LocalProcessTransport: fork/exec of the cell_runner executable —
+ *    PR 6's process boundary, byte-identical semantics. Liveness is
+ *    the heartbeat file's mtime; job/row/checkpoint all travel
+ *    through the shared work/checkpoint directories.
+ *
+ *  - TcpRunnerTransport: one runner_daemon endpoint. A connection is
+ *    one attempt: handshake Hello (protocol + job/row wire versions),
+ *    ship the job blob (and the last uploaded checkpoint, so a retry
+ *    resumes from the previous attempt's progress even on a different
+ *    machine), then consume Heartbeat/Checkpoint/Row frames until the
+ *    row lands or the stream dies. Checkpoint uploads are written
+ *    (atomically) to the cell's scheduler-side checkpoint path — the
+ *    scheduler's disk is the durable home; daemons are disposable.
+ *
+ * Failure vocabulary, shared by both:
+ *
+ *  - Outcome::Row — the attempt produced row-blob bytes; the
+ *    scheduler validates them (checksum, version, index).
+ *  - Outcome::Died with consumesAttempt=true — the attempt was
+ *    running and was lost (process death, connection drop, malformed
+ *    frame, stale heartbeat). Costs one retry.
+ *  - start() returning false, or Died with consumesAttempt=false —
+ *    the attempt never actually started (unreachable endpoint,
+ *    version-mismatched daemon). The transport retires itself
+ *    (alive() goes false) and the cell requeues without burning its
+ *    budget: a dead machine must not eat a cell's retries.
+ */
+
+#ifndef AUTOCAT_SERVE_NET_TRANSPORT_HPP
+#define AUTOCAT_SERVE_NET_TRANSPORT_HPP
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "eval/sweep.hpp"
+#include "serve/net/frame.hpp"
+#include "util/socket.hpp"
+
+namespace autocat {
+
+/** Everything one attempt needs, resolved by the scheduler. */
+struct AttemptSpec
+{
+    const SweepCell *cell = nullptr; ///< identity (labels, chaos match)
+    int attempt = 1;
+
+    std::string jobPath;        ///< staged job blob (read by both kinds)
+    std::string rowPath;        ///< local runner's row output file
+    std::string heartbeatPath;  ///< local runner's heartbeat file
+    std::string checkpointPath; ///< scheduler-side ckpt; "" = disabled
+    int checkpointEvery = 0;    ///< cadence when checkpointing is on
+
+    // Fault injection (local transports only; daemons carry their own
+    // chaos flags on their command line).
+    bool chaosKill = false;
+    int chaosKillAfter = 1;
+    bool chaosHang = false;
+    bool chaosSigterm = false; ///< SIGTERM-self instead of SIGKILL-self
+};
+
+/** Result of polling a busy transport. */
+struct AttemptOutcome
+{
+    enum class Kind
+    {
+        Running, ///< still working
+        Row,     ///< rowBytes holds the attempt's row blob
+        Died,    ///< reason says why; consumesAttempt says who pays
+    };
+
+    Kind kind = Kind::Running;
+    std::string rowBytes;
+    std::string reason;
+    bool consumesAttempt = true;
+};
+
+/** One worker slot the scheduler can run attempts on. */
+class RunnerTransport
+{
+  public:
+    virtual ~RunnerTransport() = default;
+
+    /** Stable display name ("local[2]", "tcp:127.0.0.1:4417"). */
+    virtual const std::string &name() const = 0;
+
+    /** False once permanently retired (unreachable endpoint). */
+    virtual bool alive() const = 0;
+
+    /** True while an attempt is in flight. */
+    virtual bool busy() const = 0;
+
+    /**
+     * Begin an attempt. Returns false when it could not start — the
+     * transport has retired itself and the caller requeues the cell
+     * without consuming an attempt. Must only be called when idle.
+     */
+    virtual bool start(const AttemptSpec &spec) = 0;
+
+    /** Non-blocking progress check; only meaningful while busy. A
+     *  terminal outcome (Row/Died) frees the slot. */
+    virtual AttemptOutcome poll() = 0;
+
+    /** Forcibly end the in-flight attempt (stale heartbeat). The next
+     *  poll() reports the death as "timed out (stale heartbeat)". */
+    virtual void kill() = 0;
+
+    /** Seconds since the attempt last showed life (spawn, heartbeat,
+     *  any received frame). */
+    virtual double idleSeconds() const = 0;
+
+    /** Scheduler is going down mid-run (stop injection): reap local
+     *  children / drop connections without reporting an outcome. */
+    virtual void abandon() = 0;
+};
+
+/** Fork/exec slot running @p runner_path (the cell_runner binary). */
+std::unique_ptr<RunnerTransport>
+makeLocalProcessTransport(std::string runner_path, int slot);
+
+/** TCP slot speaking the serve/net frame protocol to a runner_daemon
+ *  at @p endpoint ("host:port"; parsed eagerly — throws
+ *  std::invalid_argument for a malformed endpoint). */
+std::unique_ptr<RunnerTransport>
+makeTcpRunnerTransport(const std::string &endpoint);
+
+} // namespace autocat
+
+#endif // AUTOCAT_SERVE_NET_TRANSPORT_HPP
